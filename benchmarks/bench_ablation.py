@@ -1,0 +1,167 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper table — these quantify the knobs the paper leaves open: the
+specificity decay, the proximity factor, the ElemRank formulation chain
+(E1 -> E4), and HDIL's replicated-head fraction.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_ablation_decay,
+    run_ablation_proximity,
+    run_ablation_variants,
+)
+from repro.config import HDILParams
+from repro.datasets.workloads import high_correlation_queries
+from repro.ranking.elemrank import ElemRankVariant, compute_elemrank
+
+
+def test_ablation_decay(benchmark, suite, capsys):
+    data, text = benchmark.pedantic(
+        lambda: run_ablation_decay(suite), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    assert set(data) == {0.25, 0.5, 0.75, 1.0}
+
+
+def test_ablation_proximity(benchmark, suite, capsys):
+    data, text = benchmark.pedantic(
+        lambda: run_ablation_proximity(suite), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    assert len(data["proximity-on"]) > 0
+
+
+def test_ablation_variants(benchmark, suite, capsys):
+    overlaps, text = benchmark.pedantic(
+        lambda: run_ablation_variants(suite), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    # E1 (no reverse containment flow) should agree least with the final
+    # formulation; E2/E3 sit in between.
+    assert overlaps["e1-pagerank"] <= overlaps["e2-bidirectional"] + 0.2
+    assert overlaps["e4-final"] == 1.0
+
+
+@pytest.mark.parametrize("variant", list(ElemRankVariant))
+def test_variant_cost(benchmark, suite, variant):
+    graph = suite.xmark.corpus.graph
+    result = benchmark.pedantic(
+        lambda: compute_elemrank(graph, variant=variant), rounds=2, iterations=1
+    )
+    assert result.converged
+
+
+@pytest.mark.parametrize("fraction", (0.02, 0.10, 0.30))
+def test_hdil_head_fraction(benchmark, suite, fraction):
+    """Bigger replicated heads buy RDIL-mode room at the cost of space."""
+    params = HDILParams(rank_fraction=fraction)
+    builder = suite.dblp.builder
+
+    index = benchmark.pedantic(
+        lambda: builder.build_hdil(params), rounds=1, iterations=1
+    )
+    query = high_correlation_queries(suite.planted, 2).queries[0]
+    from repro.query.hdil_eval import HDILEvaluator
+
+    evaluator = HDILEvaluator(index, suite.dblp.ranking, params)
+    index.reset_measurement()
+    results = evaluator.evaluate(list(query), m=10)
+    benchmark.extra_info["list_bytes"] = index.inverted_list_bytes
+    benchmark.extra_info["query_cost_ms"] = index.io_cost_ms()
+    assert results
+
+
+def test_ablation_decay_focused(benchmark, capsys):
+    from repro.bench.experiments import run_ablation_decay_focused
+
+    data, text = benchmark.pedantic(
+        run_ablation_decay_focused, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    ratios = [data[d] for d in sorted(data)]
+    assert all(b > a for a, b in zip(ratios, ratios[1:])), (
+        "rank(deep)/rank(shallow) must grow with decay"
+    )
+
+
+def test_ablation_proximity_focused(benchmark, capsys):
+    from repro.bench.experiments import run_ablation_proximity_focused
+
+    data, text = benchmark.pedantic(
+        run_ablation_proximity_focused, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    assert data["proximity-on"][0] == "tight"
+    assert data["proximity-off"][0] == "loose"
+
+
+@pytest.mark.parametrize("estimator", ("paper", "threshold-slope"))
+def test_hdil_estimator_comparison(benchmark, suite, estimator, capsys):
+    """Compare the two HDIL switch estimators on the Figure 10 workload.
+
+    The paper observed occasional mis-switches with its (m-r)*t/r estimate
+    and said it was "investigating other estimation techniques"; the
+    threshold-slope estimator is our candidate.  Both must return correct
+    results; their costs are recorded for comparison.
+    """
+    from repro.config import HDILParams
+    from repro.query.hdil_eval import HDILEvaluator
+
+    params = HDILParams(estimator=estimator)
+    index = suite.dblp.indexes["hdil"]
+    evaluator = HDILEvaluator(index, suite.dblp.ranking, params)
+    query = high_correlation_queries(suite.planted, 4).queries[0]
+
+    def run():
+        index.reset_measurement(cold_cache=True)
+        results = evaluator.evaluate(list(query), m=10)
+        return results, index.io_cost_ms()
+
+    results, cost = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert results
+    benchmark.extra_info["simulated_cost_ms"] = cost
+    benchmark.extra_info["switched"] = evaluator.last_trace.switched_to_dil
+    with capsys.disabled():
+        print(
+            f"\n  estimator={estimator}: cost={cost:.1f}ms "
+            f"switched={evaluator.last_trace.switched_to_dil} "
+            f"({evaluator.last_trace.switch_reason or 'stayed in RDIL'})"
+        )
+
+
+def test_dewey_codec_ablation(benchmark, suite, capsys):
+    """Space ablation over Dewey list encodings (Section 4.2.1's claim).
+
+    Encodes the ten longest DBLP posting lists' ID sequences under fixed32,
+    varint (the production codec) and front-coded prefix compression.
+    """
+    from repro.storage.deweycodec import codec_sizes
+
+    posting_lists = sorted(
+        suite.dblp.builder.direct_postings.values(), key=len, reverse=True
+    )[:10]
+
+    def run():
+        totals = {"fixed32": 0, "varint": 0, "prefix": 0}
+        for postings in posting_lists:
+            sizes = codec_sizes([p.dewey for p in postings])
+            for name, size in sizes.items():
+                totals[name] += size
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n== Ablation: Dewey list codecs (10 longest DBLP lists) ==")
+        for name in ("fixed32", "varint", "prefix"):
+            ratio = totals[name] / totals["fixed32"]
+            print(f"  {name:<8} {totals[name]:>9} B  ({ratio:.2f}x of fixed32)")
+    assert totals["varint"] < totals["fixed32"]
+    assert totals["prefix"] < totals["varint"]
+    benchmark.extra_info.update(totals)

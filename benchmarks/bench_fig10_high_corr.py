@@ -1,0 +1,88 @@
+"""Figure 10: query performance under HIGH keyword correlation.
+
+Each benchmark times one cold-cache query (wall clock, via
+pytest-benchmark); the *simulated I/O cost* — the paper-comparable number —
+is attached as ``extra_info`` and the figure's qualitative shape is asserted
+at the end:
+
+* RDIL beats DIL (successful index probes terminate the ranked scan early);
+* HDIL tracks RDIL;
+* Naive-ID is worse than DIL and Naive-Rank worse than RDIL (ancestor
+  entries inflate every scan and probe).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig10
+from repro.bench.harness import APPROACHES
+from repro.datasets.workloads import high_correlation_queries
+
+KEYWORD_COUNTS = (1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("num_keywords", KEYWORD_COUNTS)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_query_high_correlation(benchmark, suite, approach, num_keywords):
+    query = high_correlation_queries(suite.planted, num_keywords).queries[0]
+    indexed = suite.dblp
+
+    def run():
+        return indexed.measure(approach, query, m=10)
+
+    measurement = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_cost_ms"] = measurement.cost_ms
+    benchmark.extra_info["num_results"] = measurement.num_results
+    benchmark.extra_info["page_reads"] = measurement.io.page_reads
+
+
+def test_fig10_shape(benchmark, suite, capsys):
+    table = benchmark.pedantic(
+        lambda: run_fig10(suite, keyword_counts=KEYWORD_COUNTS, m=10),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+
+    for point in table.points:
+        if point.x < 2:
+            continue  # single-keyword queries are trivial for everyone
+        values = point.values
+        assert values["rdil"] < values["dil"], (
+            f"RDIL should win under high correlation at n={point.x}"
+        )
+        assert values["naive-id"] > values["dil"], (
+            "naive ancestor entries make Naive-ID slower than DIL"
+        )
+        assert values["naive-rank"] > values["rdil"], (
+            "naive ancestor entries make Naive-Rank slower than RDIL"
+        )
+    # HDIL tracks the winner within a small factor at every point (the
+    # paper notes an occasional mis-switch, so allow 2x of the best).
+    for point in table.points:
+        best = min(point.values["dil"], point.values["rdil"])
+        assert point.values["hdil"] <= 3 * best
+
+
+def test_fig10_xmark(benchmark, suite, capsys):
+    """Figure 10 workload on the XMark corpus.
+
+    A single deep document lacks the citation-skewed ElemRank distribution
+    that lets RDIL's threshold drop quickly, so the high-correlation win is
+    dataset-dependent; only the naive-vs-Dewey and HDIL-tracking invariants
+    are asserted here (see EXPERIMENTS.md).
+    """
+    table = benchmark.pedantic(
+        lambda: run_fig10(
+            suite, keyword_counts=(2, 3), corpus="xmark",
+            approaches=("naive-id", "dil", "rdil", "hdil"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+    for point in table.points:
+        assert point.values["naive-id"] > point.values["dil"]
+        best = min(point.values["dil"], point.values["rdil"])
+        assert point.values["hdil"] <= 3 * best

@@ -1,0 +1,63 @@
+"""Figure 11: query performance under LOW keyword correlation.
+
+The paper's shape: DIL's sequential scans win; RDIL degrades badly because
+its random B+-tree probes almost never find a common ancestor; HDIL starts
+as RDIL, notices, and switches to DIL, paying a modest overhead.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fig11
+from repro.datasets.workloads import low_correlation_queries
+
+KEYWORD_COUNTS = (2, 3, 4)
+APPROACHES = ("dil", "rdil", "hdil")
+
+
+@pytest.mark.parametrize("num_keywords", KEYWORD_COUNTS)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_query_low_correlation(benchmark, suite, approach, num_keywords):
+    query = low_correlation_queries(suite.planted, num_keywords).queries[0]
+    indexed = suite.dblp
+
+    def run():
+        return indexed.measure(approach, query, m=10)
+
+    measurement = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["simulated_cost_ms"] = measurement.cost_ms
+    benchmark.extra_info["num_results"] = measurement.num_results
+
+
+def test_fig11_shape(benchmark, suite, capsys):
+    table = benchmark.pedantic(
+        lambda: run_fig11(suite, keyword_counts=KEYWORD_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+
+    for point in table.points:
+        values = point.values
+        assert values["dil"] < values["rdil"], (
+            f"DIL should win under low correlation at n={point.x}"
+        )
+        # HDIL switches to DIL: cheaper than staying in RDIL, but it pays
+        # the aborted RDIL attempt on top of a DIL pass.
+        assert values["hdil"] < values["rdil"]
+        assert values["hdil"] >= values["dil"] * 0.99
+
+
+def test_fig11_xmark(benchmark, suite, capsys):
+    """Low correlation on XMark: DIL's sequential advantage must hold on
+    the deep single-document corpus too."""
+    table = benchmark.pedantic(
+        lambda: run_fig11(suite, keyword_counts=(2, 3), corpus="xmark"),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+    for point in table.points:
+        assert point.values["dil"] < point.values["rdil"]
+        assert point.values["hdil"] < point.values["rdil"]

@@ -1,0 +1,39 @@
+"""Section 5.2: ranking-quality anecdotes, replayed and timed.
+
+The paper gives anecdotal evidence instead of a user study; this bench
+re-runs the three anecdotes on anecdote-planted corpora, asserts each
+observation holds, and times end-to-end engine search while at it.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_ranking_quality
+from repro.datasets.dblp import generate_dblp
+from repro.engine import XRankEngine
+
+
+@pytest.fixture(scope="module")
+def gray_engine():
+    engine = XRankEngine()
+    corpus = generate_dblp(num_papers=250, seed=5, plant_anecdotes=True)
+    for document in corpus.documents:
+        engine.add_document(document)
+    engine.build(kinds=["hdil"])
+    return engine
+
+
+@pytest.mark.parametrize("query", ["gray", "author gray", "codes"])
+def test_search_latency(benchmark, gray_engine, query):
+    hits = benchmark(lambda: gray_engine.search(query, m=10))
+    assert hits
+    benchmark.extra_info["top_tag"] = hits[0].tag
+
+
+def test_anecdotes_hold(benchmark, capsys):
+    outcomes, text = benchmark.pedantic(
+        lambda: run_ranking_quality(num_papers=250), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    for outcome in outcomes:
+        assert outcome.passed, f"anecdote {outcome.query!r} failed: {outcome.observation}"

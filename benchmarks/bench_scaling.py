@@ -1,0 +1,66 @@
+"""Scaling study: build cost, space and ElemRank time vs corpus size.
+
+Not a paper table — it substantiates the paper's feasibility claims
+("computing ElemRanks at the granularity of elements ... is feasible for
+reasonably large XML document collections") by confirming near-linear
+growth of index size and build time over a corpus-size sweep.
+"""
+
+import pytest
+
+from repro.config import ElemRankParams
+from repro.datasets.dblp import generate_dblp
+from repro.index.builder import IndexBuilder
+from repro.ranking.elemrank import compute_elemrank
+
+SIZES = (100, 200, 400, 800)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {size: generate_dblp(num_papers=size, seed=3) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_elemrank_scaling(benchmark, corpora, size):
+    graph = corpora[size].graph
+    result = benchmark.pedantic(
+        lambda: compute_elemrank(graph, ElemRankParams()), rounds=2, iterations=1
+    )
+    assert result.converged
+    benchmark.extra_info["elements"] = len(result.scores)
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("size", (100, 400))
+def test_full_build_scaling(benchmark, corpora, size):
+    graph = corpora[size].graph
+
+    def build():
+        builder = IndexBuilder(graph)
+        return builder.build_dil()
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["list_bytes"] = index.inverted_list_bytes
+
+
+def test_space_grows_linearly(benchmark, corpora, capsys):
+    sizes = sorted(corpora)
+
+    def measure():
+        out = {}
+        for size in sizes:
+            builder = IndexBuilder(corpora[size].graph)
+            out[size] = builder.build_dil().inverted_list_bytes
+        return out
+
+    bytes_per_size = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n== Scaling: DIL list bytes vs corpus size ==")
+        for size in sizes:
+            per_paper = bytes_per_size[size] / size
+            print(f"  {size:>5} papers: {bytes_per_size[size]:>9} B "
+                  f"({per_paper:.0f} B/paper)")
+    # Per-document space must be roughly constant (within 25%).
+    per_paper = [bytes_per_size[s] / s for s in sizes]
+    assert max(per_paper) <= 1.25 * min(per_paper)

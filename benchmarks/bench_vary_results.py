@@ -1,0 +1,43 @@
+"""Varying the number of requested results m (Section 5.4 text / [18]).
+
+The paper: "the performance of DIL remains about the same because it always
+scans the entire inverted lists.  The performance of RDIL, however,
+decreases with an increasing query result size because RDIL has to scan
+more of the inverted lists."
+"""
+
+import pytest
+
+from repro.bench.experiments import run_vary_m
+from repro.datasets.workloads import high_correlation_queries
+
+M_VALUES = (1, 5, 10, 25, 50)
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+@pytest.mark.parametrize("approach", ("dil", "rdil", "hdil"))
+def test_query_vary_m(benchmark, suite, approach, m):
+    query = high_correlation_queries(suite.planted, 2).queries[0]
+    indexed = suite.dblp
+
+    def run():
+        return indexed.measure(approach, query, m=m)
+
+    measurement = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["simulated_cost_ms"] = measurement.cost_ms
+
+
+def test_vary_m_shape(benchmark, suite, capsys):
+    table = benchmark.pedantic(
+        lambda: run_vary_m(suite, m_values=M_VALUES), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+
+    dil_costs = [p.values["dil"] for p in table.points]
+    rdil_costs = [p.values["rdil"] for p in table.points]
+    # DIL flat in m.
+    assert max(dil_costs) <= 1.05 * min(dil_costs)
+    # RDIL grows with m (weakly monotone, clearly higher at the top end).
+    assert rdil_costs[-1] > 1.5 * rdil_costs[0]
+    assert all(b >= a * 0.99 for a, b in zip(rdil_costs, rdil_costs[1:]))

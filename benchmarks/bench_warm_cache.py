@@ -1,0 +1,46 @@
+"""Warm-cache results (companion technical report [18]) and keyword
+selectivity (the fourth Section 5.4 factor)."""
+
+import pytest
+
+from repro.bench.experiments import run_selectivity, run_warm_cache
+
+
+def test_warm_cache(benchmark, suite, capsys):
+    data, text = benchmark.pedantic(
+        lambda: run_warm_cache(suite), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + text)
+    for approach, row in data.items():
+        assert row["warm_ms"] < row["cold_ms"], (
+            f"{approach} must be cheaper with a warm buffer pool"
+        )
+    # Probe-heavy RDIL gains at least as much from the warm pool as the
+    # scan-only DIL does (its hot pages — tree roots — are reusable).
+    assert data["rdil"]["speedup"] >= data["dil"]["speedup"] * 0.5
+
+
+def test_selectivity(benchmark, suite, capsys):
+    table = benchmark.pedantic(
+        lambda: run_selectivity(suite), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + table.format())
+    # High-frequency keywords mean longer lists; DIL's full-scan cost must
+    # not be lower for the high band than for the medium band.
+    high, medium = table.points[0].values, table.points[1].values
+    assert high["dil"] >= medium["dil"]
+
+
+@pytest.mark.parametrize("approach", ("dil", "rdil", "hdil"))
+def test_warm_query_latency(benchmark, suite, approach):
+    """Wall-clock of a warm repeat query (pool not dropped between runs)."""
+    from repro.datasets.workloads import high_correlation_queries
+
+    query = high_correlation_queries(suite.planted, 2).queries[0]
+    evaluator = suite.dblp.evaluators[approach]
+    evaluator.evaluate(list(query), m=10)  # warm the pool
+
+    results = benchmark(lambda: evaluator.evaluate(list(query), m=10))
+    assert results

@@ -1,0 +1,22 @@
+"""Session-scoped benchmark fixtures.
+
+Building the full benchmark suite (two corpora, five indexes each, ElemRank
+convergence runs) costs ~30 s, so it happens once per pytest session and is
+shared by every bench module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchmarkSuite
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    return BenchmarkSuite()
+
+
+@pytest.fixture(scope="session")
+def planted(suite):
+    return suite.planted

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Ranked search over a DBLP-like bibliography (paper Section 5.2).
+
+Replays the paper's anecdotal evidence on a synthetic citation corpus:
+
+* 'gray' surfaces both <author> elements of heavily cited Jim Gray papers
+  (ElemRank flows from citations down into sub-elements) and <title>
+  elements of gray-codes papers;
+* 'author gray' demotes the gray-codes titles: the word 'author' and the
+  word 'gray' are far apart there, so the two-dimensional proximity metric
+  kicks in.
+
+Run:  python examples/dblp_search.py [num_papers]
+"""
+
+import sys
+
+from repro import XRankEngine
+from repro.datasets import generate_dblp
+
+
+def show(engine: XRankEngine, query: str, m: int = 8) -> None:
+    print(f"query: {query!r}")
+    for hit in engine.search(query, m=m):
+        print(f"  [{hit.rank:.6f}] <{hit.tag:<8}> {hit.snippet[:70]}")
+    print()
+
+
+def main() -> None:
+    num_papers = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    print(f"generating DBLP-like corpus ({num_papers} papers)...")
+    corpus = generate_dblp(num_papers=num_papers, seed=5, plant_anecdotes=True)
+
+    engine = XRankEngine()
+    for document in corpus.documents:
+        engine.add_document(document)
+    engine.build(kinds=["hdil"])
+    print("corpus:", engine.stats())
+    print()
+
+    show(engine, "gray")
+    show(engine, "author gray")
+    show(engine, "gray codes")
+
+    # ElemRank inspection: the cited papers' authors carry high ranks.
+    hits = engine.search("gray", m=3)
+    print("ElemRanks of the top 'gray' hits:")
+    for hit in hits:
+        print(f"  {hit.dewey:<10} <{hit.tag}> ElemRank={engine.elemrank_of(hit.dewey):.6f}")
+
+
+if __name__ == "__main__":
+    main()

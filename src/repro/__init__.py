@@ -1,0 +1,60 @@
+"""XRANK: Ranked Keyword Search over XML Documents — a full reproduction.
+
+This package reimplements the XRANK system of Guo, Shao, Botev and
+Shanmugasundaram (SIGMOD 2003) in pure Python, from the XML parsing
+substrate up to the benchmark harness:
+
+* :mod:`repro.xmlmodel` — XML/HTML parsing, Dewey IDs, the hyperlinked
+  collection graph G = (N, CE, HE);
+* :mod:`repro.storage` — a simulated page-oriented disk with buffer pool,
+  inverted-list files, B+-trees and hash indexes;
+* :mod:`repro.ranking` — PageRank, the four ElemRank formulations, keyword
+  proximity and the two-dimensional ranking function;
+* :mod:`repro.index` — the Naive-ID, Naive-Rank, DIL, RDIL and HDIL index
+  structures;
+* :mod:`repro.query` — the DIL single-pass merge, the RDIL Threshold
+  Algorithm loop, the HDIL adaptive hybrid, and answer-node filtering;
+* :mod:`repro.datasets` — DBLP-like and XMark-like corpus generators plus
+  query workloads with controlled keyword correlation;
+* :mod:`repro.bench` — drivers that regenerate every table and figure of
+  the paper's evaluation section.
+
+Quickstart::
+
+    from repro import XRankEngine
+
+    engine = XRankEngine()
+    engine.add_xml("<doc><title>hello world</title></doc>")
+    engine.build(kinds=["hdil"])
+    for hit in engine.search("hello world"):
+        print(hit)
+"""
+
+from .config import (
+    ElemRankParams,
+    HDILParams,
+    RankingParams,
+    StorageParams,
+    XRankConfig,
+)
+from .engine import INDEX_KINDS, SearchHit, XRankEngine
+from .errors import XRankError
+from .ranking.elemrank import ElemRankVariant
+from .xmlmodel.dewey import DeweyId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeweyId",
+    "ElemRankParams",
+    "ElemRankVariant",
+    "HDILParams",
+    "INDEX_KINDS",
+    "RankingParams",
+    "SearchHit",
+    "StorageParams",
+    "XRankConfig",
+    "XRankEngine",
+    "XRankError",
+    "__version__",
+]

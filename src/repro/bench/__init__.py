@@ -1,0 +1,53 @@
+"""Benchmark harness and the per-table/figure experiment drivers of the
+paper's Section 5 evaluation (see DESIGN.md for the experiment index)."""
+
+from .charts import render_bars, render_series_csv
+from .harness import (
+    APPROACHES,
+    BenchmarkSuite,
+    ExperimentTable,
+    IndexedCorpus,
+    QueryMeasurement,
+    SeriesPoint,
+)
+from .experiments import (
+    run_ablation_decay,
+    run_build_costs,
+    run_ablation_decay_focused,
+    run_ablation_proximity,
+    run_ablation_proximity_focused,
+    run_ablation_variants,
+    run_convergence,
+    run_fig10,
+    run_fig11,
+    run_ranking_quality,
+    run_selectivity,
+    run_table1,
+    run_vary_m,
+    run_warm_cache,
+)
+
+__all__ = [
+    "APPROACHES",
+    "BenchmarkSuite",
+    "ExperimentTable",
+    "IndexedCorpus",
+    "QueryMeasurement",
+    "SeriesPoint",
+    "run_ablation_decay",
+    "run_ablation_decay_focused",
+    "run_ablation_proximity",
+    "run_ablation_proximity_focused",
+    "run_ablation_variants",
+    "run_build_costs",
+    "run_convergence",
+    "run_fig10",
+    "run_fig11",
+    "run_ranking_quality",
+    "run_selectivity",
+    "run_table1",
+    "run_vary_m",
+    "run_warm_cache",
+    "render_bars",
+    "render_series_csv",
+]

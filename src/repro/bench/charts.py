@@ -1,0 +1,85 @@
+"""ASCII chart rendering for experiment tables.
+
+The paper's Figures 10-11 are line charts; for terminal-friendly reports the
+:class:`~repro.bench.harness.ExperimentTable` series can be rendered as
+horizontal bar groups — enough to eyeball who wins and by what factor
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .harness import APPROACHES, ExperimentTable
+
+#: Bar glyph per approach so grouped bars stay distinguishable.
+_GLYPHS = {
+    "naive-id": "N",
+    "naive-rank": "n",
+    "dil": "D",
+    "rdil": "R",
+    "hdil": "H",
+}
+
+
+def render_bars(
+    table: ExperimentTable,
+    width: int = 48,
+    glyphs: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render an experiment table as grouped horizontal ASCII bars.
+
+    One group per x value, one bar per approach, scaled to the table's
+    maximum value.  Example::
+
+        n=2 | D ############                 52.0
+            | R ######                       28.5
+    """
+    glyphs = {**_GLYPHS, **(glyphs or {})}
+    approaches = sorted(
+        {a for point in table.points for a in point.values},
+        key=lambda a: APPROACHES.index(a) if a in APPROACHES else 99,
+    )
+    maximum = max(
+        (v for point in table.points for v in point.values.values()),
+        default=0.0,
+    )
+    if maximum <= 0:
+        maximum = 1.0
+
+    lines: List[str] = [f"== {table.name} ==  ({table.y_label})"]
+    label_width = max(len(f"{p.x}") for p in table.points) + len(table.x_label) + 1
+    for point in table.points:
+        label = f"{table.x_label[:1]}={point.x}"
+        first = True
+        for approach in approaches:
+            value = point.values.get(approach)
+            if value is None:
+                continue
+            bar = "#" * max(1, round(value / maximum * width))
+            glyph = glyphs.get(approach, approach[:1].upper())
+            prefix = f"{label:<{label_width}}" if first else " " * label_width
+            lines.append(f"{prefix} | {glyph} {bar:<{width}} {value:>9.1f}")
+            first = False
+        lines.append("")
+    legend = "   ".join(
+        f"{glyphs.get(a, a[:1].upper())}={a}" for a in approaches
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_series_csv(table: ExperimentTable) -> str:
+    """CSV form of a table, for spreadsheet import."""
+    approaches = sorted(
+        {a for point in table.points for a in point.values},
+        key=lambda a: APPROACHES.index(a) if a in APPROACHES else 99,
+    )
+    lines = [",".join([table.x_label] + list(approaches))]
+    for point in table.points:
+        cells = [str(point.x)] + [
+            f"{point.values[a]:.3f}" if a in point.values else ""
+            for a in approaches
+        ]
+        lines.append(",".join(cells))
+    return "\n".join(lines)

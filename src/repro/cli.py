@@ -1,0 +1,227 @@
+"""Command-line interface: index a directory of XML/HTML files and search.
+
+Usage::
+
+    python -m repro index docs/ --out corpus.xrank
+    python -m repro search corpus.xrank "xql language" -m 10
+    python -m repro search corpus.xrank "gray" --mode or --context
+    python -m repro explain corpus.xrank "xql language"
+    python -m repro stats corpus.xrank
+    python -m repro demo
+
+``index`` walks the given paths, parsing ``.xml`` files with the strict XML
+parser and ``.html``/``.htm`` files with the tolerant HTML front-end, builds
+the requested index kinds, and pickles the engine.  File paths (relative to
+the indexing root) become document URIs, so XLink/href references between
+files resolve into hyperlink edges for ElemRank.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .engine import INDEX_KINDS, XRankEngine
+from .errors import XMLParseError, XRankError
+
+_XML_SUFFIXES = {".xml"}
+_HTML_SUFFIXES = {".html", ".htm"}
+
+
+def _collect_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*"))
+                if p.suffix.lower() in _XML_SUFFIXES | _HTML_SUFFIXES
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def _uri_for(path: Path, roots: List[Path]) -> str:
+    for root in roots:
+        if root.is_dir():
+            try:
+                return path.relative_to(root).as_posix()
+            except ValueError:
+                continue
+    return path.name
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Parse and index the given files, then pickle the engine."""
+    engine = XRankEngine(scorer=args.scorer)
+    roots = [Path(p) for p in args.paths]
+    files = _collect_files(args.paths)
+    if not files:
+        print("no .xml/.html files found", file=sys.stderr)
+        return 1
+    indexed = 0
+    for path in files:
+        source = path.read_text(encoding="utf-8", errors="replace")
+        uri = _uri_for(path, roots)
+        try:
+            if path.suffix.lower() in _HTML_SUFFIXES:
+                engine.add_html(source, uri=uri)
+            else:
+                engine.add_xml(source, uri=uri)
+            indexed += 1
+        except XMLParseError as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+    if indexed == 0:
+        print("every input file failed to parse", file=sys.stderr)
+        return 1
+    engine.build(kinds=args.kinds)
+    engine.save(args.out)
+    stats = engine.stats()
+    print(
+        f"indexed {stats['documents']} documents "
+        f"({stats['elements']} elements, {stats['hyperlink_edges']} links) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _load_engine(path: str) -> XRankEngine:
+    return XRankEngine.load(path)
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Query a pickled engine and print ranked hits."""
+    engine = _load_engine(args.index)
+    hits = engine.search(
+        args.query,
+        m=args.m,
+        kind=args.kind,
+        mode=args.mode,
+        with_context=args.context,
+    )
+    if not hits:
+        print("no results")
+        return 0
+    for position, hit in enumerate(hits, start=1):
+        print(f"{position:>2}. [{hit.rank:.6f}] <{hit.tag}> {hit.path}")
+        if hit.snippet:
+            print(f"      {hit.snippet[:100]}")
+        if args.context:
+            for dewey, tag in hit.ancestors:
+                print(f"      ^ <{tag}> at {dewey}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the per-keyword rank decomposition of the top results."""
+    engine = _load_engine(args.index)
+    explanations = engine.explain(args.query, m=args.m, kind=args.kind)
+    if not explanations:
+        print("no results")
+        return 0
+    for position, info in enumerate(explanations, start=1):
+        print(f"{position:>2}. <{info['tag']}> {info['path']}  rank={info['overall_rank']:.6f}")
+        for keyword, rank in info["keyword_ranks"].items():
+            positions = info["positions"].get(keyword, ())
+            print(f"      r({keyword}) = {rank:.6f}  at positions {list(positions)}")
+        print(
+            f"      proximity = {info['proximity']:.4f} "
+            f"(smallest window {info['smallest_window']}), "
+            f"decay = {info['decay']}, "
+            f"ElemRank(element) = {info['element_elemrank']:.6f}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print a pickled engine's corpus and index statistics."""
+    engine = _load_engine(args.index)
+    for key, value in engine.stats().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+_DEMO_DOC = """
+<workshop><title>XML and IR</title><proceedings>
+<paper><title>XQL and Proximal Nodes</title>
+<body><subsection>the XQL query language looks promising</subsection></body>
+</paper></proceedings></workshop>
+"""
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """Build and query a tiny in-memory demo corpus."""
+    engine = XRankEngine()
+    engine.add_xml(_DEMO_DOC, uri="demo")
+    engine.build(kinds=["hdil"])
+    print("demo corpus:", engine.stats())
+    for query in ("xql language", "xml workshop"):
+        print(f"\nquery: {query!r}")
+        for hit in engine.search(query, m=5):
+            print(" ", hit)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (index / search / stats / demo)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XRANK: ranked keyword search over XML/HTML documents",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    index_cmd = commands.add_parser("index", help="index files into an engine")
+    index_cmd.add_argument("paths", nargs="+", help="files or directories")
+    index_cmd.add_argument("--out", required=True, help="output engine file")
+    index_cmd.add_argument(
+        "--kinds", nargs="+", default=["hdil"], choices=list(INDEX_KINDS)
+    )
+    index_cmd.add_argument(
+        "--scorer", default="elemrank", choices=["elemrank", "tfidf"]
+    )
+    index_cmd.set_defaults(handler=cmd_index)
+
+    search_cmd = commands.add_parser("search", help="query an engine file")
+    search_cmd.add_argument("index", help="engine file from `repro index`")
+    search_cmd.add_argument("query", help="keyword query")
+    search_cmd.add_argument("-m", type=int, default=10, help="result count")
+    search_cmd.add_argument("--kind", default="hdil", choices=list(INDEX_KINDS))
+    search_cmd.add_argument("--mode", default="and", choices=["and", "or"])
+    search_cmd.add_argument(
+        "--context", action="store_true", help="print ancestor chains"
+    )
+    search_cmd.set_defaults(handler=cmd_search)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show the rank decomposition of the top results"
+    )
+    explain_cmd.add_argument("index", help="engine file")
+    explain_cmd.add_argument("query", help="keyword query")
+    explain_cmd.add_argument("-m", type=int, default=5)
+    explain_cmd.add_argument("--kind", default="hdil", choices=list(INDEX_KINDS))
+    explain_cmd.set_defaults(handler=cmd_explain)
+
+    stats_cmd = commands.add_parser("stats", help="show engine statistics")
+    stats_cmd.add_argument("index", help="engine file")
+    stats_cmd.set_defaults(handler=cmd_stats)
+
+    demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
+    demo_cmd.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (XRankError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,172 @@
+"""Tunable parameters for the XRANK system.
+
+Two dataclasses collect every knob the paper exposes:
+
+* :class:`ElemRankParams` — the random-surfer probabilities ``d1`` (follow a
+  hyperlink), ``d2`` (descend a containment edge) and ``d3`` (ascend to the
+  parent), plus the power-iteration convergence threshold.  Defaults are the
+  paper's Section 3.2 settings: ``d1=0.35, d2=0.25, d3=0.25`` with threshold
+  ``2e-5``.
+
+* :class:`RankingParams` — the query-time ranking knobs of Section 2.3.2:
+  the specificity ``decay`` in (0, 1], the occurrence aggregation function
+  ``f`` (``"max"`` by default, ``"sum"`` supported), and whether keyword
+  proximity is applied (it can be switched off for highly structured data,
+  per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import QueryError
+
+#: Aggregation functions supported for combining multiple occurrences of the
+#: same keyword inside one result element (Section 2.3.2.1, function ``f``).
+AGGREGATIONS = ("max", "sum")
+
+
+@dataclass(frozen=True)
+class ElemRankParams:
+    """Parameters of the ElemRank computation (paper Section 3).
+
+    Attributes:
+        d1: probability of following a hyperlink edge.
+        d2: probability of following a forward containment edge.
+        d3: probability of following a reverse containment edge (to parent).
+        threshold: L1 convergence threshold for power iteration; the paper
+            uses 0.00002.
+        max_iterations: safety bound on the number of iterations.
+    """
+
+    d1: float = 0.35
+    d2: float = 0.25
+    d3: float = 0.25
+    threshold: float = 2e-5
+    max_iterations: int = 500
+
+    def __post_init__(self) -> None:
+        for name in ("d1", "d2", "d3"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise QueryError(f"{name} must be in [0, 1), got {value}")
+        total = self.d1 + self.d2 + self.d3
+        if not 0.0 < total < 1.0:
+            raise QueryError(
+                f"d1 + d2 + d3 must be in (0, 1), got {total}"
+            )
+        if self.threshold <= 0:
+            raise QueryError("threshold must be positive")
+        if self.max_iterations <= 0:
+            raise QueryError("max_iterations must be positive")
+
+    @property
+    def random_jump(self) -> float:
+        """Probability ``1 - d1 - d2 - d3`` of jumping to a random element."""
+        return 1.0 - self.d1 - self.d2 - self.d3
+
+
+@dataclass(frozen=True)
+class RankingParams:
+    """Parameters of the result-ranking function (paper Section 2.3.2).
+
+    Attributes:
+        decay: per-level specificity decay in (0, 1]; a result element that
+            contains a keyword ``t-1`` levels above the element that directly
+            contains it scores ``ElemRank(v_t) * decay**(t-1)``.
+        aggregation: how multiple occurrences of one keyword combine —
+            ``"max"`` (default) or ``"sum"``.
+        use_proximity: when True the overall rank is multiplied by the
+            smallest-window keyword proximity measure; when False the
+            proximity factor is fixed at 1 (the paper's recommendation for
+            highly structured data).
+    """
+
+    decay: float = 0.75
+    aggregation: str = "max"
+    use_proximity: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise QueryError(f"decay must be in (0, 1], got {self.decay}")
+        if self.aggregation not in AGGREGATIONS:
+            raise QueryError(
+                f"aggregation must be one of {AGGREGATIONS}, "
+                f"got {self.aggregation!r}"
+            )
+
+
+@dataclass(frozen=True)
+class StorageParams:
+    """Parameters of the simulated disk (see ``repro.storage``).
+
+    The cost model is calibrated very loosely against a ca. 2003 commodity
+    disk: a random page access pays a seek penalty that a sequential access
+    does not.  Only the *ratio* matters for reproducing the paper's
+    performance shapes.
+
+    Attributes:
+        page_size: bytes per page.
+        buffer_pool_pages: LRU buffer pool capacity, in pages.
+        seek_cost_ms: charged for each non-sequential page read.
+        transfer_cost_ms: charged for every page read.
+    """
+
+    page_size: int = 4096
+    buffer_pool_pages: int = 256
+    seek_cost_ms: float = 8.0
+    transfer_cost_ms: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.page_size < 64:
+            raise QueryError("page_size must be at least 64 bytes")
+        if self.buffer_pool_pages < 1:
+            raise QueryError("buffer_pool_pages must be positive")
+
+
+@dataclass(frozen=True)
+class HDILParams:
+    """Parameters specific to the hybrid index (paper Section 4.4).
+
+    Attributes:
+        rank_fraction: fraction of each inverted list replicated in
+            rank-sorted order (the small "RDIL half" of HDIL).
+        min_rank_entries: lower bound on the replicated prefix, so short
+            lists still have a useful ranked head.
+        monitor_interval: RDIL progress is re-estimated every this many
+            round-robin steps when deciding whether to switch to DIL.
+        estimator: how RDIL's remaining time is estimated — ``"paper"``
+            uses Section 4.4.2's ``(m - r) * t / r``; ``"threshold-slope"``
+            extrapolates how many more entries the TA threshold needs to
+            fall below the current m-th result rank (the paper notes it is
+            "investigating other estimation techniques" after observing
+            occasional mis-switches near the DIL/RDIL crossover).
+    """
+
+    rank_fraction: float = 0.10
+    min_rank_entries: int = 16
+    monitor_interval: int = 8
+    estimator: str = "paper"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rank_fraction <= 1.0:
+            raise QueryError("rank_fraction must be in (0, 1]")
+        if self.min_rank_entries < 1:
+            raise QueryError("min_rank_entries must be positive")
+        if self.monitor_interval < 1:
+            raise QueryError("monitor_interval must be positive")
+        if self.estimator not in ("paper", "threshold-slope"):
+            raise QueryError(
+                "estimator must be 'paper' or 'threshold-slope', "
+                f"got {self.estimator!r}"
+            )
+
+
+@dataclass(frozen=True)
+class XRankConfig:
+    """Top-level configuration bundle used by :class:`repro.engine.XRankEngine`."""
+
+    elemrank: ElemRankParams = field(default_factory=ElemRankParams)
+    ranking: RankingParams = field(default_factory=RankingParams)
+    storage: StorageParams = field(default_factory=StorageParams)
+    hdil: HDILParams = field(default_factory=HDILParams)

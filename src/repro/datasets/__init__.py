@@ -1,0 +1,28 @@
+"""Synthetic corpora (DBLP-like, XMark-like) and query workloads with
+controlled keyword correlation — the paper's Section 5 experimental setup,
+reproduced at laptop scale (see DESIGN.md for the substitution rationale)."""
+
+from .dblp import Corpus, generate_dblp, save_corpus
+from .textgen import PlantedKeywords, TextGenerator
+from .workloads import (
+    Workload,
+    document_frequencies,
+    high_correlation_queries,
+    low_correlation_queries,
+    random_queries,
+)
+from .xmark import generate_xmark
+
+__all__ = [
+    "Corpus",
+    "PlantedKeywords",
+    "TextGenerator",
+    "Workload",
+    "document_frequencies",
+    "generate_dblp",
+    "save_corpus",
+    "generate_xmark",
+    "high_correlation_queries",
+    "low_correlation_queries",
+    "random_queries",
+]

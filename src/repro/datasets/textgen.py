@@ -1,0 +1,127 @@
+"""Text generation with planted keywords of controlled correlation.
+
+The paper's performance experiments (Figures 10-11) hinge on *keyword
+correlation*: keywords that are individually frequent but co-occur often
+(RDIL's best case) versus rarely (RDIL's worst case).  Real corpora give no
+control over this, so the synthetic corpora plant marker keywords:
+
+* **correlated groups** — all words of a group are injected *together* into
+  the same text block at a configured rate, so any one of them predicts the
+  others (high correlation);
+* **independent keywords** — injected one at a time into text blocks chosen
+  per keyword from a restricted slice of the corpus, so two independent
+  keywords are each frequent but almost never share a document (low
+  correlation).
+
+Everything is driven by one seeded :class:`random.Random`, so corpora are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..text.vocabulary import ZipfVocabulary
+
+
+@dataclass
+class PlantedKeywords:
+    """Configuration of marker keywords planted into a corpus."""
+
+    correlated_groups: List[List[str]] = field(default_factory=list)
+    correlated_rate: float = 0.03
+    independent_keywords: List[str] = field(default_factory=list)
+    independent_rate: float = 0.06
+    #: Each independent keyword is only planted in *scopes* (documents, or
+    #: top-level entities inside one big document) whose counter satisfies
+    #: ``scope % stripes == keyword_index % stripes``.  Disjoint stripes per
+    #: keyword drive document co-occurrence to (almost) zero — the paper's
+    #: "rarely occur together in the same document".
+    stripes: int = 5
+    #: Probability of planting an independent keyword *outside* its stripe,
+    #: so low-correlation queries have a small-but-nonzero result count.
+    cross_rate: float = 0.002
+
+    @classmethod
+    def default(cls, num_groups: int = 4, group_size: int = 5) -> "PlantedKeywords":
+        """The standard plan used by the benchmark corpora.
+
+        Correlated keywords are named ``corr<g>w<i>``; independent ones
+        ``uncorr<i>``.  Names are chosen to never collide with the Zipf
+        vocabulary (which is lowercase letters without digits).
+        """
+        groups = [
+            [f"corr{g}w{i}" for i in range(group_size)] for g in range(num_groups)
+        ]
+        independents = [f"uncorr{i}" for i in range(group_size)]
+        return cls(correlated_groups=groups, independent_keywords=independents)
+
+
+class TextGenerator:
+    """Zipfian filler text plus keyword planting."""
+
+    def __init__(
+        self,
+        seed: int = 7,
+        vocabulary: Optional[ZipfVocabulary] = None,
+        planted: Optional[PlantedKeywords] = None,
+    ):
+        self.rng = random.Random(seed)
+        self.vocabulary = vocabulary or ZipfVocabulary(size=8000)
+        self.planted = planted
+        self._scope_counter = 0
+
+    def new_scope(self) -> None:
+        """Advance the striping scope (call once per document/entity)."""
+        self._scope_counter += 1
+
+    def words(self, count: int) -> List[str]:
+        """Plain Zipf-sampled filler words, no planting."""
+        return self.vocabulary.sample_many(self.rng, count)
+
+    def title(self, min_words: int = 4, max_words: int = 9) -> str:
+        """A short title-like run of filler words."""
+        return " ".join(self.words(self.rng.randint(min_words, max_words)))
+
+    def text_block(self, min_words: int = 10, max_words: int = 60) -> str:
+        """One prose block with planting applied.
+
+        Planted words are spliced at random offsets; a correlated group is
+        inserted contiguously so its words are also *proximate* (they should
+        score well on the smallest-window measure when they land in a
+        result).
+        """
+        tokens = self.words(self.rng.randint(min_words, max_words))
+        scope = self._scope_counter
+        plan = self.planted
+        if plan is not None:
+            for group in plan.correlated_groups:
+                if self.rng.random() < plan.correlated_rate:
+                    at = self.rng.randint(0, len(tokens))
+                    tokens[at:at] = group
+            for i, keyword in enumerate(plan.independent_keywords):
+                stripe_match = scope % plan.stripes == i % plan.stripes
+                rate = plan.independent_rate if stripe_match else plan.cross_rate
+                if self.rng.random() < rate:
+                    tokens.insert(self.rng.randint(0, len(tokens)), keyword)
+        return " ".join(tokens)
+
+    def name(self) -> str:
+        """A two-part personal name drawn from a narrow, reused pool."""
+        first = self.vocabulary.words[self.rng.randint(0, 199)]
+        last = self.vocabulary.words[self.rng.randint(200, 599)]
+        return f"{first} {last}"
+
+    def choice(self, items: Sequence):
+        """Seeded random choice (shared RNG)."""
+        return self.rng.choice(items)
+
+    def randint(self, low: int, high: int) -> int:
+        """Seeded random integer in [low, high]."""
+        return self.rng.randint(low, high)
+
+    def random(self) -> float:
+        """Seeded uniform float in [0, 1)."""
+        return self.rng.random()

@@ -1,0 +1,116 @@
+"""Query workload generation (paper Section 5.4).
+
+The paper's performance experiments vary four factors: number of keywords,
+keyword correlation, number of requested results, and keyword selectivity.
+This module turns a corpus's :class:`PlantedKeywords` plan into concrete
+query sets:
+
+* :func:`high_correlation_queries` — n keywords drawn from one correlated
+  group, so they co-occur in the same (small) elements: RDIL's best case
+  (Figure 10);
+* :func:`low_correlation_queries` — n independent planted keywords, each
+  frequent but almost never sharing a document: RDIL's worst case
+  (Figure 11);
+* :func:`random_queries` — keywords sampled from the corpus's actual
+  vocabulary by document-frequency band, for selectivity experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import QueryError
+from ..xmlmodel.graph import CollectionGraph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named set of keyword queries."""
+
+    name: str
+    queries: List[List[str]]
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def high_correlation_queries(
+    planted, num_keywords: int, num_queries: int = 4
+) -> Workload:
+    """Queries whose keywords all come from one correlated group."""
+    groups = planted.correlated_groups
+    if not groups:
+        raise QueryError("the corpus was generated without correlated groups")
+    if any(len(g) < num_keywords for g in groups):
+        raise QueryError(
+            f"correlated groups are smaller than {num_keywords} keywords"
+        )
+    queries = [
+        groups[i % len(groups)][:num_keywords] for i in range(num_queries)
+    ]
+    return Workload(f"high-corr-{num_keywords}kw", queries)
+
+
+def low_correlation_queries(
+    planted, num_keywords: int, num_queries: int = 4
+) -> Workload:
+    """Queries of striped independent keywords (near-zero co-occurrence)."""
+    pool = planted.independent_keywords
+    if len(pool) < num_keywords:
+        raise QueryError(
+            f"only {len(pool)} independent keywords were planted, "
+            f"need {num_keywords}"
+        )
+    queries = []
+    for q in range(num_queries):
+        rotated = pool[q % len(pool) :] + pool[: q % len(pool)]
+        queries.append(rotated[:num_keywords])
+    return Workload(f"low-corr-{num_keywords}kw", queries)
+
+
+def document_frequencies(graph: CollectionGraph) -> Dict[str, int]:
+    """Number of documents each word occurs in (for selectivity bands)."""
+    frequencies: Dict[str, set] = {}
+    for document in graph.iter_documents():
+        for element in document.iter_elements():
+            for word, _pos in element.direct_words():
+                frequencies.setdefault(word, set()).add(document.doc_id)
+    return {word: len(docs) for word, docs in frequencies.items()}
+
+
+def random_queries(
+    graph: CollectionGraph,
+    num_keywords: int,
+    num_queries: int = 4,
+    selectivity_band: str = "medium",
+    seed: int = 97,
+) -> Workload:
+    """Random keyword queries from a document-frequency band.
+
+    Bands split the vocabulary by document frequency: "high" takes the top
+    decile (long inverted lists), "low" the bottom half above singletons,
+    "medium" the middle.
+    """
+    frequencies = document_frequencies(graph)
+    ordered = sorted(frequencies, key=frequencies.get, reverse=True)
+    if len(ordered) < num_keywords:
+        raise QueryError("corpus vocabulary smaller than the query size")
+    tenth = max(1, len(ordered) // 10)
+    bands = {
+        "high": ordered[:tenth],
+        "medium": ordered[tenth : len(ordered) // 2],
+        "low": [w for w in ordered[len(ordered) // 2 :] if frequencies[w] > 1],
+    }
+    pool = bands.get(selectivity_band)
+    if pool is None:
+        raise QueryError(f"unknown selectivity band {selectivity_band!r}")
+    if len(pool) < num_keywords:
+        pool = ordered
+    rng = random.Random(seed)
+    queries = [rng.sample(pool, num_keywords) for _ in range(num_queries)]
+    return Workload(f"random-{selectivity_band}-{num_keywords}kw", queries)

@@ -1,0 +1,520 @@
+"""The XRANK engine facade (paper Figure 2).
+
+Wires the whole pipeline together for library users: add XML/HTML documents
+(strings or parsed :class:`Document` objects), ``build()`` to run ElemRank
+and load an index, then ``search()`` for ranked results.  The engine
+defaults to HDIL — the paper's headline structure — but any of the five
+index kinds can be selected, which the benchmark harness uses to compare
+them on identical corpora.
+
+Results come back as :class:`SearchHit` objects carrying the matched
+element, its tag path, a text snippet and the ancestor chain for context
+navigation (Section 2.2's UI remedy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import XRankConfig
+from .errors import (
+    DocumentNotFoundError,
+    IndexNotBuiltError,
+    QueryError,
+    XRankError,
+)
+from .index.builder import IndexBuilder
+from .query.answer_nodes import AnswerNodeFilter, ancestor_context
+from .query.dil_eval import DILEvaluator
+from .query.disjunctive import DisjunctiveEvaluator
+from .query.hdil_eval import HDILEvaluator
+from .query.naive_eval import NaiveIdEvaluator, NaiveRankEvaluator
+from .query.rdil_eval import RDILEvaluator
+from .query.results import QueryResult
+from .ranking.elemrank import ElemRankVariant
+from .text.tokenize import tokenize_query
+from .xmlmodel.graph import CollectionGraph
+from .xmlmodel.html import parse_html
+from .xmlmodel.nodes import Document, Element
+from .xmlmodel.parser import parse_xml
+
+def _highlight(text: str, keywords: List[str]) -> str:
+    """Wrap case-insensitive whole-word keyword matches in brackets."""
+    import re
+
+    pattern = re.compile(
+        r"\b(" + "|".join(re.escape(k) for k in keywords) + r")\b",
+        re.IGNORECASE,
+    )
+    return pattern.sub(lambda match: f"[{match.group(0)}]", text)
+
+
+#: Index kinds accepted by :meth:`XRankEngine.build`.
+INDEX_KINDS = (
+    "dil",
+    "rdil",
+    "hdil",
+    "naive-id",
+    "naive-rank",
+    "dil-incremental",
+)
+
+
+@dataclass
+class SearchHit:
+    """One ranked search result, resolved against the document trees."""
+
+    rank: float
+    dewey: str
+    tag: str
+    snippet: str
+    path: str
+    keyword_ranks: Tuple[float, ...] = ()
+    ancestors: List[Tuple[str, str]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"[{self.rank:.5f}] <{self.tag}> {self.dewey}: {self.snippet}"
+
+
+class XRankEngine:
+    """End-to-end ranked XML/HTML keyword search."""
+
+    def __init__(
+        self,
+        config: Optional[XRankConfig] = None,
+        elemrank_variant: ElemRankVariant = ElemRankVariant.E4_FINAL,
+        answer_filter: Optional[AnswerNodeFilter] = None,
+        scorer: str = "elemrank",
+        drop_stopwords: bool = False,
+    ):
+        """Args:
+            scorer: posting score source — ``"elemrank"`` (link analysis,
+                the paper's default) or ``"tfidf"`` (the Section 4
+                alternative).
+            drop_stopwords: exclude English stopwords from both the index
+                and queries (space saver for prose-heavy corpora; off by
+                default because XRANK treats tag names as values).
+        """
+        self.config = config or XRankConfig()
+        self.elemrank_variant = elemrank_variant
+        self.answer_filter = answer_filter
+        self.scorer = scorer
+        self.drop_stopwords = drop_stopwords
+        self.graph = CollectionGraph()
+        self.builder: Optional[IndexBuilder] = None
+        self._indexes: Dict[str, object] = {}
+        self._evaluators: Dict[str, object] = {}
+        self._next_doc_id = 0
+
+    # -- corpus management -------------------------------------------------------------
+
+    def add_xml(self, source: str, uri: str = "") -> int:
+        """Parse and register an XML document; returns its document id."""
+        doc_id = self._take_doc_id()
+        document = parse_xml(source, doc_id=doc_id, uri=uri)
+        self.graph.add_document(document)
+        self._invalidate()
+        return doc_id
+
+    def add_html(self, source: str, uri: str = "") -> int:
+        """Parse and register an HTML document (flattened, root-only)."""
+        doc_id = self._take_doc_id()
+        document = parse_html(source, doc_id=doc_id, uri=uri)
+        self.graph.add_document(document)
+        self._invalidate()
+        return doc_id
+
+    def add_document(self, document: Document) -> int:
+        """Register an already parsed document (id must be unique)."""
+        self.graph.add_document(document)
+        self._next_doc_id = max(self._next_doc_id, document.doc_id + 1)
+        self._invalidate()
+        return document.doc_id
+
+    def delete_document(self, doc_id: int) -> None:
+        """Document-granularity delete (Section 4.5): tombstone everywhere.
+
+        Queries skip the document immediately; space is reclaimed on the
+        next :meth:`build`.
+        """
+        if doc_id not in self.graph.documents:
+            raise DocumentNotFoundError(f"no document with id {doc_id}")
+        if not self._indexes:
+            self.graph.remove_document(doc_id)
+            return
+        for index in self._indexes.values():
+            index.delete_document(doc_id)
+
+    def add_xml_incremental(self, source: str, uri: str = "") -> int:
+        """Add an XML document *without* a full rebuild (Section 4.5).
+
+        Requires ``build(kinds=[..., "dil-incremental"])`` to have run; the
+        new document lands in the incremental index's delta and is
+        immediately searchable through the ``"dil-incremental"`` kind.  Its
+        elements carry depth-average approximate ElemRanks until the next
+        full :meth:`build` (ElemRank is an offline computation, Figure 2).
+        """
+        self._require_built("dil-incremental")
+        doc_id = self._take_doc_id()
+        document = parse_xml(source, doc_id=doc_id, uri=uri)
+        self.graph.add_document(document)
+        self.graph.finalize()
+        self._indexes["dil-incremental"].add_documents(
+            [document], reference=self.builder.elemranks
+        )
+        return doc_id
+
+    def merge_incremental(self) -> None:
+        """Fold the incremental delta into its main index (compaction)."""
+        self._require_built("dil-incremental")
+        self._indexes["dil-incremental"].merge()
+
+    def replace_document(self, doc_id: int, source: str, uri: str = "") -> int:
+        """Replace a document's content without a full rebuild.
+
+        Element-granularity edits are applied by re-adding the whole edited
+        document: the old version is tombstoned, the new one takes a fresh
+        id and lands in the incremental delta (requires the
+        ``"dil-incremental"`` kind).  Returns the new document id.
+        """
+        self._require_built("dil-incremental")
+        if doc_id not in self.graph.documents:
+            raise DocumentNotFoundError(f"no document with id {doc_id}")
+        for index in self._indexes.values():
+            index.delete_document(doc_id)
+        return self.add_xml_incremental(source, uri=uri)
+
+    def _take_doc_id(self) -> int:
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        return doc_id
+
+    def _invalidate(self) -> None:
+        self.builder = None
+        self._indexes = {}
+        self._evaluators = {}
+
+    # -- build --------------------------------------------------------------------------------
+
+    def build(self, kinds: Sequence[str] = ("hdil",)) -> None:
+        """Run ElemRank and materialize the requested index kinds."""
+        unknown = [k for k in kinds if k not in INDEX_KINDS]
+        if unknown:
+            raise QueryError(f"unknown index kinds: {unknown}")
+        if not self.graph.documents:
+            raise QueryError("cannot build an index over zero documents")
+        self.graph.finalize()
+        self.builder = IndexBuilder(
+            self.graph,
+            elemrank_params=self.config.elemrank,
+            elemrank_variant=self.elemrank_variant,
+            storage_params=self.config.storage,
+            scorer=self.scorer,
+            drop_stopwords=self.drop_stopwords,
+        )
+        self._indexes = {}
+        self._evaluators = {}
+        for kind in kinds:
+            self._build_kind(kind)
+
+    def _build_kind(self, kind: str) -> None:
+        builder = self.builder
+        if kind == "dil":
+            index = builder.build_dil()
+            evaluator = DILEvaluator(index, self.config.ranking)
+        elif kind == "rdil":
+            index = builder.build_rdil()
+            evaluator = RDILEvaluator(index, self.config.ranking)
+        elif kind == "hdil":
+            index = builder.build_hdil(self.config.hdil)
+            evaluator = HDILEvaluator(index, self.config.ranking, self.config.hdil)
+        elif kind == "naive-id":
+            index = builder.build_naive_id()
+            evaluator = NaiveIdEvaluator(index, self.config.ranking)
+        elif kind == "dil-incremental":
+            from .index.incremental import IncrementalDILIndex
+
+            index = IncrementalDILIndex(self.config.storage)
+            index.build(builder.direct_postings)
+            evaluator = DILEvaluator(index, self.config.ranking)
+        else:
+            index = builder.build_naive_rank()
+            evaluator = NaiveRankEvaluator(index, self.config.ranking)
+        self._indexes[kind] = index
+        self._evaluators[kind] = evaluator
+
+    def index(self, kind: str = "hdil"):
+        """The built index of the given kind (for inspection/benchmarks)."""
+        self._require_built(kind)
+        return self._indexes[kind]
+
+    def evaluator(self, kind: str = "hdil"):
+        """The evaluator bound to a built index kind."""
+        self._require_built(kind)
+        return self._evaluators[kind]
+
+    def _require_built(self, kind: str) -> None:
+        if kind not in self._indexes:
+            raise IndexNotBuiltError(
+                f"index kind {kind!r} is not built; call build(kinds=[...])"
+            )
+
+    # -- search ---------------------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        m: int = 10,
+        kind: str = "hdil",
+        with_context: bool = False,
+        mode: str = "and",
+        weights: Optional[Dict[str, float]] = None,
+        highlight: bool = False,
+        path: Optional[str] = None,
+        offset: int = 0,
+    ) -> List[SearchHit]:
+        """Ranked keyword search.
+
+        Args:
+            query: free-text keywords ("XQL language").
+            m: number of results.
+            kind: which built index to use.
+            with_context: populate each hit's ancestor chain.
+            mode: ``"and"`` (conjunctive, the paper's focus) or ``"or"``
+                (disjunctive — requires a Dewey-ordered index: dil/hdil).
+            weights: optional per-keyword weight map; keywords missing from
+                the map default to weight 1.0 (Section 2.3.2.2's weighted
+                variant).
+            highlight: wrap matched keywords in ``[...]`` in snippets.
+            path: optional structural constraint on result elements, e.g.
+                ``"paper/title"`` or ``"//section"`` (Section 7's
+                structured-query integration, suffix-matched; a leading
+                ``/`` anchors at the document root).
+            offset: skip this many top results (pagination; page n of size
+                m is ``search(..., m=m, offset=n*m)``).
+        """
+        if offset < 0:
+            raise QueryError("offset cannot be negative")
+        self._require_built(kind)
+        keywords = tokenize_query(query, drop_stopwords=self.drop_stopwords)
+        if not keywords:
+            raise QueryError("query contains no searchable keywords")
+        weight_list: Optional[List[float]] = None
+        if weights:
+            weight_list = [float(weights.get(k, 1.0)) for k in keywords]
+
+        if mode == "and":
+            evaluator = self._evaluators[kind]
+        elif mode == "or":
+            evaluator = self._disjunctive_evaluator(kind)
+        else:
+            raise QueryError(f"unknown search mode {mode!r}")
+        fetch = m + offset
+        if path is None:
+            results = evaluator.evaluate(keywords, m=fetch, weights=weight_list)
+        else:
+            results = self._evaluate_with_path(
+                evaluator, keywords, fetch, weight_list, path
+            )
+        results = results[offset:]
+        if self.answer_filter is not None:
+            results = self.answer_filter.apply(
+                results, self.graph, self.config.ranking
+            )[:m]
+        highlight_terms = keywords if highlight else None
+        return [
+            self._to_hit(result, with_context, highlight_terms)
+            for result in results
+        ]
+
+    def _evaluate_with_path(
+        self,
+        evaluator,
+        keywords: List[str],
+        m: int,
+        weights: Optional[List[float]],
+        path: str,
+    ) -> List[QueryResult]:
+        """Top-m under a path constraint by over-fetch-and-filter.
+
+        The evaluators rank globally, so satisfying a selective path filter
+        may need more than m raw results; fetch sizes double until the
+        filtered set fills m or the raw result set stops growing.
+        """
+        from .query.structured import PathFilter
+
+        path_filter = PathFilter(path)
+        fetch = m
+        previous_raw = -1
+        while True:
+            raw = evaluator.evaluate(keywords, m=fetch, weights=weights)
+            filtered = path_filter.apply(raw, self.graph)
+            if len(filtered) >= m or len(raw) == previous_raw:
+                return filtered[:m]
+            previous_raw = len(raw)
+            fetch *= 4
+
+    def _disjunctive_evaluator(self, kind: str) -> DisjunctiveEvaluator:
+        if kind not in ("dil", "hdil"):
+            raise QueryError(
+                "disjunctive search needs a Dewey-ordered index (dil/hdil)"
+            )
+        cache_key = f"or:{kind}"
+        if cache_key not in self._evaluators:
+            self._evaluators[cache_key] = DisjunctiveEvaluator(
+                self._indexes[kind], self.config.ranking
+            )
+        return self._evaluators[cache_key]
+
+    def elemrank_of(self, dewey: str) -> float:
+        """ElemRank of an element by dotted Dewey ID (diagnostics)."""
+        if self.builder is None:
+            raise IndexNotBuiltError("build() has not been run")
+        from .xmlmodel.dewey import DeweyId
+
+        return self.builder.elemranks[DeweyId.parse(dewey)]
+
+    def _to_hit(
+        self,
+        result: QueryResult,
+        with_context: bool,
+        highlight_terms: Optional[List[str]] = None,
+    ) -> SearchHit:
+        element: Optional[Element] = None
+        if result.dewey is not None:
+            element = self.graph.element_by_dewey(result.dewey)
+        elif result.elem_id is not None and self.graph.elements:
+            element = self.graph.elements[result.elem_id]
+        if element is None:
+            return SearchHit(
+                rank=result.rank,
+                dewey=result.identifier(),
+                tag="?",
+                snippet="",
+                path="",
+                keyword_ranks=result.keyword_ranks,
+            )
+        snippet = element.text_content()
+        if highlight_terms:
+            snippet = _highlight(snippet, highlight_terms)
+        if len(snippet) > 120:
+            snippet = snippet[:117] + "..."
+        path = "/".join(
+            [a.tag for a in reversed(list(element.ancestors()))] + [element.tag]
+        )
+        ancestors: List[Tuple[str, str]] = []
+        if with_context:
+            ancestors = [
+                (str(dewey), tag)
+                for dewey, tag in ancestor_context(self.graph, element.dewey)
+            ]
+        return SearchHit(
+            rank=result.rank,
+            dewey=str(element.dewey),
+            tag=element.tag,
+            snippet=snippet,
+            path=path,
+            keyword_ranks=result.keyword_ranks,
+            ancestors=ancestors,
+        )
+
+    # -- explanations --------------------------------------------------------------------------------
+
+    def explain(
+        self, query: str, m: int = 5, kind: str = "dil"
+    ) -> List[Dict[str, object]]:
+        """Per-result ranking breakdowns for a conjunctive query.
+
+        Each entry decomposes the Section 2.3.2 formula for one hit: the
+        per-keyword aggregated ranks ``r̂(v, ki)`` (decay already applied),
+        the smallest-window proximity factor ``p``, the relevant occurrence
+        positions, and the element's own ElemRank for reference.  Requires
+        a Dewey-family index (dil / hdil / dil-incremental).
+        """
+        self._require_built(kind)
+        keywords = tokenize_query(query, drop_stopwords=self.drop_stopwords)
+        if not keywords:
+            raise QueryError("query contains no searchable keywords")
+        results = self._evaluators[kind].evaluate(keywords, m=m)
+        from .ranking.proximity import smallest_window
+
+        explanations: List[Dict[str, object]] = []
+        for result in results:
+            element = (
+                self.graph.element_by_dewey(result.dewey)
+                if result.dewey is not None
+                else None
+            )
+            window = (
+                smallest_window([list(pl) for pl in result.position_lists])
+                if result.position_lists
+                else None
+            )
+            explanations.append(
+                {
+                    "dewey": result.identifier(),
+                    "tag": element.tag if element else "?",
+                    "path": (
+                        "/".join(
+                            [a.tag for a in reversed(list(element.ancestors()))]
+                            + [element.tag]
+                        )
+                        if element
+                        else ""
+                    ),
+                    "overall_rank": result.rank,
+                    "keyword_ranks": dict(zip(keywords, result.keyword_ranks)),
+                    "proximity": result.proximity,
+                    "smallest_window": window,
+                    "positions": dict(zip(keywords, result.position_lists)),
+                    "element_elemrank": (
+                        self.builder.elemranks.get(result.dewey)
+                        if self.builder and result.dewey is not None
+                        else None
+                    ),
+                    "decay": self.config.ranking.decay,
+                }
+            )
+        return explanations
+
+    # -- persistence --------------------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the whole engine (documents, graph, indexes) to a file.
+
+        Everything — parsed trees, ElemRanks, all simulated-disk pages — is
+        pickled, so :meth:`load` restores a fully queryable engine without
+        re-parsing or re-indexing.
+        """
+        import pickle
+
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @classmethod
+    def load(cls, path) -> "XRankEngine":
+        """Restore an engine persisted by :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as handle:
+            engine = pickle.load(handle)
+        if not isinstance(engine, cls):
+            raise XRankError(f"{path} does not contain a pickled XRankEngine")
+        return engine
+
+    # -- stats -------------------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Corpus and index statistics for display."""
+        info: Dict[str, object] = {
+            "documents": self.graph.num_documents,
+            "indexes": sorted(self._indexes),
+        }
+        if self.graph.finalized:
+            info["elements"] = len(self.graph.elements)
+            info["hyperlink_edges"] = len(self.graph.hyperlink_edges)
+        if self.builder is not None:
+            info["elemrank_iterations"] = self.builder.elemrank_result.iterations
+            info["keywords"] = len(self.builder.direct_postings)
+        return info

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the XRANK reproduction.
+
+Every error raised by this package derives from :class:`XRankError`, so
+callers can catch one type at an API boundary.  Sub-hierarchies mirror the
+subsystems: parsing, storage, indexing and querying.
+"""
+
+from __future__ import annotations
+
+
+class XRankError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class XMLParseError(XRankError):
+    """Raised when an XML or HTML document cannot be parsed.
+
+    Carries the byte/character offset and a human-readable reason so that
+    corpus-loading code can report which document (and where) failed.
+    """
+
+    def __init__(self, message: str, offset: int = -1, line: int = -1):
+        self.offset = offset
+        self.line = line
+        location = ""
+        if line >= 0:
+            location = f" (line {line})"
+        elif offset >= 0:
+            location = f" (offset {offset})"
+        super().__init__(f"{message}{location}")
+
+
+class DeweyError(XRankError):
+    """Raised for malformed Dewey IDs (bad components, bad encodings)."""
+
+
+class StorageError(XRankError):
+    """Base class for simulated-disk and page-management failures."""
+
+
+class PageError(StorageError):
+    """Raised when a page id is out of range or a page overflows."""
+
+
+class BTreeError(StorageError):
+    """Raised on B+-tree invariant violations (bad fanout, key order)."""
+
+
+class IndexError_(XRankError):
+    """Raised when an index is built or queried inconsistently.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError`` while keeping the obvious name.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """Raised when querying an index before :meth:`build` has been called."""
+
+
+class DocumentNotFoundError(IndexError_):
+    """Raised when deleting or fetching a document id that is not indexed."""
+
+
+class QueryError(XRankError):
+    """Raised for malformed queries (empty keyword list, bad parameters)."""
+
+
+class ConvergenceError(XRankError):
+    """Raised when an iterative rank computation fails to converge."""

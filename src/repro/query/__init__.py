@@ -1,0 +1,41 @@
+"""Query processing: the Section 2.2 conjunctive result semantics, the DIL
+single-pass merge (Figure 5), the RDIL Threshold-Algorithm loop (Figure 7),
+the HDIL adaptive hybrid (Section 4.4.2), the naive baselines, and
+answer-node post-processing."""
+
+from .answer_nodes import AnswerNodeFilter, ancestor_context
+from .dil_eval import DILEvaluator
+from .disjunctive import DisjunctiveEvaluator, disjunctive_merge
+from .hdil_eval import HDILEvaluator, HDILTrace
+from .hits_rerank import build_base_set, hits_rerank
+from .merge import conjunctive_merge
+from .naive_eval import NaiveIdEvaluator, NaiveRankEvaluator
+from .rdil_eval import ProbeLoopState, RankedProbeLoop, RDILEvaluator
+from .results import QueryResult, ResultHeap, validate_query
+from .streams import PostingStream, smallest_head_index
+from .structured import PathFilter, parse_path_pattern
+
+__all__ = [
+    "AnswerNodeFilter",
+    "DILEvaluator",
+    "DisjunctiveEvaluator",
+    "disjunctive_merge",
+    "validate_query",
+    "HDILEvaluator",
+    "HDILTrace",
+    "build_base_set",
+    "hits_rerank",
+    "NaiveIdEvaluator",
+    "NaiveRankEvaluator",
+    "PathFilter",
+    "PostingStream",
+    "ProbeLoopState",
+    "QueryResult",
+    "RDILEvaluator",
+    "RankedProbeLoop",
+    "ResultHeap",
+    "ancestor_context",
+    "parse_path_pattern",
+    "conjunctive_merge",
+    "smallest_head_index",
+]

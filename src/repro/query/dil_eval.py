@@ -1,0 +1,80 @@
+"""DIL query processing (paper Section 4.2.2, Figure 5).
+
+A single sequential pass over the query keywords' Dewey-ordered inverted
+lists: merge by Dewey ID, maintain the Dewey stack, and keep the top-m
+results in a bounded heap.  Cost is dominated by the full sequential scan of
+every keyword's list — flat in the number of requested results ``m`` and in
+keyword correlation, which is exactly why DIL wins on uncorrelated keywords
+(Figure 11) and loses to RDIL on correlated ones (Figure 10).
+
+The single-keyword query is the paper's "(simple) special case": every
+posting is its own most-specific result with rank ``ElemRank`` (proximity of
+one keyword is 1), so the pass reduces to a top-m selection over the list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import RankingParams
+from ..index.dil import DILIndex
+from .merge import conjunctive_merge
+from .results import QueryResult, ResultHeap, validate_query
+from .streams import PostingStream
+
+
+class DILEvaluator:
+    """Evaluates conjunctive keyword queries against a :class:`DILIndex`."""
+
+    def __init__(self, index: DILIndex, params: Optional[RankingParams] = None):
+        self.index = index
+        self.params = params or RankingParams()
+
+    def evaluate(
+        self,
+        keywords: Sequence[str],
+        m: int = 10,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[QueryResult]:
+        """Top-m results for the conjunctive query ``keywords``.
+
+        ``weights`` optionally scales each keyword's contribution to the
+        overall rank (one positive weight per keyword).
+        """
+        validate_query(keywords, m, weights)
+        self.index._require_built()
+
+        if len(keywords) == 1:
+            scale = weights[0] if weights else 1.0
+            return self._evaluate_single(keywords[0], m, scale)
+
+        streams = [
+            PostingStream.from_cursor(
+                self.index.cursor(keyword), self.index.deleted_docs
+            )
+            for keyword in keywords
+        ]
+        heap = ResultHeap(m)
+        for result in conjunctive_merge(
+            streams, self.params, list(weights) if weights else None
+        ):
+            heap.add(result)
+        return heap.results()
+
+    def _evaluate_single(
+        self, keyword: str, m: int, scale: float = 1.0
+    ) -> List[QueryResult]:
+        stream = PostingStream.from_cursor(
+            self.index.cursor(keyword), self.index.deleted_docs
+        )
+        heap = ResultHeap(m)
+        while not stream.eof:
+            posting = stream.next()
+            heap.add(
+                QueryResult(
+                    rank=posting.elemrank * scale,
+                    dewey=posting.dewey,
+                    keyword_ranks=(posting.elemrank,),
+                )
+            )
+        return heap.results()

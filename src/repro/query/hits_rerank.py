@@ -1,0 +1,155 @@
+"""Query-dependent HITS re-ranking (paper Section 3.1, footnote 1).
+
+ElemRank is query-independent, computed offline like PageRank.  The paper
+notes its containment refinements "also work for query-dependent algorithms
+like HITS [24]".  This module completes that thought with the classic
+Kleinberg procedure adapted to elements:
+
+1. the *root set* is the top-k keyword results (their elements);
+2. the *base set* expands the root set along hyperlink edges (both
+   directions) and, optionally, containment edges — the paper's
+   bidirectional coupling;
+3. HITS runs on the induced subgraph;
+4. results are re-ranked by blending their original XRANK rank with their
+   element's authority score.
+
+Because re-ranking happens after top-k retrieval, it composes with any
+evaluator, any index kind and any scorer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..errors import QueryError
+from ..ranking.hits import hits
+from ..xmlmodel.graph import CollectionGraph
+from .results import QueryResult
+
+
+def build_base_set(
+    graph: CollectionGraph,
+    root_indices: Set[int],
+    include_containment: bool = True,
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Expand a root set one hop and collect the induced edges.
+
+    Returns (member element indices, edges re-indexed into that member
+    list).  Expansion order matters: keyword results are often *leaf*
+    elements while hyperlinks land on their ancestors, so the root set is
+    first closed under containment ancestors, then hyperlink neighbours in
+    both directions join, then the neighbours' ancestor chains — giving the
+    bidirectional containment coupling a path from link targets down to the
+    result elements.
+    """
+    members: Set[int] = set(root_indices)
+
+    def add_ancestors(indices: Set[int]) -> None:
+        for index in list(indices):
+            parent = graph.parent_index[index]
+            while parent >= 0 and parent not in members:
+                members.add(parent)
+                parent = graph.parent_index[parent]
+
+    if include_containment:
+        add_ancestors(members)
+    linked: Set[int] = set()
+    for src, dst in graph.hyperlink_edges:
+        if src in members:
+            linked.add(dst)
+        if dst in members:
+            linked.add(src)
+    members.update(linked)
+    if include_containment:
+        add_ancestors(linked)
+
+    ordered = sorted(members)
+    local = {global_index: i for i, global_index in enumerate(ordered)}
+    edges: List[Tuple[int, int]] = []
+    for src, dst in graph.hyperlink_edges:
+        if src in members and dst in members:
+            edges.append((local[src], local[dst]))
+    if include_containment:
+        for global_index in ordered:
+            parent = graph.parent_index[global_index]
+            if parent >= 0 and parent in members:
+                edges.append((local[parent], local[global_index]))
+                edges.append((local[global_index], local[parent]))
+    return ordered, edges
+
+
+def hits_rerank(
+    results: Sequence[QueryResult],
+    graph: CollectionGraph,
+    blend: float = 0.5,
+    include_containment: bool = True,
+    decay: float = 0.75,
+) -> List[QueryResult]:
+    """Re-rank keyword results by blending in query-dependent authority.
+
+    A result element's effective authority is the best of its own score and
+    its ancestors' scores decayed per containment level — the same forward
+    propagation idea ElemRank uses (HITS alternation otherwise parks all
+    authority on the hyperlink *targets*, typically the results' ancestors,
+    and none on the leaf results themselves).
+
+    Args:
+        results: evaluator output (Dewey-identified).
+        graph: the collection graph the results came from.
+        blend: weight of the authority component in [0, 1]; 0 returns the
+            original ordering, 1 orders purely by authority.  Both
+            components are max-normalized before blending so neither scale
+            dominates.
+        include_containment: couple containment edges into the HITS run.
+        decay: per-level decay for inherited ancestor authority.
+    """
+    if not 0.0 <= blend <= 1.0:
+        raise QueryError(f"blend must be in [0, 1], got {blend}")
+    if not results:
+        return []
+    if not graph.finalized:
+        graph.finalize()
+
+    root: Set[int] = set()
+    for result in results:
+        if result.dewey is None:
+            raise QueryError("HITS re-ranking needs Dewey-identified results")
+        index = graph.index_of.get(result.dewey)
+        if index is not None:
+            root.add(index)
+    members, edges = build_base_set(graph, root, include_containment)
+    outcome = hits(len(members), edges)
+    local = {global_index: i for i, global_index in enumerate(members)}
+
+    max_rank = max(result.rank for result in results) or 1.0
+    max_authority = float(outcome.authorities.max()) if len(members) else 0.0
+
+    def effective_authority(global_index: int) -> float:
+        best = 0.0
+        factor = 1.0
+        index = global_index
+        while index >= 0:
+            if index in local:
+                best = max(best, factor * float(outcome.authorities[local[index]]))
+            index = graph.parent_index[index]
+            factor *= decay
+        return best
+
+    blended: List[QueryResult] = []
+    for result in results:
+        index = graph.index_of.get(result.dewey)
+        authority = 0.0
+        if index is not None and max_authority > 0:
+            authority = effective_authority(index) / max_authority
+        score = (1.0 - blend) * (result.rank / max_rank) + blend * authority
+        blended.append(
+            QueryResult(
+                rank=score,
+                dewey=result.dewey,
+                elem_id=result.elem_id,
+                keyword_ranks=result.keyword_ranks,
+                proximity=result.proximity,
+            )
+        )
+    blended.sort(key=lambda r: -r.rank)
+    return blended

@@ -1,0 +1,102 @@
+"""Query results and the top-m result heap.
+
+A :class:`QueryResult` identifies a result element either by Dewey ID
+(Dewey-family indexes) or by flat element id (naive baselines), and carries
+the overall rank plus the per-keyword diagnostics the examples display.
+
+:class:`ResultHeap` is the bounded min-heap of Figure 5/7: it retains the m
+best results seen so far and exposes ``kth_rank`` — the rank of the m-th
+best — which the Threshold Algorithm compares against its threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..xmlmodel.dewey import DeweyId
+
+
+def validate_query(
+    keywords: Sequence[str],
+    m: int,
+    weights: Optional[Sequence[float]] = None,
+) -> None:
+    """Shared argument validation for every evaluator."""
+    if not keywords:
+        raise QueryError("a keyword query needs at least one keyword")
+    if m < 1:
+        raise QueryError("m must be at least 1")
+    if weights is not None:
+        if len(weights) != len(keywords):
+            raise QueryError("one weight per keyword is required")
+        if any(w <= 0 for w in weights):
+            raise QueryError("keyword weights must be positive")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One ranked query result."""
+
+    rank: float
+    dewey: Optional[DeweyId] = None
+    elem_id: Optional[int] = None
+    keyword_ranks: Tuple[float, ...] = ()
+    proximity: float = 1.0
+    #: per-keyword sorted positions of the relevant occurrences (filled by
+    #: the Dewey-family merges; used by XRankEngine.explain)
+    position_lists: Tuple[Tuple[int, ...], ...] = ()
+
+    def identifier(self) -> str:
+        """Display identifier: dotted Dewey ID or #elem_id."""
+        if self.dewey is not None:
+            return str(self.dewey)
+        return f"#{self.elem_id}"
+
+
+class ResultHeap:
+    """Keeps the top-m results by rank (ties broken by arrival order)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise QueryError("result capacity must be at least 1")
+        self.capacity = capacity
+        self._heap: List[Tuple[float, int, QueryResult]] = []
+        self._counter = itertools.count()
+
+    def add(self, result: QueryResult) -> bool:
+        """Offer a result; returns True when it enters the top-m."""
+        entry = (result.rank, -next(self._counter), result)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def kth_rank(self) -> float:
+        """Rank of the m-th best result; -inf while fewer than m are held."""
+        if not self.full:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def results(self) -> List[QueryResult]:
+        """Contents sorted by descending rank; ties in arrival order.
+
+        The tiebreak matches the heap's retention rule (earlier arrivals
+        survive ties), so paging with different ``m`` values over tied
+        ranks stays consistent.
+        """
+        ordered = sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        return [entry[2] for entry in ordered]

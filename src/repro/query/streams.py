@@ -1,0 +1,94 @@
+"""Decoded posting streams over on-disk inverted lists.
+
+The merge algorithms consume postings through a peek/next interface; this
+module wraps the storage layer's raw-byte cursors with decoding, tombstone
+filtering (document-granularity deletes, Section 4.5), and an empty-stream
+stand-in for keywords that are missing from the index (a conjunctive query
+with an unindexed keyword simply has an exhausted stream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..errors import QueryError
+from ..index.postings import Posting
+from ..storage.listfile import ListCursor
+
+
+class PostingStream:
+    """Peekable stream of :class:`Posting` values."""
+
+    def __init__(
+        self,
+        source: Optional[Iterable[bytes]],
+        deleted_docs: Optional[Set[int]] = None,
+    ):
+        self._iterator: Optional[Iterator[bytes]] = (
+            iter(source) if source is not None else None
+        )
+        self._deleted = deleted_docs or set()
+        self._head: Optional[Posting] = None
+        self._eof = self._iterator is None
+        self._advance()
+
+    @classmethod
+    def from_cursor(
+        cls, cursor: Optional[ListCursor], deleted_docs: Optional[Set[int]] = None
+    ) -> "PostingStream":
+        if cursor is None:
+            return cls(None, deleted_docs)
+        return cls(_cursor_records(cursor), deleted_docs)
+
+    @classmethod
+    def from_postings(
+        cls,
+        postings: Sequence[Posting],
+        deleted_docs: Optional[Set[int]] = None,
+    ) -> "PostingStream":
+        return cls((p.encode() for p in postings), deleted_docs)
+
+    def _advance(self) -> None:
+        if self._iterator is None:
+            self._head = None
+            return
+        for record in self._iterator:
+            posting = Posting.decode(record)
+            if posting.dewey.doc_id in self._deleted:
+                continue
+            self._head = posting
+            return
+        self._head = None
+        self._eof = True
+
+    @property
+    def eof(self) -> bool:
+        return self._eof or self._head is None
+
+    def peek(self) -> Posting:
+        """Head posting without consuming it."""
+        if self._head is None:
+            raise QueryError("peek past end of posting stream")
+        return self._head
+
+    def next(self) -> Posting:
+        """Consume and return the head posting."""
+        posting = self.peek()
+        self._advance()
+        return posting
+
+
+def _cursor_records(cursor: ListCursor) -> Iterator[bytes]:
+    while not cursor.eof:
+        yield cursor.next()
+
+
+def smallest_head_index(streams: List[PostingStream]) -> Optional[int]:
+    """Index of the live stream whose head has the smallest Dewey ID."""
+    best: Optional[int] = None
+    for i, stream in enumerate(streams):
+        if stream.eof:
+            continue
+        if best is None or stream.peek().dewey < streams[best].peek().dewey:
+            best = i
+    return best

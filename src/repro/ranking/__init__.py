@@ -1,0 +1,40 @@
+"""Link analysis and ranking: PageRank, the ElemRank variants, keyword
+proximity and the overall ranking function of paper Sections 2.3 and 3."""
+
+from .elemrank import (
+    ElemRankResult,
+    ElemRankVariant,
+    compute_elemrank,
+)
+from .elemrank_py import PurePythonElemRank, compute_elemrank_pure
+from .hits import HITSResult, element_hits, hits
+from .pagerank import RankResult, pagerank, pagerank_from_adjacency
+from .tfidf import compute_tfidf_weights
+from .proximity import proximity, smallest_window
+from .scoring import (
+    aggregate_occurrences,
+    occurrence_rank,
+    overall_rank,
+    ta_threshold,
+)
+
+__all__ = [
+    "ElemRankResult",
+    "ElemRankVariant",
+    "HITSResult",
+    "PurePythonElemRank",
+    "compute_elemrank_pure",
+    "RankResult",
+    "aggregate_occurrences",
+    "compute_elemrank",
+    "compute_tfidf_weights",
+    "element_hits",
+    "hits",
+    "occurrence_rank",
+    "overall_rank",
+    "pagerank",
+    "pagerank_from_adjacency",
+    "proximity",
+    "smallest_window",
+    "ta_threshold",
+]

@@ -1,0 +1,139 @@
+"""Pure-Python ElemRank (final formulation) — a differential reference.
+
+Two purposes:
+
+* a numpy-free fallback for constrained environments (the math is the E4
+  formula of Section 3.1, implemented over plain lists);
+* an *independent implementation* of the same fixed point, used by the test
+  suite to cross-check the vectorized :func:`repro.ranking.elemrank
+  .compute_elemrank` — two implementations agreeing to 1e-8 is strong
+  evidence neither mis-translates the paper's formula.
+
+Only the final formulation (E4) is provided; the intermediate variants are
+pedagogical and live in the numpy module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..config import ElemRankParams
+from ..xmlmodel.graph import CollectionGraph
+
+
+class PurePythonElemRank:
+    """Power iteration over plain Python lists (E4 formulation)."""
+
+    def __init__(self, graph: CollectionGraph, params: Optional[ElemRankParams] = None):
+        if not graph.finalized:
+            graph.finalize()
+        self.graph = graph
+        self.params = params or ElemRankParams()
+
+    def run(self):
+        """Iterate to the paper's threshold; returns an ElemRankResult.
+
+        The result type is shared with the numpy implementation (scores are
+        returned as a plain list wrapped only if numpy is importable).
+        """
+        graph = self.graph
+        params = self.params
+        n = len(graph.elements)
+        started = time.perf_counter()
+        from .elemrank import ElemRankResult, ElemRankVariant
+
+        if n == 0:
+            return ElemRankResult(
+                _as_array([]), 0, True, 0.0, 0.0, ElemRankVariant.E4_FINAL
+            )
+
+        parent = graph.parent_index
+        num_children = graph.children_count
+        num_hyperlinks = graph.out_hyperlink_count
+        num_documents = max(graph.num_documents, 1)
+        doc_elements = graph.doc_element_count
+        edges = graph.hyperlink_edges
+
+        # Proportional re-split of navigation probabilities (Section 3.1).
+        w_h: List[float] = [0.0] * n
+        w_c: List[float] = [0.0] * n
+        w_p: List[float] = [0.0] * n
+        total_nav = params.d1 + params.d2 + params.d3
+        for u in range(n):
+            available = 0.0
+            if num_hyperlinks[u] > 0:
+                available += params.d1
+            if num_children[u] > 0:
+                available += params.d2
+            if parent[u] >= 0:
+                available += params.d3
+            if available == 0.0:
+                continue
+            scale = total_nav / available
+            if num_hyperlinks[u] > 0:
+                w_h[u] = params.d1 * scale
+            if num_children[u] > 0:
+                w_c[u] = params.d2 * scale
+            if parent[u] >= 0:
+                w_p[u] = params.d3 * scale
+
+        jump = [
+            1.0 / (num_documents * doc_elements[v]) for v in range(n)
+        ]
+        base = [params.random_jump * j for j in jump]
+        dangling = [
+            u for u in range(n)
+            if w_h[u] == 0.0 and w_c[u] == 0.0 and w_p[u] == 0.0
+        ]
+
+        scores = list(jump)
+        residual = 0.0
+        for iteration in range(1, params.max_iterations + 1):
+            fresh = list(base)
+            for src, dst in edges:
+                fresh[dst] += scores[src] * w_h[src] / num_hyperlinks[src]
+            for v in range(n):
+                p = parent[v]
+                if p >= 0:
+                    fresh[v] += scores[p] * w_c[p] / num_children[p]
+                    fresh[p] += scores[v] * w_p[v]
+            if dangling:
+                mass = sum(scores[u] for u in dangling) * total_nav
+                for v in range(n):
+                    fresh[v] += mass * jump[v]
+            residual = sum(abs(a - b) for a, b in zip(fresh, scores))
+            scores = fresh
+            if residual < params.threshold:
+                return ElemRankResult(
+                    _as_array(scores),
+                    iteration,
+                    True,
+                    residual,
+                    time.perf_counter() - started,
+                    ElemRankVariant.E4_FINAL,
+                )
+        return ElemRankResult(
+            _as_array(scores),
+            params.max_iterations,
+            False,
+            residual,
+            time.perf_counter() - started,
+            ElemRankVariant.E4_FINAL,
+        )
+
+
+def _as_array(values: List[float]):
+    """Wrap in a numpy array when numpy is present; plain list otherwise."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        return values
+    return numpy.asarray(values)
+
+
+def compute_elemrank_pure(
+    graph: CollectionGraph, params: Optional[ElemRankParams] = None
+):
+    """Convenience wrapper mirroring :func:`compute_elemrank` (E4 only)."""
+    return PurePythonElemRank(graph, params).run()

@@ -1,0 +1,105 @@
+"""Classic PageRank over a plain directed graph.
+
+Two roles in this reproduction:
+
+* the HTML baseline — the paper's design goal is that XRANK "behaves just
+  like a HTML search engine" when documents have two levels, and the tests
+  verify that ElemRank over flat HTML documents matches PageRank over the
+  document-level link graph;
+* the starting point of the ElemRank derivation (Section 3.1's first
+  formula), which :mod:`repro.ranking.elemrank` refines step by step.
+
+Dangling nodes (no out-links) redistribute their navigation mass uniformly,
+the standard fix that keeps the iteration a proper Markov chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+
+@dataclass
+class RankResult:
+    """Outcome of a rank computation."""
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+
+    def as_dict(self, labels: Sequence) -> Dict:
+        """Scores keyed by the given labels."""
+        return {label: float(score) for label, score in zip(labels, self.scores)}
+
+
+def pagerank(
+    num_nodes: int,
+    edges: Sequence[Tuple[int, int]],
+    damping: float = 0.85,
+    threshold: float = 2e-5,
+    max_iterations: int = 500,
+    raise_on_divergence: bool = False,
+) -> RankResult:
+    """Power-iteration PageRank.
+
+    Args:
+        num_nodes: node count; nodes are 0..num_nodes-1.
+        edges: directed (source, target) pairs; parallel edges allowed and
+            weighted naturally.
+        damping: the navigation probability ``d`` (paper uses 0.85).
+        threshold: L1 convergence threshold.
+        max_iterations: iteration cap.
+        raise_on_divergence: raise :class:`ConvergenceError` instead of
+            returning an unconverged result.
+    """
+    if num_nodes == 0:
+        return RankResult(np.zeros(0), 0, True, 0.0)
+
+    sources = np.fromiter((s for s, _ in edges), dtype=np.int64, count=len(edges))
+    targets = np.fromiter((t for _, t in edges), dtype=np.int64, count=len(edges))
+    out_degree = np.bincount(sources, minlength=num_nodes).astype(np.float64)
+    dangling = out_degree == 0
+    safe_degree = np.where(dangling, 1.0, out_degree)
+
+    scores = np.full(num_nodes, 1.0 / num_nodes)
+    base = (1.0 - damping) / num_nodes
+    for iteration in range(1, max_iterations + 1):
+        per_edge = scores / safe_degree
+        new_scores = np.full(num_nodes, base)
+        np.add.at(new_scores, targets, damping * per_edge[sources])
+        # Dangling nodes spread their navigation mass uniformly.
+        dangling_mass = scores[dangling].sum()
+        new_scores += damping * dangling_mass / num_nodes
+        residual = float(np.abs(new_scores - scores).sum())
+        scores = new_scores
+        if residual < threshold:
+            return RankResult(scores, iteration, True, residual)
+    if raise_on_divergence:
+        raise ConvergenceError(
+            f"PageRank did not converge in {max_iterations} iterations "
+            f"(residual {residual:.2e})"
+        )
+    return RankResult(scores, max_iterations, False, residual)
+
+
+def pagerank_from_adjacency(
+    adjacency: Dict[int, List[int]],
+    damping: float = 0.85,
+    threshold: float = 2e-5,
+    max_iterations: int = 500,
+) -> RankResult:
+    """Convenience wrapper taking ``{source: [targets]}``."""
+    num_nodes = 0
+    for source, targets in adjacency.items():
+        num_nodes = max(num_nodes, source + 1, *(t + 1 for t in targets), 1)
+    edges = [
+        (source, target)
+        for source, targets in adjacency.items()
+        for target in targets
+    ]
+    return pagerank(num_nodes, edges, damping, threshold, max_iterations)

@@ -1,0 +1,76 @@
+"""Keyword proximity: the smallest-window measure (paper Section 2.3.2.2).
+
+The overall rank multiplies the summed keyword ranks by a proximity factor
+``p(v, k1..kn)`` in [0, 1]: 1 when the keywords "occur right next to each
+other" and approaching 0 as they spread apart.  The paper's default is
+"inversely proportional to the size of the smallest text window in v1 that
+contains relevant occurrences of all the query keywords", which we realize
+as::
+
+    p = n / w
+
+where ``n`` is the number of query keywords and ``w`` the length (in words,
+inclusive) of the smallest window containing at least one occurrence of each
+keyword.  Adjacent keywords give ``w = n`` hence ``p = 1``; a single keyword
+always gives 1; an element missing some keyword gives 0.
+
+The smallest-window computation is the classic k-sorted-lists sweep: walk a
+min-heap of per-keyword position cursors, tracking the current max; each pop
+proposes a window [min, max].  Runs in O(total positions x log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+
+def smallest_window(position_lists: Sequence[Sequence[int]]) -> Optional[int]:
+    """Length of the smallest window covering one position from each list.
+
+    Args:
+        position_lists: one sorted list of word positions per keyword.
+
+    Returns:
+        The inclusive window length in words, or ``None`` when some list is
+        empty (no covering window exists).
+    """
+    if not position_lists:
+        return None
+    if any(not positions for positions in position_lists):
+        return None
+    if len(position_lists) == 1:
+        return 1
+
+    # Heap of (position, list_index, cursor); invariant: one entry per list.
+    heap = [(positions[0], i, 0) for i, positions in enumerate(position_lists)]
+    heapq.heapify(heap)
+    current_max = max(position for position, _, _ in heap)
+    best = current_max - heap[0][0] + 1
+    while True:
+        position, list_index, cursor = heapq.heappop(heap)
+        window = current_max - position + 1
+        if window < best:
+            best = window
+        next_cursor = cursor + 1
+        positions = position_lists[list_index]
+        if next_cursor >= len(positions):
+            return best
+        next_position = positions[next_cursor]
+        if next_position > current_max:
+            current_max = next_position
+        heapq.heappush(heap, (next_position, list_index, next_cursor))
+
+
+def proximity(position_lists: Sequence[Sequence[int]]) -> float:
+    """The proximity factor ``p`` in [0, 1] for one result element."""
+    n = len(position_lists)
+    if n == 0:
+        return 0.0
+    window = smallest_window(position_lists)
+    if window is None:
+        return 0.0
+    # Distinct keywords can share a position only if a word occurrence
+    # matched several query keywords, which conjunctive distinct-keyword
+    # queries exclude; guard anyway so p never exceeds 1.
+    return min(1.0, n / window)

@@ -1,0 +1,86 @@
+"""The XRANK ranking function (paper Section 2.3.2).
+
+Three layers, composed by the query processors:
+
+1. *Per-occurrence rank* — an occurrence of keyword ``k`` directly contained
+   in element ``v_t``, surfacing in result element ``v_1`` that is
+   ``t - 1 = depth difference`` levels above ``v_t``, scores
+   ``ElemRank(v_t) * decay**(t-1)`` (:func:`occurrence_rank`).
+
+2. *Per-keyword aggregate* — multiple relevant occurrences of one keyword
+   combine with ``f`` (max by default, sum supported):
+   :func:`aggregate_occurrences`.
+
+3. *Overall rank* — the sum over keywords of the aggregates, multiplied by
+   the keyword proximity factor: :func:`overall_rank`.
+
+The first factor (the sum) is monotone in the individual keyword ranks,
+which is the property RDIL's Threshold Algorithm stop condition needs
+(Section 4.3.2); decay and proximity are bounded by 1, so the TA threshold
+built from raw ElemRanks is a valid overestimate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..config import RankingParams
+from ..errors import QueryError
+from .proximity import proximity
+
+
+def occurrence_rank(elemrank: float, depth_difference: int, decay: float) -> float:
+    """Rank contribution of one keyword occurrence.
+
+    Args:
+        elemrank: ElemRank of ``v_t``, the element *directly* containing the
+            occurrence.
+        depth_difference: number of containment edges between the result
+            element ``v_1`` and ``v_t`` (0 when ``v_1 = v_t``).
+        decay: the specificity decay parameter in (0, 1].
+    """
+    if depth_difference < 0:
+        raise QueryError("depth difference cannot be negative")
+    return elemrank * decay**depth_difference
+
+
+def aggregate_occurrences(ranks: Iterable[float], aggregation: str = "max") -> float:
+    """Combine the ranks of multiple occurrences of one keyword (``f``)."""
+    values = list(ranks)
+    if not values:
+        return 0.0
+    if aggregation == "max":
+        return max(values)
+    if aggregation == "sum":
+        return sum(values)
+    raise QueryError(f"unknown aggregation {aggregation!r}")
+
+
+def overall_rank(
+    keyword_ranks: Sequence[float],
+    position_lists: Sequence[Sequence[int]],
+    params: RankingParams,
+) -> float:
+    """The overall rank ``R(v1, Q)`` of one result element.
+
+    Args:
+        keyword_ranks: aggregated rank per query keyword (all must be > 0
+            for a conjunctive result).
+        position_lists: per-keyword sorted word positions of the relevant
+            occurrences inside the result element, used for proximity.
+        params: decay/aggregation/proximity configuration.
+    """
+    total = sum(keyword_ranks)
+    if not params.use_proximity:
+        return total
+    return total * proximity(position_lists)
+
+
+def ta_threshold(current_elemranks: Sequence[float]) -> float:
+    """The Threshold Algorithm bound used by RDIL (Section 4.3.2).
+
+    The sum of the ElemRanks at the current scan position of every keyword
+    inverted list.  Because ``decay <= 1`` and ``p <= 1``, no unseen result
+    can outrank this value, so it is a safe (over)estimate.
+    """
+    return sum(current_elemranks)

@@ -1,0 +1,63 @@
+"""tf-idf element scoring — the paper's alternative ranking hook.
+
+Section 4 opens by noting the index structures and query algorithms "are
+applicable to other ways of ranking XML elements, such as those using text
+tf-idf measures [29][33]", and the conclusion lists tf-idf as an extension.
+This module provides that alternative scorer: instead of one global
+ElemRank per element, each posting carries a per-(element, keyword) tf-idf
+weight.
+
+The weight is the classic log-scaled formulation over *elements as
+documents*:
+
+    tfidf(e, k) = (1 + ln tf(e, k)) * ln(1 + N_e / df(k))
+
+where ``tf(e, k)`` counts the keyword's occurrences directly contained in
+element ``e``, ``df(k)`` counts the elements directly containing ``k``, and
+``N_e`` is the total element count.  Weights are normalized by the corpus
+maximum into (0, 1] so that, exactly as with ElemRank, decay and proximity
+(both <= 1) can only shrink a score — which keeps the RDIL Threshold
+Algorithm's overestimate property intact with no changes to the query
+processors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..xmlmodel.graph import CollectionGraph
+
+#: (element Dewey components, keyword) -> weight
+TfIdfWeights = Dict[Tuple[Tuple[int, ...], str], float]
+
+
+def compute_tfidf_weights(graph: CollectionGraph) -> TfIdfWeights:
+    """Per-(element, keyword) normalized tf-idf weights for a collection."""
+    if not graph.finalized:
+        graph.finalize()
+
+    term_frequencies: Dict[Tuple[Tuple[int, ...], str], int] = {}
+    document_frequencies: Dict[str, int] = {}
+    for element in graph.elements:
+        seen_here = set()
+        for word, _position in element.direct_words():
+            key = (element.dewey.components, word)
+            term_frequencies[key] = term_frequencies.get(key, 0) + 1
+            if word not in seen_here:
+                seen_here.add(word)
+                document_frequencies[word] = document_frequencies.get(word, 0) + 1
+
+    num_elements = max(1, len(graph.elements))
+    weights: TfIdfWeights = {}
+    maximum = 0.0
+    for (components, word), tf in term_frequencies.items():
+        df = document_frequencies[word]
+        weight = (1.0 + math.log(tf)) * math.log(1.0 + num_elements / df)
+        weights[(components, word)] = weight
+        if weight > maximum:
+            maximum = weight
+    if maximum > 0:
+        for key in weights:
+            weights[key] /= maximum
+    return weights

@@ -1,0 +1,558 @@
+"""A disk-resident B+-tree keyed on Dewey IDs (paper Sections 4.3-4.4).
+
+The paper rejected commercial B+-trees because their APIs could not express
+the *longest-common-prefix* probe RDIL needs, and because two space
+optimizations were impossible:
+
+1. storing several B+-trees over short inverted lists on one shared disk
+   page (Section 4.3.1) — supported here through :class:`SharedPageWriter`;
+2. reusing a Dewey-ordered inverted list as the tree's leaf level so HDIL
+   only pays for internal nodes (Section 4.4.1) — supported through
+   *external leaves*: the tree is bulk-loaded over existing list pages and
+   a decoder callback turns a raw list page back into (key, record) pairs.
+
+Keys are :class:`DeweyId` values compared component-wise (document order).
+All node accesses go through the simulated disk, so probes are charged as
+random reads — the cost RDIL pays for skipping list entries.
+
+Supported operations: :meth:`ceiling` (smallest entry >= key),
+:meth:`predecessor` (largest entry < key), :meth:`longest_common_prefix`
+(the RDIL probe: deepest ancestor of ``key`` with a descendant in the tree),
+:meth:`range_scan` and :meth:`scan_subtree`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..errors import BTreeError
+from ..xmlmodel.dewey import DeweyId
+from .disk import SimulatedDisk
+from .records import RecordReader, RecordWriter
+
+#: Decodes one external leaf page into sorted (key, record) pairs.
+LeafDecoder = Callable[[bytes], List[Tuple[DeweyId, bytes]]]
+
+_LEAF = 0
+_INTERNAL = 1
+_NO_PAGE = 0  # page-id + 1 encoding, 0 means "none"
+
+
+def _encode_leaf(
+    entries: List[Tuple[DeweyId, bytes]], prev_page: int, next_page: int
+) -> bytes:
+    writer = RecordWriter()
+    writer.uint(_LEAF)
+    writer.uint(prev_page + 1)
+    writer.uint(next_page + 1)
+    writer.uint(len(entries))
+    for key, payload in entries:
+        writer.dewey(key)
+        writer.bytes_field(payload)
+    return writer.getvalue()
+
+
+def _decode_leaf(page: bytes) -> Tuple[int, int, List[Tuple[DeweyId, bytes]]]:
+    reader = RecordReader(page)
+    flag = reader.uint()
+    if flag != _LEAF:
+        raise BTreeError("expected a leaf page")
+    prev_page = reader.uint() - 1
+    next_page = reader.uint() - 1
+    count = reader.uint()
+    entries = [(reader.dewey(), reader.bytes_field()) for _ in range(count)]
+    return prev_page, next_page, entries
+
+
+def _encode_internal(entries: List[Tuple[DeweyId, int]]) -> bytes:
+    writer = RecordWriter()
+    writer.uint(_INTERNAL)
+    writer.uint(len(entries))
+    for key, child in entries:
+        writer.dewey(key)
+        writer.uint(child)
+    return writer.getvalue()
+
+
+def _decode_internal(page: bytes) -> List[Tuple[DeweyId, int]]:
+    reader = RecordReader(page)
+    flag = reader.uint()
+    if flag != _INTERNAL:
+        raise BTreeError("expected an internal page")
+    count = reader.uint()
+    return [(reader.dewey(), reader.uint()) for _ in range(count)]
+
+
+class BTree:
+    """Read-only (bulk-loaded) B+-tree over one inverted list."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        root_page: int,
+        height: int,
+        num_entries: int,
+        internal_bytes: int,
+        leaf_bytes: int,
+        leaf_pages: List[int],
+        leaf_decoder: Optional[LeafDecoder] = None,
+        shared_leaf: bool = False,
+    ):
+        self.disk = disk
+        self.root_page = root_page
+        self.height = height  # 1 = root is a leaf
+        self.num_entries = num_entries
+        self.internal_bytes = internal_bytes
+        self.leaf_bytes = leaf_bytes
+        self.leaf_pages = leaf_pages
+        self.leaf_decoder = leaf_decoder
+        self.shared_leaf = shared_leaf
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, disk: SimulatedDisk, entries: List[Tuple[DeweyId, bytes]]
+    ) -> "BTree":
+        """Build a tree that owns its leaves, from sorted (key, payload) pairs."""
+        _check_sorted(entries)
+        if not entries:
+            root = disk.allocate(_encode_leaf([], -1, -1))
+            return cls(disk, root, 1, 0, 0, len(disk.pages[root]), [root])
+
+        page_size = disk.page_size
+        # Greedily pack leaves, respecting the page size.
+        leaf_groups: List[List[Tuple[DeweyId, bytes]]] = []
+        current: List[Tuple[DeweyId, bytes]] = []
+        current_size = 16  # header slack
+        for key, payload in entries:
+            entry_size = key.encoded_size() + len(payload) + 5
+            if entry_size + 16 > page_size:
+                raise BTreeError(
+                    f"entry of {entry_size} bytes cannot fit one page"
+                )
+            if current and current_size + entry_size > page_size:
+                leaf_groups.append(current)
+                current = []
+                current_size = 16
+            current.append((key, payload))
+            current_size += entry_size
+        if current:
+            leaf_groups.append(current)
+
+        # Allocate leaf pages consecutively, then patch sibling pointers.
+        leaf_ids = [disk.allocate(b"") for _ in leaf_groups]
+        leaf_bytes = 0
+        for i, group in enumerate(leaf_groups):
+            prev_page = leaf_ids[i - 1] if i > 0 else -1
+            next_page = leaf_ids[i + 1] if i + 1 < len(leaf_ids) else -1
+            encoded = _encode_leaf(group, prev_page, next_page)
+            disk.write(leaf_ids[i], encoded)
+            leaf_bytes += len(encoded)
+
+        index = [(group[0][0], page_id) for group, page_id in zip(leaf_groups, leaf_ids)]
+        root, height, internal_bytes = _build_internal_levels(disk, index)
+        return cls(
+            disk,
+            root,
+            height,
+            len(entries),
+            internal_bytes,
+            leaf_bytes,
+            leaf_ids,
+        )
+
+    @classmethod
+    def build_over_pages(
+        cls,
+        disk: SimulatedDisk,
+        page_index: List[Tuple[DeweyId, int]],
+        leaf_decoder: LeafDecoder,
+        num_entries: int,
+    ) -> "BTree":
+        """Build internal levels over *existing* list pages (HDIL mode).
+
+        ``page_index`` maps the smallest key on each list page to its page
+        id; pages must be in key order.  Leaf bytes are not counted against
+        this tree — the inverted list already pays for them.
+        """
+        if not page_index:
+            raise BTreeError("cannot build a tree over zero pages")
+        keys = [key for key, _ in page_index]
+        if any(b < a for a, b in zip(keys, keys[1:])):
+            raise BTreeError("page index keys must be sorted")
+        root, height, internal_bytes = _build_internal_levels(disk, page_index)
+        return cls(
+            disk,
+            root,
+            height,
+            num_entries,
+            internal_bytes,
+            leaf_bytes=0,
+            leaf_pages=[page_id for _, page_id in page_index],
+            leaf_decoder=leaf_decoder,
+        )
+
+    # -- leaf access ----------------------------------------------------------------
+
+    def _leaf_entries(self, page_id: int) -> List[Tuple[DeweyId, bytes]]:
+        page = self.disk.read(page_id)
+        if self.leaf_decoder is not None:
+            return self.leaf_decoder(page)
+        _, _, entries = _decode_leaf(page)
+        return entries
+
+    def _leaf_neighbors(self, page_id: int) -> Tuple[int, int]:
+        """(prev, next) page ids, -1 when absent."""
+        if self.leaf_decoder is not None:
+            # External leaves are consecutive list pages.
+            position = self.leaf_pages.index(page_id)
+            prev_page = self.leaf_pages[position - 1] if position > 0 else -1
+            next_page = (
+                self.leaf_pages[position + 1]
+                if position + 1 < len(self.leaf_pages)
+                else -1
+            )
+            return prev_page, next_page
+        page = self.disk.read(page_id)
+        prev_page, next_page, _ = _decode_leaf(page)
+        return prev_page, next_page
+
+    def _descend(self, key: DeweyId) -> int:
+        """Page id of the leaf that would contain ``key``."""
+        page_id = self.root_page
+        for _ in range(self.height - 1):
+            children = _decode_internal(self.disk.read(page_id))
+            keys = [k for k, _ in children]
+            # Last child whose separator <= key; first child when below all.
+            position = bisect.bisect_right(keys, key) - 1
+            if position < 0:
+                position = 0
+            page_id = children[position][1]
+        return page_id
+
+    # -- queries -----------------------------------------------------------------------
+
+    def ceiling(self, key: DeweyId) -> Optional[Tuple[DeweyId, bytes]]:
+        """Smallest entry with entry key >= ``key``."""
+        page_id = self._descend(key)
+        while page_id != -1:
+            entries = self._leaf_entries(page_id)
+            keys = [k for k, _ in entries]
+            position = bisect.bisect_left(keys, key)
+            if position < len(entries):
+                return entries[position]
+            _, page_id = self._leaf_neighbors(page_id)
+        return None
+
+    def strictly_greater(self, key: DeweyId) -> Optional[Tuple[DeweyId, bytes]]:
+        """Smallest entry with entry key > ``key``."""
+        page_id = self._descend(key)
+        while page_id != -1:
+            entries = self._leaf_entries(page_id)
+            keys = [k for k, _ in entries]
+            position = bisect.bisect_right(keys, key)
+            if position < len(entries):
+                return entries[position]
+            _, page_id = self._leaf_neighbors(page_id)
+        return None
+
+    def predecessor(self, key: DeweyId) -> Optional[Tuple[DeweyId, bytes]]:
+        """Largest entry with entry key < ``key``."""
+        page_id = self._descend(key)
+        while page_id != -1:
+            entries = self._leaf_entries(page_id)
+            keys = [k for k, _ in entries]
+            position = bisect.bisect_left(keys, key)
+            if position > 0:
+                return entries[position - 1]
+            page_id, _ = self._leaf_neighbors(page_id)
+        return None
+
+    def longest_common_prefix(self, key: DeweyId) -> int:
+        """Length of the longest prefix of ``key`` shared with any tree key.
+
+        This is the paper's Section 4.3.2 probe: the smallest stored ID
+        >= ``key`` and its predecessor are the only candidates for the
+        longest shared prefix, because the leaves are in Dewey order.
+        """
+        best = 0
+        after = self.ceiling(key)
+        if after is not None:
+            best = max(best, key.common_prefix_length(after[0]))
+        before = self.predecessor(key)
+        if before is not None:
+            best = max(best, key.common_prefix_length(before[0]))
+        return best
+
+    def range_scan(
+        self, low: DeweyId, high_exclusive: Optional[DeweyId] = None
+    ) -> Iterator[Tuple[DeweyId, bytes]]:
+        """Entries with low <= key < high_exclusive, in order."""
+        page_id = self._descend(low)
+        while page_id != -1:
+            entries = self._leaf_entries(page_id)
+            for key, payload in entries:
+                if key < low:
+                    continue
+                if high_exclusive is not None and key >= high_exclusive:
+                    return
+                yield key, payload
+            _, page_id = self._leaf_neighbors(page_id)
+
+    def scan_subtree(self, prefix: DeweyId) -> Iterator[Tuple[DeweyId, bytes]]:
+        """All entries whose key has ``prefix`` as a (non-strict) prefix."""
+        return self.range_scan(prefix, prefix.successor_sibling())
+
+    # -- space accounting -----------------------------------------------------------------
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes attributable to this tree (internal nodes; own leaves too)."""
+        return self.internal_bytes + self.leaf_bytes
+
+
+def _check_sorted(entries: List[Tuple[DeweyId, bytes]]) -> None:
+    for (a, _), (b, _) in zip(entries, entries[1:]):
+        if b < a:
+            raise BTreeError("bulk-load input must be sorted by key")
+        if a == b:
+            raise BTreeError(f"duplicate key {a} in bulk-load input")
+
+
+def _build_internal_levels(
+    disk: SimulatedDisk, index: List[Tuple[DeweyId, int]]
+) -> Tuple[int, int, int]:
+    """Build internal nodes over (min_key, child_page) pairs.
+
+    Returns (root_page, height, internal_bytes); height counts the leaf
+    level, so a tree whose root sits directly on the leaves has height 2 and
+    a single-leaf tree has height 1.
+    """
+    if len(index) == 1:
+        return index[0][1], 1, 0
+
+    internal_bytes = 0
+    height = 1
+    page_size = disk.page_size
+    level = index
+    while len(level) > 1:
+        next_level: List[Tuple[DeweyId, int]] = []
+        current: List[Tuple[DeweyId, int]] = []
+        current_size = 8
+        groups: List[List[Tuple[DeweyId, int]]] = []
+        for key, child in level:
+            entry_size = key.encoded_size() + 5
+            if current and current_size + entry_size > page_size:
+                groups.append(current)
+                current = []
+                current_size = 8
+            current.append((key, child))
+            current_size += entry_size
+        if current:
+            groups.append(current)
+        for group in groups:
+            encoded = _encode_internal(group)
+            page_id = disk.allocate(encoded)
+            internal_bytes += len(encoded)
+            next_level.append((group[0][0], page_id))
+        level = next_level
+        height += 1
+    return level[0][1], height, internal_bytes
+
+
+class SharedPageWriter:
+    """Packs multiple small blobs (tiny B+-trees) onto shared disk pages.
+
+    The paper's Section 4.3.1 optimization: "we store multiple B+-trees
+    (over short inverted lists) on the same disk page".  Callers hand in a
+    blob and get back the page id holding it; blobs never span pages.  Space
+    accounting can then charge each index only for the bytes it occupies
+    rather than a whole page.
+    """
+
+    def __init__(self, disk: SimulatedDisk):
+        self.disk = disk
+        self._open_page: int = -1
+        self._used = 0
+
+    def place(self, blob: bytes) -> int:
+        """Pack a blob onto the open shared page; returns its page id."""
+        if len(blob) > self.disk.page_size:
+            raise BTreeError("blob larger than one page cannot be shared")
+        if self._open_page < 0 or self._used + len(blob) > self.disk.page_size:
+            self._open_page = self.disk.allocate(b"")
+            self._used = 0
+        self._used += len(blob)
+        return self._open_page
+
+
+class MutableBTree:
+    """A read-write B+-tree sharing the on-disk node format of :class:`BTree`.
+
+    The bulk-loaded :class:`BTree` covers XRANK's query path (indexes are
+    rebuilt offline, Figure 2); this mutable variant completes the substrate
+    for element-granularity maintenance experiments: point ``insert`` with
+    node splits, ``delete`` with lazy underflow (nodes may become sparse but
+    never violate ordering — the compaction story is a bulk rebuild, same as
+    the paper's), plus the same lookup surface.
+
+    Nodes are serialized pages exactly like :class:`BTree`'s, so a mutable
+    tree can be snapshotted into a read-only one by reusing its pages.
+    """
+
+    def __init__(self, disk: SimulatedDisk):
+        self.disk = disk
+        self.root_page = disk.allocate(_encode_leaf([], -1, -1))
+        self.height = 1
+        self.num_entries = 0
+
+    # -- lookups (shared shape with BTree) -----------------------------------------
+
+    def _descend_with_path(self, key: DeweyId):
+        """Leaf page id for ``key`` plus the (page, child-slot) path."""
+        path = []
+        page_id = self.root_page
+        for _ in range(self.height - 1):
+            children = _decode_internal(self.disk.read(page_id))
+            keys = [k for k, _ in children]
+            position = bisect.bisect_right(keys, key) - 1
+            if position < 0:
+                position = 0
+            path.append((page_id, position))
+            page_id = children[position][1]
+        return page_id, path
+
+    def search(self, key: DeweyId) -> Optional[bytes]:
+        """Payload stored under ``key``, or None."""
+        leaf_page, _ = self._descend_with_path(key)
+        _, _, entries = _decode_leaf(self.disk.read(leaf_page))
+        for entry_key, payload in entries:
+            if entry_key == key:
+                return payload
+        return None
+
+    def items(self) -> Iterator[Tuple[DeweyId, bytes]]:
+        """All entries in key order."""
+        page_id = self.root_page
+        for _ in range(self.height - 1):
+            children = _decode_internal(self.disk.read(page_id))
+            page_id = children[0][1]
+        while page_id != -1:
+            _, next_page, entries = _decode_leaf(self.disk.read(page_id))
+            yield from entries
+            page_id = next_page
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, key: DeweyId, payload: bytes) -> None:
+        """Insert or overwrite one entry, splitting full nodes as needed."""
+        entry_size = key.encoded_size() + len(payload) + 5
+        if entry_size + 16 > self.disk.page_size:
+            raise BTreeError(f"entry of {entry_size} bytes cannot fit one page")
+        leaf_page, path = self._descend_with_path(key)
+        prev_page, next_page, entries = _decode_leaf(self.disk.read(leaf_page))
+        keys = [k for k, _ in entries]
+        position = bisect.bisect_left(keys, key)
+        replaced = position < len(entries) and entries[position][0] == key
+        if replaced:
+            entries[position] = (key, payload)
+        else:
+            entries.insert(position, (key, payload))
+            self.num_entries += 1
+
+        encoded = _encode_leaf(entries, prev_page, next_page)
+        if len(encoded) <= self.disk.page_size:
+            self.disk.write(leaf_page, encoded)
+            return
+
+        # Split the leaf: left half stays on leaf_page (so parents and the
+        # previous sibling's next-pointer remain valid).
+        middle = len(entries) // 2
+        left, right = entries[:middle], entries[middle:]
+        right_page = self.disk.allocate(b"")
+        self.disk.write(
+            right_page, _encode_leaf(right, leaf_page, next_page)
+        )
+        self.disk.write(leaf_page, _encode_leaf(left, prev_page, right_page))
+        if next_page != -1:
+            old_prev, old_next, old_entries = _decode_leaf(
+                self.disk.read(next_page)
+            )
+            self.disk.write(
+                next_page, _encode_leaf(old_entries, right_page, old_next)
+            )
+        self._insert_separator(path, right[0][0], right_page)
+
+    def _insert_separator(self, path, separator: DeweyId, child_page: int) -> None:
+        """Propagate a split upward, growing a new root if necessary."""
+        while path:
+            parent_page, slot = path.pop()
+            children = _decode_internal(self.disk.read(parent_page))
+            children.insert(slot + 1, (separator, child_page))
+            encoded = _encode_internal(children)
+            if len(encoded) <= self.disk.page_size:
+                self.disk.write(parent_page, encoded)
+                return
+            middle = len(children) // 2
+            left, right = children[:middle], children[middle:]
+            right_page = self.disk.allocate(_encode_internal(right))
+            self.disk.write(parent_page, _encode_internal(left))
+            separator, child_page = right[0][0], right_page
+        # Split reached the root: grow one level.
+        new_root = self.disk.allocate(
+            _encode_internal(
+                [(self._smallest_key(), self.root_page), (separator, child_page)]
+            )
+        )
+        self.root_page = new_root
+        self.height += 1
+
+    def _smallest_key(self) -> DeweyId:
+        page_id = self.root_page
+        for _ in range(self.height - 1):
+            children = _decode_internal(self.disk.read(page_id))
+            page_id = children[0][1]
+        _, _, entries = _decode_leaf(self.disk.read(page_id))
+        if entries:
+            return entries[0][0]
+        return DeweyId((0,))
+
+    # -- deletion ---------------------------------------------------------------------
+
+    def delete(self, key: DeweyId) -> bool:
+        """Remove one entry; returns False when the key is absent.
+
+        Underflow is handled lazily: leaves may become sparse (even empty)
+        but stay linked and ordered, so lookups and scans remain correct;
+        space is reclaimed by a bulk rebuild, mirroring the index layer's
+        merge-compaction strategy.
+        """
+        leaf_page, _ = self._descend_with_path(key)
+        prev_page, next_page, entries = _decode_leaf(self.disk.read(leaf_page))
+        keys = [k for k, _ in entries]
+        position = bisect.bisect_left(keys, key)
+        if position >= len(entries) or entries[position][0] != key:
+            return False
+        del entries[position]
+        self.num_entries -= 1
+        self.disk.write(
+            leaf_page, _encode_leaf(entries, prev_page, next_page)
+        )
+        return True
+
+    # -- conversion ----------------------------------------------------------------------
+
+    def ceiling(self, key: DeweyId) -> Optional[Tuple[DeweyId, bytes]]:
+        """Smallest entry with entry key >= ``key`` (same as BTree)."""
+        leaf_page, _ = self._descend_with_path(key)
+        page_id = leaf_page
+        while page_id != -1:
+            _, next_page, entries = _decode_leaf(self.disk.read(page_id))
+            keys = [k for k, _ in entries]
+            position = bisect.bisect_left(keys, key)
+            if position < len(entries):
+                return entries[position]
+            page_id = next_page
+        return None

@@ -1,0 +1,219 @@
+"""A simulated page-oriented disk with an LRU buffer pool.
+
+All of XRANK's persistent structures (inverted-list files, B+-trees, hash
+indexes) live on one :class:`SimulatedDisk`.  Pages are immutable ``bytes``
+snapshots up to ``page_size`` long.  Reads go through an LRU buffer pool:
+
+* a pool hit costs nothing and increments ``cache_hits``;
+* a pool miss increments ``page_reads`` and is classified *sequential* when
+  the missed page id extends one of a small number of recently active read
+  streams (page id = some stream's last page + 1), otherwise *random*.
+  Stream tracking models per-file OS readahead: a DIL merge that alternates
+  between two inverted lists still advances each list sequentially, and a
+  real disk (or its readahead cache) serves that pattern at sequential
+  throughput.  The sequential/random distinction is what makes DIL's full
+  scans cheap per page and RDIL's probes expensive per page, reproducing
+  the paper's trade-off.
+
+"Cold cache" experiments (the paper's default, Section 5.1) call
+:meth:`drop_cache` before each query; warm-cache runs simply do not.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from typing import Optional
+
+from ..config import StorageParams
+from ..errors import PageError
+from .iostats import IOStats
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of page ids."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise PageError("buffer pool capacity must be positive")
+        self.capacity = capacity
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def touch(self, page_id: int) -> bool:
+        """Record an access; returns True on a hit."""
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            return True
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    def evict(self, page_id: int) -> None:
+        """Drop one page from the pool if present."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Drop every cached page."""
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class SimulatedDisk:
+    """Page store + buffer pool + I/O statistics."""
+
+    #: How many concurrent sequential read streams the model tracks.
+    MAX_STREAMS = 8
+
+    def __init__(self, params: Optional[StorageParams] = None):
+        self.params = params or StorageParams()
+        self.pages: list = []
+        self.pool = BufferPool(self.params.buffer_pool_pages)
+        self.stats = IOStats()
+        # Last missed page id of each active stream, most recent last.
+        self._streams: "OrderedDict[int, None]" = OrderedDict()
+        # Free page ids, kept sorted for consecutive-run search.
+        self._free: list = []
+
+    # -- allocation / writing ------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.params.page_size
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    def allocate(self, data: bytes = b"") -> int:
+        """Allocate a new page initialized with ``data``; returns its id.
+
+        Freed pages are reused (smallest id first) before the file grows.
+        """
+        self._check_size(data)
+        if self._free:
+            page_id = self._free.pop(0)
+            self.pages[page_id] = bytes(data)
+        else:
+            page_id = len(self.pages)
+            self.pages.append(bytes(data))
+        self.stats.page_writes += 1
+        return page_id
+
+    def allocate_run(self, pages: list) -> list:
+        """Allocate consecutive page ids for a list of page buffers.
+
+        Inverted-list files need consecutive ids so scans stay sequential;
+        this looks for a long-enough run in the free list before extending
+        the file.  Returns the allocated ids, in order.
+        """
+        for data in pages:
+            self._check_size(data)
+        count = len(pages)
+        if count == 0:
+            return []
+        run_start = self._find_free_run(count)
+        if run_start is None:
+            first = len(self.pages)
+            self.pages.extend(bytes(p) for p in pages)
+            self.stats.page_writes += count
+            return list(range(first, first + count))
+        ids = list(range(run_start, run_start + count))
+        for page_id, data in zip(ids, pages):
+            self.pages[page_id] = bytes(data)
+            self._free.remove(page_id)
+        self.stats.page_writes += count
+        return ids
+
+    def _find_free_run(self, count: int):
+        """Smallest start of ``count`` consecutive free page ids, or None."""
+        run_start = None
+        run_length = 0
+        previous = None
+        for page_id in self._free:
+            if previous is not None and page_id == previous + 1:
+                run_length += 1
+            else:
+                run_start = page_id
+                run_length = 1
+            previous = page_id
+            if run_length == count:
+                return run_start
+        return None
+
+    def free(self, page_id: int) -> None:
+        """Release a page for reuse; its contents become invalid."""
+        self._check_page_id(page_id)
+        if page_id in self._free:
+            raise PageError(f"page {page_id} is already free")
+        self.pages[page_id] = b""
+        self.pool.evict(page_id)
+        bisect.insort(self._free, page_id)
+
+    @property
+    def num_free_pages(self) -> int:
+        return len(self._free)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Overwrite an existing page."""
+        self._check_page_id(page_id)
+        self._check_size(data)
+        self.pages[page_id] = bytes(data)
+        self.stats.page_writes += 1
+        self.pool.touch(page_id)
+
+    def _check_size(self, data: bytes) -> None:
+        if len(data) > self.params.page_size:
+            raise PageError(
+                f"page data of {len(data)} bytes exceeds page size "
+                f"{self.params.page_size}"
+            )
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self.pages):
+            raise PageError(f"page id {page_id} out of range")
+
+    # -- reading --------------------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page through the buffer pool, charging I/O on a miss."""
+        self._check_page_id(page_id)
+        if self.pool.touch(page_id):
+            self.stats.cache_hits += 1
+            return self.pages[page_id]
+        self.stats.page_reads += 1
+        if page_id - 1 in self._streams:
+            self.stats.sequential_reads += 1
+            del self._streams[page_id - 1]
+        else:
+            self.stats.random_reads += 1
+        self._streams[page_id] = None
+        while len(self._streams) > self.MAX_STREAMS:
+            self._streams.popitem(last=False)
+        return self.pages[page_id]
+
+    # -- cache control ---------------------------------------------------------------
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool (simulates the paper's cold OS cache)."""
+        self.pool.clear()
+        self._streams.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters."""
+        self.stats.reset()
+
+    # -- space accounting -------------------------------------------------------------
+
+    def bytes_used(self) -> int:
+        """Total bytes of live data (not rounded up to page granularity)."""
+        return sum(len(page) for page in self.pages)
+
+    def bytes_allocated(self) -> int:
+        """Total bytes at page granularity (what a real disk would consume)."""
+        return len(self.pages) * self.params.page_size

@@ -1,0 +1,116 @@
+"""A disk-resident static hash index (for the Naive-Rank baseline).
+
+The paper's Naive-Rank approach stores, per keyword, an inverted list of
+*all* elements containing the keyword (ancestors included) ordered by rank,
+"with a hash index built on the ID field for random equality lookups"
+(Section 5.1).  Because naive lists replicate ancestors, the Threshold
+Algorithm only needs equality probes ("does this exact element ID appear in
+keyword k's list?"), never longest-common-prefix searches — so a hash index
+suffices and a B+-tree is unnecessary.
+
+This is a static bucketed hash: build once from (key, payload) pairs; each
+probe reads the bucket's page chain, charging random I/O per page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..xmlmodel.dewey import DeweyId
+from .disk import SimulatedDisk
+from .records import RecordReader, RecordWriter
+
+
+def _bucket_of(key: DeweyId, num_buckets: int) -> int:
+    return hash(key.components) % num_buckets
+
+
+class HashIndex:
+    """Static hash index from Dewey ID to an opaque payload."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        bucket_chains: List[List[int]],
+        num_entries: int,
+        byte_size: int,
+    ):
+        self.disk = disk
+        self.bucket_chains = bucket_chains
+        self.num_entries = num_entries
+        self.byte_size = byte_size
+
+    @classmethod
+    def build(
+        cls,
+        disk: SimulatedDisk,
+        entries: List[Tuple[DeweyId, bytes]],
+        fill_factor: float = 0.75,
+    ) -> "HashIndex":
+        """Build the index; bucket count is sized from the entry count."""
+        if not 0.0 < fill_factor <= 1.0:
+            raise StorageError("fill_factor must be in (0, 1]")
+        num_buckets = max(1, int(len(entries) / (8 * fill_factor)))
+        buckets: List[List[Tuple[DeweyId, bytes]]] = [[] for _ in range(num_buckets)]
+        seen: Dict[Tuple[int, ...], None] = {}
+        for key, payload in entries:
+            if key.components in seen:
+                raise StorageError(f"duplicate key {key} in hash index")
+            seen[key.components] = None
+            buckets[_bucket_of(key, num_buckets)].append((key, payload))
+
+        byte_size = 0
+        bucket_chains: List[List[int]] = []
+        for bucket in buckets:
+            chain: List[int] = []
+            pending: List[bytes] = []
+            pending_size = 8
+
+            def flush() -> None:
+                nonlocal pending, pending_size, byte_size
+                if pending:
+                    page_writer = RecordWriter()
+                    page_writer.uint(len(pending))
+                    for blob in pending:
+                        page_writer.raw(blob)
+                    encoded = page_writer.getvalue()
+                    chain.append(disk.allocate(encoded))
+                    byte_size += len(encoded)
+                    pending = []
+                    pending_size = 8
+
+            for key, payload in bucket:
+                entry_writer = RecordWriter()
+                entry_writer.dewey(key)
+                entry_writer.bytes_field(payload)
+                blob = entry_writer.getvalue()
+                if len(blob) + 8 > disk.page_size:
+                    raise StorageError("hash entry larger than a page")
+                if pending_size + len(blob) > disk.page_size:
+                    flush()
+                pending.append(blob)
+                pending_size += len(blob)
+            flush()
+            bucket_chains.append(chain)
+        return cls(disk, bucket_chains, len(entries), byte_size)
+
+    def lookup(self, key: DeweyId) -> Optional[bytes]:
+        """Probe for ``key``; returns its payload or None.
+
+        Every page of the bucket chain read counts as a random I/O, exactly
+        the cost profile the Threshold Algorithm pays in Naive-Rank.
+        """
+        chain = self.bucket_chains[_bucket_of(key, len(self.bucket_chains))]
+        for page_id in chain:
+            reader = RecordReader(self.disk.read(page_id))
+            count = reader.uint()
+            for _ in range(count):
+                entry_key = reader.dewey()
+                payload = reader.bytes_field()
+                if entry_key == key:
+                    return payload
+        return None
+
+    def __contains__(self, key: DeweyId) -> bool:
+        return self.lookup(key) is not None

@@ -1,0 +1,72 @@
+"""I/O accounting and the disk cost model.
+
+The paper's performance results (Figures 10 and 11) are driven by the I/O
+pattern of each algorithm: DIL performs *sequential* scans of whole inverted
+lists, RDIL performs few-but-*random* B+-tree probes, and the naive variants
+scan longer lists.  Our reproduction therefore measures queries primarily in
+simulated I/O cost, charging every buffer-pool miss a transfer cost and every
+non-sequential miss an additional seek cost.  Wall-clock time is reported by
+pytest-benchmark as well, but the cost model is the deterministic,
+machine-independent measure that reproduces the paper's *shapes*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import StorageParams
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one simulated disk."""
+
+    page_reads: int = 0          # misses that touched the "disk"
+    sequential_reads: int = 0    # subset of page_reads at last_pid + 1
+    random_reads: int = 0        # subset of page_reads elsewhere
+    page_writes: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.page_reads = 0
+        self.sequential_reads = 0
+        self.random_reads = 0
+        self.page_writes = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            page_reads=self.page_reads,
+            sequential_reads=self.sequential_reads,
+            random_reads=self.random_reads,
+            page_writes=self.page_writes,
+            cache_hits=self.cache_hits,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counter-wise difference ``self - earlier``."""
+        return IOStats(
+            page_reads=self.page_reads - earlier.page_reads,
+            sequential_reads=self.sequential_reads - earlier.sequential_reads,
+            random_reads=self.random_reads - earlier.random_reads,
+            page_writes=self.page_writes - earlier.page_writes,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+
+    def cost_ms(self, params: StorageParams) -> float:
+        """Simulated elapsed milliseconds under the given cost model."""
+        return (
+            self.page_reads * params.transfer_cost_ms
+            + self.random_reads * params.seek_cost_ms
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            page_reads=self.page_reads + other.page_reads,
+            sequential_reads=self.sequential_reads + other.sequential_reads,
+            random_reads=self.random_reads + other.random_reads,
+            page_writes=self.page_writes + other.page_writes,
+            cache_hits=self.cache_hits + other.cache_hits,
+        )

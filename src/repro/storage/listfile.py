@@ -1,0 +1,139 @@
+"""Inverted-list files: sequences of records on consecutive disk pages.
+
+An inverted list is written once at index-build time into a run of
+*consecutive* page ids, so a full scan is classified as sequential I/O by
+the simulated disk — the property that makes DIL's single-pass merge cheap.
+Records are opaque ``bytes`` at this layer; :mod:`repro.index.postings`
+defines their content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from .disk import SimulatedDisk
+from .records import pack_into_pages, unpack_page
+
+
+class ListFile:
+    """One on-disk inverted list.
+
+    Attributes:
+        disk: the simulated disk holding the pages.
+        page_ids: consecutive page ids, in list order.
+        num_records: number of records across all pages.
+        byte_size: exact serialized size (records + page headers).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        page_ids: List[int],
+        num_records: int,
+        byte_size: int,
+        page_boundaries: Optional[List[int]] = None,
+    ):
+        self.disk = disk
+        self.page_ids = page_ids
+        self.num_records = num_records
+        self.byte_size = byte_size
+        #: index of the first record on each page (parallel to page_ids)
+        self.page_boundaries = page_boundaries or []
+
+    @classmethod
+    def write(cls, disk: SimulatedDisk, records: List[bytes]) -> "ListFile":
+        """Persist ``records`` onto freshly allocated consecutive pages."""
+        framed = [frame_record(record) for record in records]
+        pages, boundaries = pack_into_pages(framed, disk.page_size)
+        page_ids = disk.allocate_run(pages)
+        for first, second in zip(page_ids, page_ids[1:]):
+            if second != first + 1:
+                raise StorageError("list pages were not allocated consecutively")
+        return cls(
+            disk,
+            page_ids,
+            num_records=len(records),
+            byte_size=sum(len(page) for page in pages),
+            page_boundaries=boundaries,
+        )
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
+
+    def scan(self) -> Iterator[bytes]:
+        """Yield every record in order, charging sequential page reads."""
+        for page_id in self.page_ids:
+            page = self.disk.read(page_id)
+            count, reader = unpack_page(page)
+            start = reader.offset
+            body = page
+            offset = start
+            for _ in range(count):
+                record, offset = _read_record(body, offset)
+                yield record
+
+    def scan_page(self, page_id: int) -> Iterator[bytes]:
+        """Yield the records of one page (used by B+-trees over external leaves)."""
+        page = self.disk.read(page_id)
+        count, reader = unpack_page(page)
+        offset = reader.offset
+        for _ in range(count):
+            record, offset = _read_record(page, offset)
+            yield record
+
+
+def _read_record(page: bytes, offset: int) -> Tuple[bytes, int]:
+    """Records inside pages are length-prefixed; return (body, next offset)."""
+    from ..xmlmodel.dewey import decode_varint
+
+    length, offset = decode_varint(page, offset)
+    end = offset + length
+    if end > len(page):
+        raise StorageError("truncated record in list page")
+    return page[offset:end], end
+
+
+def frame_record(body: bytes) -> bytes:
+    """Length-prefix a record body for storage in a list page."""
+    from ..xmlmodel.dewey import encode_varint
+
+    return encode_varint(len(body)) + body
+
+
+class ListCursor:
+    """A pull-based cursor over a :class:`ListFile` (peek / next / eof).
+
+    The DIL merge needs to look at the head record of n lists repeatedly;
+    this cursor decodes lazily, one page at a time.
+    """
+
+    def __init__(self, list_file: ListFile):
+        self._iterator = list_file.scan()
+        self._head: Optional[bytes] = None
+        self._eof = False
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            self._head = next(self._iterator)
+        except StopIteration:
+            self._head = None
+            self._eof = True
+
+    @property
+    def eof(self) -> bool:
+        return self._eof
+
+    def peek(self) -> bytes:
+        """Head record without consuming it."""
+        if self._eof or self._head is None:
+            raise StorageError("peek past end of list")
+        return self._head
+
+    def next(self) -> bytes:
+        """Consume and return the head record."""
+        record = self.peek()
+        self._advance()
+        return record

@@ -1,0 +1,23 @@
+"""Text substrate: tokenization, normalization and the Zipfian vocabulary
+model used by the synthetic corpus generators."""
+
+from .tokenize import (
+    STOPWORDS,
+    PositionCounter,
+    iter_words,
+    remove_stopwords,
+    tokenize_query,
+    words,
+)
+from .vocabulary import ZipfVocabulary, synthetic_words
+
+__all__ = [
+    "STOPWORDS",
+    "PositionCounter",
+    "ZipfVocabulary",
+    "iter_words",
+    "remove_stopwords",
+    "synthetic_words",
+    "tokenize_query",
+    "words",
+]

@@ -1,0 +1,44 @@
+"""XML substrate: tokenizer, parsers, node model, Dewey IDs and the
+collection graph ``G = (N, CE, HE)`` of paper Section 2.1."""
+
+from .dewey import DeweyId, decode_varint, deepest_common_ancestor, encode_varint
+from .graph import CollectionGraph, LinkResolution
+from .html import HTMLParser, parse_html
+from .nodes import Document, Element, ValueNode
+from .parser import XMLParser, parse_xml
+from .serialize import document_to_xml, element_to_xml
+from .tokens import Token, Tokenizer, TokenType, tokenize
+from .updates import (
+    InsertOutcome,
+    delete_element,
+    insert_element,
+    insert_text,
+    parse_xml_sparse,
+)
+
+__all__ = [
+    "CollectionGraph",
+    "DeweyId",
+    "Document",
+    "Element",
+    "HTMLParser",
+    "LinkResolution",
+    "Token",
+    "TokenType",
+    "Tokenizer",
+    "ValueNode",
+    "XMLParser",
+    "InsertOutcome",
+    "decode_varint",
+    "deepest_common_ancestor",
+    "delete_element",
+    "document_to_xml",
+    "element_to_xml",
+    "encode_varint",
+    "insert_element",
+    "insert_text",
+    "parse_html",
+    "parse_xml",
+    "parse_xml_sparse",
+    "tokenize",
+]

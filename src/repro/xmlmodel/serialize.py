@@ -1,0 +1,72 @@
+"""Serialize node trees back to XML text.
+
+Round-tripping matters for the corpus generators (which build documents as
+strings, parse them, and occasionally need to write them out for inspection)
+and for debugging index contents.  Attribute pseudo-elements are folded back
+into real attributes, so ``parse → serialize`` is a faithful inverse up to
+whitespace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import Document, Element, ValueNode
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {**_ESCAPES_TEXT, '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character-data special characters (& < >)."""
+    for char, entity in _ESCAPES_TEXT.items():
+        text = text.replace(char, entity)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape attribute-value special characters (& < > \")."""
+    for char, entity in _ESCAPES_ATTR.items():
+        text = text.replace(char, entity)
+    return text
+
+
+def element_to_xml(element: Element, indent: int = 0, step: int = 2) -> str:
+    """Serialize one element subtree with indentation."""
+    pad = " " * indent
+    attributes: List[str] = []
+    content_children = []
+    for child in element.children:
+        if isinstance(child, Element) and child.from_attribute:
+            value = attribute_text(child)
+            attributes.append(f'{child.tag}="{escape_attribute(value)}"')
+        else:
+            content_children.append(child)
+
+    attr_str = (" " + " ".join(attributes)) if attributes else ""
+    if not content_children:
+        return f"{pad}<{element.tag}{attr_str}/>"
+
+    # Single text child renders inline for readability.
+    if len(content_children) == 1 and isinstance(content_children[0], ValueNode):
+        text = escape_text(content_children[0].text)
+        return f"{pad}<{element.tag}{attr_str}>{text}</{element.tag}>"
+
+    lines = [f"{pad}<{element.tag}{attr_str}>"]
+    for child in content_children:
+        if isinstance(child, Element):
+            lines.append(element_to_xml(child, indent + step, step))
+        else:
+            lines.append(f"{' ' * (indent + step)}{escape_text(child.text)}")
+    lines.append(f"{pad}</{element.tag}>")
+    return "\n".join(lines)
+
+
+def document_to_xml(document: Document) -> str:
+    """Serialize a whole document (no XML declaration)."""
+    return element_to_xml(document.root) + "\n"
+
+
+def attribute_text(element: Element) -> str:
+    """Raw text of an attribute pseudo-element (joined value children)."""
+    return " ".join(v.text for v in element.value_children())

@@ -1,0 +1,248 @@
+"""A small, strict XML tokenizer.
+
+Produces a flat stream of lexical tokens (start tags with attributes, end
+tags, character data, comments, processing instructions, CDATA sections and
+doctype declarations) that :mod:`repro.xmlmodel.parser` assembles into a
+tree.  The tokenizer is strict about well-formedness at the lexical level —
+unterminated tags or comments raise :class:`~repro.errors.XMLParseError`
+with a line number — while entity handling covers the five predefined XML
+entities plus decimal/hex character references.
+
+The HTML front-end (:mod:`repro.xmlmodel.html`) reuses this tokenizer in a
+*lenient* mode that forgives bare ampersands and attribute values without
+quotes, which real-world HTML is full of.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator, List, Tuple
+
+from ..errors import XMLParseError
+
+_NAME_RE = re.compile(r"[A-Za-z_:][-A-Za-z0-9._:]*")
+_ENTITY_RE = re.compile(r"&(#x[0-9A-Fa-f]+|#[0-9]+|[A-Za-z][A-Za-z0-9]*);")
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+# A few HTML entities common enough to matter in lenient mode.
+_HTML_ENTITIES = {
+    **_PREDEFINED_ENTITIES,
+    "nbsp": " ",
+    "copy": "©",
+    "mdash": "—",
+    "ndash": "–",
+    "ldquo": "“",
+    "rdquo": "”",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "hellip": "…",
+}
+
+
+class TokenType(Enum):
+    """Lexical token categories produced by the tokenizer."""
+
+    START_TAG = auto()
+    END_TAG = auto()
+    EMPTY_TAG = auto()  # <tag/>
+    TEXT = auto()
+    COMMENT = auto()
+    PI = auto()
+    CDATA = auto()
+    DOCTYPE = auto()
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str  # tag name, text content, comment body, ...
+    attributes: List[Tuple[str, str]] = field(default_factory=list)
+    line: int = 0
+
+
+def decode_entities(text: str, lenient: bool = False) -> str:
+    """Replace entity and character references in ``text``.
+
+    Strict mode raises on unknown entities; lenient mode passes them (and
+    bare ampersands) through literally.
+    """
+
+    def replace(match: re.Match) -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        table = _HTML_ENTITIES if lenient else _PREDEFINED_ENTITIES
+        if body in table:
+            return table[body]
+        if lenient:
+            return match.group(0)
+        raise XMLParseError(f"unknown entity &{body};")
+
+    return _ENTITY_RE.sub(replace, text)
+
+
+class Tokenizer:
+    """Single-pass tokenizer over an XML source string."""
+
+    def __init__(self, source: str, lenient: bool = False):
+        self.source = source
+        self.lenient = lenient
+        self.pos = 0
+        self.line = 1
+
+    # -- low-level helpers -----------------------------------------------------
+
+    def _error(self, message: str) -> XMLParseError:
+        return XMLParseError(message, offset=self.pos, line=self.line)
+
+    def _advance(self, new_pos: int) -> None:
+        self.line += self.source.count("\n", self.pos, new_pos)
+        self.pos = new_pos
+
+    def _skip_whitespace_in_tag(self) -> None:
+        src = self.source
+        pos = self.pos
+        while pos < len(src) and src[pos] in " \t\r\n":
+            pos += 1
+        self._advance(pos)
+
+    def _read_name(self) -> str:
+        match = _NAME_RE.match(self.source, self.pos)
+        if not match:
+            raise self._error("expected a name")
+        self._advance(match.end())
+        return match.group(0)
+
+    def _read_attribute_value(self) -> str:
+        src = self.source
+        if self.pos >= len(src):
+            raise self._error("unterminated attribute")
+        quote = src[self.pos]
+        if quote in "\"'":
+            end = src.find(quote, self.pos + 1)
+            if end < 0:
+                raise self._error("unterminated attribute value")
+            raw = src[self.pos + 1 : end]
+            self._advance(end + 1)
+            return decode_entities(raw, self.lenient)
+        if not self.lenient:
+            raise self._error("attribute value must be quoted")
+        # Lenient mode: value ends at whitespace, '>' or '/>'.
+        end = self.pos
+        while end < len(src) and src[end] not in " \t\r\n>":
+            end += 1
+        raw = src[self.pos : end]
+        self._advance(end)
+        return decode_entities(raw, lenient=True)
+
+    def _read_attributes(self) -> List[Tuple[str, str]]:
+        attrs: List[Tuple[str, str]] = []
+        src = self.source
+        while True:
+            self._skip_whitespace_in_tag()
+            if self.pos >= len(src):
+                raise self._error("unterminated tag")
+            ch = src[self.pos]
+            if ch in ">/":
+                return attrs
+            if ch == "?" and self.lenient:
+                self._advance(self.pos + 1)
+                continue
+            name = self._read_name()
+            self._skip_whitespace_in_tag()
+            if self.pos < len(src) and src[self.pos] == "=":
+                self._advance(self.pos + 1)
+                self._skip_whitespace_in_tag()
+                value = self._read_attribute_value()
+            else:
+                # Valueless attribute (HTML boolean attributes).
+                if not self.lenient:
+                    raise self._error(f"attribute {name!r} has no value")
+                value = name
+            attrs.append((name, value))
+
+    # -- token production --------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until the end of input."""
+        src = self.source
+        length = len(src)
+        while self.pos < length:
+            start_line = self.line
+            if src[self.pos] != "<":
+                end = src.find("<", self.pos)
+                if end < 0:
+                    end = length
+                raw = src[self.pos : end]
+                self._advance(end)
+                text = decode_entities(raw, self.lenient)
+                if text:
+                    yield Token(TokenType.TEXT, text, line=start_line)
+                continue
+            # A markup construct starts here.
+            if src.startswith("<!--", self.pos):
+                end = src.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self._error("unterminated comment")
+                body = src[self.pos + 4 : end]
+                self._advance(end + 3)
+                yield Token(TokenType.COMMENT, body, line=start_line)
+            elif src.startswith("<![CDATA[", self.pos):
+                end = src.find("]]>", self.pos + 9)
+                if end < 0:
+                    raise self._error("unterminated CDATA section")
+                body = src[self.pos + 9 : end]
+                self._advance(end + 3)
+                yield Token(TokenType.CDATA, body, line=start_line)
+            elif src.startswith("<!", self.pos):
+                end = src.find(">", self.pos + 2)
+                if end < 0:
+                    raise self._error("unterminated declaration")
+                body = src[self.pos + 2 : end]
+                self._advance(end + 1)
+                yield Token(TokenType.DOCTYPE, body, line=start_line)
+            elif src.startswith("<?", self.pos):
+                end = src.find("?>", self.pos + 2)
+                if end < 0:
+                    raise self._error("unterminated processing instruction")
+                body = src[self.pos + 2 : end]
+                self._advance(end + 2)
+                yield Token(TokenType.PI, body, line=start_line)
+            elif src.startswith("</", self.pos):
+                self._advance(self.pos + 2)
+                name = self._read_name()
+                self._skip_whitespace_in_tag()
+                if self.pos >= length or src[self.pos] != ">":
+                    raise self._error(f"malformed end tag </{name}")
+                self._advance(self.pos + 1)
+                yield Token(TokenType.END_TAG, name, line=start_line)
+            else:
+                self._advance(self.pos + 1)
+                name = self._read_name()
+                attrs = self._read_attributes()
+                if src.startswith("/>", self.pos):
+                    self._advance(self.pos + 2)
+                    yield Token(
+                        TokenType.EMPTY_TAG, name, attributes=attrs, line=start_line
+                    )
+                elif self.pos < length and src[self.pos] == ">":
+                    self._advance(self.pos + 1)
+                    yield Token(
+                        TokenType.START_TAG, name, attributes=attrs, line=start_line
+                    )
+                else:
+                    raise self._error(f"malformed start tag <{name}")
+
+
+def tokenize(source: str, lenient: bool = False) -> List[Token]:
+    """Tokenize ``source`` eagerly (convenience wrapper)."""
+    return list(Tokenizer(source, lenient=lenient).tokens())

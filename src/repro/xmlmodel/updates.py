@@ -1,0 +1,227 @@
+"""Element-granularity tree updates with sparse Dewey numbering.
+
+Paper Section 4.5: inserting an element is hard because "the Dewey IDs of
+the siblings and descendants of the inserted element may need to be
+updated", and the authors plan to adapt Tatarinov et al.'s sparse-numbering
+techniques.  This module implements that plan at the tree layer:
+
+* **Sparse numbering** — the parser can assign sibling positions with a
+  configurable ``gap`` (0, g, 2g, ...), leaving room so an insertion between
+  two siblings usually finds a free component (their midpoint) and touches
+  *no other node*.
+* **Insertion** — :func:`insert_element` parses an XML fragment, grafts it
+  at a chosen sibling index, and only when the local gap is exhausted falls
+  back to renumbering the parent's children (reporting that it did, since a
+  renumber invalidates index postings for the subtree).
+* **Deletion** — :func:`delete_element` detaches a subtree; per the paper,
+  "deleting elements ... does not require special processing" (Dewey IDs of
+  the remaining nodes stay valid).
+
+Word positions of inserted text are appended to the end of the document's
+position space.  That preserves the proximity measure's validity *within*
+the inserted fragment but not across it and old text — the same
+approximation a real engine accepts between incremental index refreshes.
+
+Index structures are bulk-built; after tree updates, re-index the document
+(e.g. ``XRankEngine.replace_document``) to make the changes searchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DeweyError
+from ..text.tokenize import PositionCounter, words
+from .dewey import DeweyId
+from .nodes import Document, Element, Node, ValueNode
+from .parser import XMLParser
+
+#: Default sibling-position spacing for sparse numbering.
+DEFAULT_GAP = 16
+
+
+@dataclass
+class InsertOutcome:
+    """What an insertion did."""
+
+    element: Element
+    renumbered: bool  # True when sibling positions had to be reassigned
+
+
+def parse_xml_sparse(
+    source: str, doc_id: int, uri: str = "", gap: int = DEFAULT_GAP
+) -> Document:
+    """Parse with sparsely numbered sibling positions (0, gap, 2*gap...)."""
+    document = XMLParser().parse(source, doc_id, uri)
+    _respace(document.root, gap)
+    document._by_dewey = None
+    return document
+
+
+def _respace(element: Element, gap: int) -> None:
+    """Re-assign this subtree's Dewey components with the given spacing."""
+    for position, child in enumerate(element.children):
+        new_dewey = element.dewey.child(position * gap)
+        _set_subtree_dewey(child, new_dewey)
+        if isinstance(child, Element):
+            _respace(child, gap)
+
+
+def _set_subtree_dewey(node: Node, new_dewey: DeweyId) -> None:
+    """Rewrite a node's Dewey ID, keeping descendants' relative paths."""
+    old = node.dewey
+    node.dewey = new_dewey
+    if isinstance(node, Element):
+        for child in node.children:
+            suffix = child.dewey.components[len(old) :]
+            _set_subtree_dewey(child, DeweyId(new_dewey.components + suffix))
+
+
+def _component_between(left: Optional[int], right: Optional[int]) -> Optional[int]:
+    """A free component strictly between neighbors, or None if exhausted."""
+    low = -1 if left is None else left
+    if right is None:
+        return low + DEFAULT_GAP  # appending: keep spacing for future inserts
+    if right - low <= 1:
+        return None
+    return low + (right - low) // 2
+
+
+def insert_element(
+    document: Document,
+    parent: Element,
+    index: int,
+    fragment_source: str,
+    gap: int = DEFAULT_GAP,
+) -> InsertOutcome:
+    """Insert a parsed XML fragment as ``parent``'s child at ``index``.
+
+    Chooses a Dewey component between the neighbors' components when the
+    sparse gap allows; otherwise renumbers the parent's children (and their
+    descendants) with fresh spacing — the fallback Tatarinov-style schemes
+    accept.  Returns the new element and whether renumbering happened.
+    """
+    if not 0 <= index <= len(parent.children):
+        raise DeweyError(
+            f"insert index {index} out of range 0..{len(parent.children)}"
+        )
+    fragment = _parse_fragment(document, fragment_source)
+
+    left = (
+        parent.children[index - 1].dewey.components[-1] if index > 0 else None
+    )
+    right = (
+        parent.children[index].dewey.components[-1]
+        if index < len(parent.children)
+        else None
+    )
+    component = _component_between(left, right)
+    renumbered = False
+    if component is None:
+        # Local gap exhausted: respace all children, then place midway.
+        _respace_for_insert(parent, gap)
+        renumbered = True
+        left = (
+            parent.children[index - 1].dewey.components[-1]
+            if index > 0
+            else None
+        )
+        right = (
+            parent.children[index].dewey.components[-1]
+            if index < len(parent.children)
+            else None
+        )
+        component = _component_between(left, right)
+        if component is None:
+            raise DeweyError("renumbering failed to open a gap")
+
+    _set_subtree_dewey(fragment, parent.dewey.child(component))
+    fragment.parent = parent
+    parent.children.insert(index, fragment)
+    document._by_dewey = None
+    return InsertOutcome(fragment, renumbered)
+
+
+def _respace_for_insert(parent: Element, gap: int) -> None:
+    for position, child in enumerate(parent.children):
+        _set_subtree_dewey(child, parent.dewey.child((position + 1) * gap))
+
+
+def _parse_fragment(document: Document, source: str) -> Element:
+    """Parse a fragment and append its word positions to the document."""
+    parser = XMLParser()
+    staged = parser.parse(source, doc_id=0)
+    offset = document.word_count
+    added = _shift_positions(staged.root, offset)
+    document.word_count += added
+    return staged.root
+
+
+def _shift_positions(element: Element, offset: int) -> int:
+    """Shift all word positions in a subtree; returns the position count."""
+    count = 0
+    element.tag_words = tuple(
+        (word, position + offset) for word, position in element.tag_words
+    )
+    count += len(element.tag_words)
+    for child in element.children:
+        if isinstance(child, ValueNode):
+            child.words = tuple(
+                (word, position + offset) for word, position in child.words
+            )
+            count += len(child.words)
+        else:
+            count += _shift_positions(child, offset)
+    return count
+
+
+def delete_element(document: Document, element: Element) -> None:
+    """Detach a subtree.  No renumbering needed (Section 4.5)."""
+    parent = element.parent
+    if parent is None:
+        raise DeweyError("cannot delete the document root")
+    parent.children.remove(element)
+    element.parent = None
+    document._by_dewey = None
+
+
+def insert_text(
+    document: Document, parent: Element, index: int, text: str
+) -> ValueNode:
+    """Insert a text value node (same placement rules as elements)."""
+    if not 0 <= index <= len(parent.children):
+        raise DeweyError(
+            f"insert index {index} out of range 0..{len(parent.children)}"
+        )
+    left = (
+        parent.children[index - 1].dewey.components[-1] if index > 0 else None
+    )
+    right = (
+        parent.children[index].dewey.components[-1]
+        if index < len(parent.children)
+        else None
+    )
+    component = _component_between(left, right)
+    if component is None:
+        _respace_for_insert(parent, DEFAULT_GAP)
+        left = (
+            parent.children[index - 1].dewey.components[-1]
+            if index > 0
+            else None
+        )
+        right = (
+            parent.children[index].dewey.components[-1]
+            if index < len(parent.children)
+            else None
+        )
+        component = _component_between(left, right)
+    tokens = words(text)
+    counter = PositionCounter(document.word_count)
+    occurrences = counter.assign(tokens)
+    document.word_count = counter.position
+    value = ValueNode(parent.dewey.child(component), text, occurrences)
+    value.parent = parent
+    parent.children.insert(index, value)
+    document._by_dewey = None
+    return value

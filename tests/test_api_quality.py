@@ -1,0 +1,98 @@
+"""API-quality gates: docstring coverage and import hygiene.
+
+A release-grade library documents its public surface.  These tests walk the
+package and fail when a public module, class or function lacks a docstring,
+and when ``__all__`` declarations drift from what a module actually exports.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.bench",
+    "repro.datasets",
+    "repro.index",
+    "repro.query",
+    "repro.ranking",
+    "repro.storage",
+    "repro.text",
+    "repro.xmlmodel",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(member) is not module:
+            continue  # re-exports are documented at their origin
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, member in public_members(module):
+                if not (member.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, (
+            f"public items without docstrings: {undocumented}"
+        )
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for _, member in public_members(module):
+                if not inspect.isclass(member):
+                    continue
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    if not (method.__doc__ or "").strip():
+                        undocumented.append(
+                            f"{module.__name__}.{member.__name__}.{method_name}"
+                        )
+        assert not undocumented, (
+            f"public methods without docstrings: {undocumented}"
+        )
+
+
+class TestAllDeclarations:
+    def test_package_all_resolves(self):
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            declared = getattr(package, "__all__", None)
+            if declared is None:
+                continue
+            missing = [name for name in declared if not hasattr(package, name)]
+            assert not missing, f"{package_name}.__all__ dangles: {missing}"
+
+    def test_version_exported(self):
+        assert repro.__version__
+        assert isinstance(repro.__version__, str)

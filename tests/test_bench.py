@@ -1,0 +1,159 @@
+"""Smoke tests for the benchmark harness and experiment drivers.
+
+These run on deliberately tiny corpora — they validate plumbing and the
+qualitative invariants, while `benchmarks/` runs the paper-scale versions.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_ablation_decay,
+    run_ablation_proximity,
+    run_ablation_variants,
+    run_convergence,
+    run_fig10,
+    run_fig11,
+    run_ranking_quality,
+    run_table1,
+    run_vary_m,
+)
+from repro.bench.harness import APPROACHES, BenchmarkSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return BenchmarkSuite(
+        dblp_papers=150, xmark_items=40, xmark_auctions=60
+    )
+
+
+class TestHarness:
+    def test_all_indexes_built(self, suite):
+        for indexed in suite.corpora.values():
+            assert set(indexed.indexes) == set(APPROACHES)
+
+    def test_measure_returns_stats(self, suite):
+        query = suite.planted.correlated_groups[0][:2]
+        measurement = suite.dblp.measure("dil", query, m=5)
+        assert measurement.cost_ms > 0
+        assert measurement.io.page_reads > 0
+        assert measurement.num_results >= 0
+
+    def test_mean_cost(self, suite):
+        queries = [suite.planted.correlated_groups[0][:2]]
+        cost = suite.dblp.mean_cost("dil", queries)
+        assert cost > 0
+
+    def test_measurements_cold_and_reproducible(self, suite):
+        query = suite.planted.correlated_groups[0][:2]
+        first = suite.dblp.measure("dil", query, m=5)
+        second = suite.dblp.measure("dil", query, m=5)
+        assert first.cost_ms == second.cost_ms
+
+
+class TestDrivers:
+    def test_table1(self, suite):
+        data, text = run_table1(suite)
+        assert set(data) == set(APPROACHES)
+        assert "Table 1" in text
+        for corpus in ("dblp", "xmark"):
+            assert (
+                data["naive-id"][corpus]["inverted_list_bytes"]
+                > data["dil"][corpus]["inverted_list_bytes"]
+            )
+            assert (
+                data["hdil"][corpus]["index_bytes"]
+                < data["rdil"][corpus]["index_bytes"]
+            )
+
+    def test_fig10_points(self, suite):
+        table = run_fig10(suite, keyword_counts=(1, 2), approaches=("dil", "rdil", "hdil"))
+        assert len(table.points) == 2
+        assert table.format().startswith("== Figure 10")
+        for point in table.points:
+            assert all(v >= 0 for v in point.values.values())
+
+    def test_fig11_points(self, suite):
+        table = run_fig11(suite, keyword_counts=(2,))
+        point = table.points[0]
+        # The qualitative claim: DIL beats RDIL under low correlation.
+        assert point.values["dil"] < point.values["rdil"]
+
+    def test_vary_m_dil_flat(self, suite):
+        table = run_vary_m(suite, m_values=(1, 20), approaches=("dil",))
+        costs = [p.values["dil"] for p in table.points]
+        assert costs[0] == pytest.approx(costs[-1], rel=0.05)
+
+    def test_convergence_rows(self, suite):
+        rows, text = run_convergence(suite, d_settings=((0.35, 0.25, 0.25),))
+        assert len(rows) == 2  # one per corpus
+        assert all(row.converged for row in rows)
+        assert "convergence" in text
+
+    def test_ranking_quality_anecdotes(self):
+        outcomes, text = run_ranking_quality(num_papers=80)
+        assert len(outcomes) == 3
+        assert all(outcome.passed for outcome in outcomes), text
+
+    def test_ablations_run(self, suite):
+        decay_data, _ = run_ablation_decay(suite, decays=(0.5, 1.0))
+        assert set(decay_data) == {0.5, 1.0}
+        overlaps, _ = run_ablation_variants(suite, top_k=10)
+        assert overlaps["e4-final"] == 1.0
+        proximity_data, _ = run_ablation_proximity(suite)
+        assert set(proximity_data) == {"proximity-on", "proximity-off"}
+
+
+class TestReportGenerator:
+    def test_small_scale_report_smoke(self, capsys):
+        """The markdown report generator runs end-to-end at reduced scale."""
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "generate_report.py"
+        )
+        spec = importlib.util.spec_from_file_location("generate_report", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main(
+            ["--dblp-papers", "120", "--xmark-items", "40",
+             "--xmark-auctions", "60"]
+        )
+        out = capsys.readouterr().out
+        for heading in (
+            "## Table 1", "## Figure 10", "## Figure 11",
+            "## ElemRank convergence", "## Section 5.2 anecdotes",
+        ):
+            assert heading in out
+        assert "legend:" in out  # the ASCII chart rendered
+
+
+class TestExtraDrivers:
+    def test_warm_cache_driver(self, suite):
+        from repro.bench.experiments import run_warm_cache
+
+        data, text = run_warm_cache(suite)
+        assert set(data) == {"dil", "rdil", "hdil"}
+        for row in data.values():
+            assert row["warm_ms"] <= row["cold_ms"]
+        assert "Warm vs cold" in text
+
+    def test_selectivity_driver(self, suite):
+        from repro.bench.experiments import run_selectivity
+
+        table = run_selectivity(suite, bands=("high", "medium"))
+        assert len(table.points) == 2
+        assert table.notes
+
+    def test_build_costs_driver(self, suite):
+        from repro.bench.experiments import run_build_costs
+
+        costs, text = run_build_costs(suite)
+        assert set(costs) == {"naive-id", "naive-rank", "dil", "rdil", "hdil"}
+        assert all(v > 0 for v in costs.values())
+        # Auxiliary structures cost extra: naive-rank > naive-id.
+        assert costs["naive-rank"] > costs["naive-id"] * 0.8
+        assert "build costs" in text

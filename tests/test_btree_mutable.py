@@ -1,0 +1,148 @@
+"""Tests for the read-write B+-tree (insert with splits, lazy delete)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import StorageParams
+from repro.errors import BTreeError
+from repro.storage.btree import MutableBTree
+from repro.storage.disk import SimulatedDisk
+from repro.xmlmodel.dewey import DeweyId
+
+
+def make_tree(page_size=256):
+    disk = SimulatedDisk(StorageParams(page_size=page_size, buffer_pool_pages=64))
+    return MutableBTree(disk)
+
+
+def key_of(*components):
+    return DeweyId(components)
+
+
+class TestInsert:
+    def test_single_insert_and_search(self):
+        tree = make_tree()
+        tree.insert(key_of(1, 2), b"payload")
+        assert tree.search(key_of(1, 2)) == b"payload"
+        assert tree.search(key_of(9)) is None
+        assert tree.num_entries == 1
+
+    def test_overwrite_existing_key(self):
+        tree = make_tree()
+        tree.insert(key_of(1), b"old")
+        tree.insert(key_of(1), b"new")
+        assert tree.search(key_of(1)) == b"new"
+        assert tree.num_entries == 1
+
+    def test_items_sorted(self):
+        tree = make_tree()
+        keys = [key_of(i) for i in (5, 1, 9, 3, 7)]
+        for k in keys:
+            tree.insert(k, str(k).encode())
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_leaf_split_grows_tree(self):
+        tree = make_tree(page_size=128)
+        for i in range(200):
+            tree.insert(key_of(i), b"xx")
+        assert tree.height >= 2
+        assert [k.components[0] for k, _ in tree.items()] == list(range(200))
+
+    def test_reverse_order_inserts(self):
+        tree = make_tree(page_size=128)
+        for i in reversed(range(150)):
+            tree.insert(key_of(i), b"p")
+        assert [k.components[0] for k, _ in tree.items()] == list(range(150))
+
+    def test_oversized_entry_rejected(self):
+        tree = make_tree(page_size=64)
+        with pytest.raises(BTreeError):
+            tree.insert(key_of(1), b"x" * 100)
+
+    def test_ceiling(self):
+        tree = make_tree()
+        for i in (2, 4, 6):
+            tree.insert(key_of(i), b"p")
+        assert tree.ceiling(key_of(3))[0] == key_of(4)
+        assert tree.ceiling(key_of(4))[0] == key_of(4)
+        assert tree.ceiling(key_of(7)) is None
+
+
+class TestDelete:
+    def test_delete_present_and_absent(self):
+        tree = make_tree()
+        tree.insert(key_of(1), b"p")
+        assert tree.delete(key_of(1)) is True
+        assert tree.delete(key_of(1)) is False
+        assert tree.search(key_of(1)) is None
+        assert tree.num_entries == 0
+
+    def test_delete_across_splits(self):
+        tree = make_tree(page_size=128)
+        for i in range(120):
+            tree.insert(key_of(i), b"p")
+        for i in range(0, 120, 2):
+            assert tree.delete(key_of(i))
+        remaining = [k.components[0] for k, _ in tree.items()]
+        assert remaining == list(range(1, 120, 2))
+
+    def test_empty_leaves_tolerated(self):
+        tree = make_tree(page_size=128)
+        for i in range(60):
+            tree.insert(key_of(i), b"p")
+        for i in range(60):
+            tree.delete(key_of(i))
+        assert list(tree.items()) == []
+        tree.insert(key_of(7), b"back")
+        assert tree.search(key_of(7)) == b"back"
+
+
+class TestRandomizedModel:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_dict_model(self, seed):
+        rng = random.Random(seed)
+        tree = make_tree(page_size=256)
+        model = {}
+        for step in range(1500):
+            key = DeweyId(
+                tuple(rng.randrange(10) for _ in range(rng.randint(1, 4)))
+            )
+            if rng.random() < 0.7:
+                payload = f"v{step}".encode()
+                tree.insert(key, payload)
+                model[key] = payload
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert list(tree.items()) == sorted(
+            model.items(), key=lambda kv: kv[0].components
+        )
+        assert tree.num_entries == len(model)
+
+
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        ),
+        max_size=120,
+    )
+)
+def test_property_against_model(operations):
+    tree = make_tree(page_size=128)
+    model = {}
+    for is_insert, components in operations:
+        key = DeweyId(components)
+        if is_insert:
+            tree.insert(key, b"p")
+            model[key] = b"p"
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert [k for k, _ in tree.items()] == sorted(model)

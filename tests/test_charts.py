@@ -1,0 +1,64 @@
+"""Tests for ASCII chart rendering."""
+
+from repro.bench.charts import render_bars, render_series_csv
+from repro.bench.harness import ExperimentTable, SeriesPoint
+
+
+def sample_table():
+    table = ExperimentTable("demo figure", "num keywords", "ms")
+    table.points.append(SeriesPoint(x=2, values={"dil": 50.0, "rdil": 25.0}))
+    table.points.append(SeriesPoint(x=3, values={"dil": 75.0, "rdil": 30.0}))
+    return table
+
+
+class TestBars:
+    def test_contains_all_values(self):
+        out = render_bars(sample_table())
+        for value in ("50.0", "25.0", "75.0", "30.0"):
+            assert value in out
+
+    def test_bar_lengths_proportional(self):
+        out = render_bars(sample_table(), width=40)
+        lines = [l for l in out.splitlines() if "#" in l]
+        lengths = {
+            line.strip().split()[1][0]: line.count("#") for line in lines
+        }
+        dil_rows = [l.count("#") for l in lines if " D " in l]
+        rdil_rows = [l.count("#") for l in lines if " R " in l]
+        assert max(dil_rows) == 40  # the maximum value spans full width
+        assert all(r < d for r, d in zip(sorted(rdil_rows), sorted(dil_rows)))
+
+    def test_legend_present(self):
+        out = render_bars(sample_table())
+        assert "legend:" in out
+        assert "D=dil" in out and "R=rdil" in out
+
+    def test_empty_values_handled(self):
+        table = ExperimentTable("empty", "x", "y")
+        table.points.append(SeriesPoint(x=1, values={}))
+        out = render_bars(table)
+        assert "empty" in out
+
+    def test_missing_series_skipped(self):
+        table = ExperimentTable("gaps", "x", "y")
+        table.points.append(SeriesPoint(x=1, values={"dil": 10.0}))
+        table.points.append(SeriesPoint(x=2, values={"dil": 10.0, "hdil": 5.0}))
+        out = render_bars(table)
+        assert out.count(" H ") == 1
+
+
+class TestCsv:
+    def test_csv_shape(self):
+        out = render_series_csv(sample_table())
+        lines = out.splitlines()
+        assert lines[0] == "num keywords,dil,rdil"
+        assert lines[1] == "2,50.000,25.000"
+        assert len(lines) == 3
+
+    def test_csv_missing_cell_empty(self):
+        table = ExperimentTable("gaps", "x", "y")
+        table.points.append(SeriesPoint(x=1, values={"dil": 1.0}))
+        table.points.append(SeriesPoint(x=2, values={"rdil": 2.0}))
+        out = render_series_csv(table)
+        assert ",," not in out.splitlines()[0]
+        assert out.splitlines()[1].endswith(",")

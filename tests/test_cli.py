@@ -1,0 +1,155 @@
+"""Tests for the command-line interface (index / search / stats / demo)."""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.engine import XRankEngine
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "workshop.xml").write_text(
+        "<workshop><title>XQL workshop</title>"
+        "<paper><body><sub>the xql language</sub></body></paper></workshop>"
+    )
+    (docs / "page.html").write_text(
+        '<html><body>xql tutorial <a href="workshop.xml">link</a></body></html>'
+    )
+    (docs / "notes.txt").write_text("ignored: not xml or html")
+    (docs / "broken.xml").write_text("<a><b></a>")
+    return docs
+
+
+class TestIndexCommand:
+    def test_index_builds_engine_file(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "engine.xrank"
+        code = main(["index", str(corpus_dir), "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "indexed 2 documents" in captured.out
+        assert "skipping" in captured.err  # broken.xml reported, not fatal
+        with open(out, "rb") as handle:
+            engine = pickle.load(handle)
+        assert isinstance(engine, XRankEngine)
+
+    def test_cross_file_links_resolve(self, corpus_dir, tmp_path):
+        out = tmp_path / "engine.xrank"
+        main(["index", str(corpus_dir), "--out", str(out)])
+        with open(out, "rb") as handle:
+            engine = pickle.load(handle)
+        assert engine.stats()["hyperlink_edges"] == 1
+
+    def test_missing_path_errors(self, tmp_path):
+        code = main(["index", str(tmp_path / "nope"), "--out", "x"])
+        assert code == 2
+
+    def test_no_matching_files(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["index", str(empty), "--out", str(tmp_path / "o")])
+        assert code == 1
+
+    def test_scorer_option(self, corpus_dir, tmp_path):
+        out = tmp_path / "engine.xrank"
+        code = main(
+            ["index", str(corpus_dir), "--out", str(out), "--scorer", "tfidf"]
+        )
+        assert code == 0
+
+
+class TestSearchCommand:
+    @pytest.fixture()
+    def engine_file(self, corpus_dir, tmp_path):
+        out = tmp_path / "engine.xrank"
+        main(["index", str(corpus_dir), "--out", str(out),
+              "--kinds", "hdil", "dil"])
+        return out
+
+    def test_search_prints_hits(self, engine_file, capsys):
+        code = main(["search", str(engine_file), "xql language"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "<sub>" in captured.out
+        assert "[0." in captured.out
+
+    def test_search_no_results(self, engine_file, capsys):
+        code = main(["search", str(engine_file), "zebra unicorn"])
+        assert code == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_or_mode(self, engine_file, capsys):
+        code = main(
+            ["search", str(engine_file), "xql zebra", "--mode", "or",
+             "--kind", "dil"]
+        )
+        assert code == 0
+        assert "no results" not in capsys.readouterr().out
+
+    def test_context_flag(self, engine_file, capsys):
+        main(["search", str(engine_file), "xql language", "--context"])
+        assert "^ <" in capsys.readouterr().out
+
+    def test_not_an_engine_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.pkl"
+        with open(bogus, "wb") as handle:
+            pickle.dump({"not": "an engine"}, handle)
+        code = main(["search", str(bogus), "x"])
+        assert code == 2
+
+
+class TestOtherCommands:
+    def test_stats(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "engine.xrank"
+        main(["index", str(corpus_dir), "--out", str(out)])
+        code = main(["stats", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "documents: 2" in captured
+
+    def test_demo(self, capsys):
+        code = main(["demo"])
+        assert code == 0
+        assert "xql language" in capsys.readouterr().out
+
+
+class TestGeneratedCorpusIntegration:
+    """End-to-end: generated corpus -> files on disk -> CLI -> search."""
+
+    def test_saved_dblp_corpus_indexes_with_citations(self, tmp_path, capsys):
+        from repro.datasets import generate_dblp, save_corpus
+
+        corpus = generate_dblp(num_papers=40, seed=13, plant_anecdotes=True)
+        corpus_dir = tmp_path / "dblp"
+        written = save_corpus(corpus, corpus_dir)
+        assert len(written) == 40
+        assert all((corpus_dir / name).exists() for name in written)
+
+        out = tmp_path / "engine.xrank"
+        code = main(["index", str(corpus_dir), "--out", str(out)])
+        assert code == 0
+        with open(out, "rb") as handle:
+            engine = pickle.load(handle)
+        # Inter-document citations must survive the disk round trip.
+        assert engine.stats()["hyperlink_edges"] == len(
+            corpus.graph.hyperlink_edges
+        )
+
+        code = main(["search", str(out), "jim gray"])
+        assert code == 0
+        assert "author" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_prints_decomposition(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "engine.xrank"
+        main(["index", str(corpus_dir), "--out", str(out), "--kinds", "dil"])
+        code = main(["explain", str(out), "xql language", "--kind", "dil"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "r(xql)" in text
+        assert "proximity" in text
+        assert "ElemRank(element)" in text

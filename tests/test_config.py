@@ -1,0 +1,117 @@
+"""Validation tests for every configuration dataclass."""
+
+import pytest
+
+from repro.config import (
+    ElemRankParams,
+    HDILParams,
+    RankingParams,
+    StorageParams,
+    XRankConfig,
+)
+from repro.errors import QueryError
+
+
+class TestElemRankParams:
+    def test_defaults_are_the_papers(self):
+        params = ElemRankParams()
+        assert (params.d1, params.d2, params.d3) == (0.35, 0.25, 0.25)
+        assert params.threshold == 2e-5
+        assert params.random_jump == pytest.approx(0.15)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d1": 1.0},
+            {"d1": -0.01},
+            {"d1": 0.5, "d2": 0.5, "d3": 0.1},
+            {"d1": 0.0, "d2": 0.0, "d3": 0.0},
+            {"threshold": 0.0},
+            {"threshold": -1.0},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(QueryError):
+            ElemRankParams(**kwargs)
+
+    def test_frozen(self):
+        params = ElemRankParams()
+        with pytest.raises(AttributeError):
+            params.d1 = 0.5
+
+
+class TestRankingParams:
+    def test_defaults(self):
+        params = RankingParams()
+        assert params.decay == 0.75
+        assert params.aggregation == "max"
+        assert params.use_proximity
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"decay": 0.0},
+            {"decay": -0.5},
+            {"decay": 1.0001},
+            {"aggregation": "mean"},
+            {"aggregation": ""},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(QueryError):
+            RankingParams(**kwargs)
+
+    def test_decay_one_allowed(self):
+        assert RankingParams(decay=1.0).decay == 1.0
+
+    def test_sum_aggregation_allowed(self):
+        assert RankingParams(aggregation="sum").aggregation == "sum"
+
+
+class TestStorageParams:
+    def test_defaults(self):
+        params = StorageParams()
+        assert params.page_size == 4096
+        assert params.buffer_pool_pages == 256
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"page_size": 32}, {"buffer_pool_pages": 0}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(QueryError):
+            StorageParams(**kwargs)
+
+
+class TestHDILParams:
+    def test_defaults(self):
+        params = HDILParams()
+        assert 0 < params.rank_fraction <= 1
+        assert params.min_rank_entries >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank_fraction": 0.0},
+            {"rank_fraction": 1.5},
+            {"min_rank_entries": 0},
+            {"monitor_interval": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(QueryError):
+            HDILParams(**kwargs)
+
+
+class TestXRankConfig:
+    def test_bundles_defaults(self):
+        config = XRankConfig()
+        assert isinstance(config.elemrank, ElemRankParams)
+        assert isinstance(config.ranking, RankingParams)
+        assert isinstance(config.storage, StorageParams)
+        assert isinstance(config.hdil, HDILParams)
+
+    def test_custom_components(self):
+        config = XRankConfig(ranking=RankingParams(decay=0.5))
+        assert config.ranking.decay == 0.5
+        assert config.elemrank.d1 == 0.35

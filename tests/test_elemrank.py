@@ -1,0 +1,216 @@
+"""Unit tests for the ElemRank variants (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ElemRankParams
+from repro.errors import ConvergenceError, QueryError
+from repro.ranking.elemrank import ElemRankVariant, compute_elemrank
+from repro.ranking.pagerank import pagerank
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.html import parse_html
+from repro.xmlmodel.parser import parse_xml
+
+
+def build_graph(*sources, uris=None):
+    graph = CollectionGraph()
+    for i, source in enumerate(sources):
+        uri = uris[i] if uris else f"doc{i}"
+        graph.add_document(parse_xml(source, doc_id=i, uri=uri))
+    graph.finalize()
+    return graph
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("variant", list(ElemRankVariant))
+    def test_scores_sum_to_one(self, variant, small_corpus_graph):
+        result = compute_elemrank(small_corpus_graph, variant=variant)
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-3)
+        assert (result.scores >= 0).all()
+
+    def test_empty_graph(self):
+        graph = CollectionGraph()
+        graph.finalize()
+        result = compute_elemrank(graph)
+        assert result.converged and len(result.scores) == 0
+
+    def test_single_element_document(self):
+        graph = build_graph("<only/>")
+        result = compute_elemrank(graph)
+        assert result.scores[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_divergence_raises_when_asked(self, small_corpus_graph):
+        params = ElemRankParams(threshold=1e-30, max_iterations=2)
+        with pytest.raises(ConvergenceError):
+            compute_elemrank(
+                small_corpus_graph, params, raise_on_divergence=True
+            )
+
+
+class TestHyperlinkAwareness:
+    def test_cited_document_outranks_uncited(self):
+        sources = ['<p id="a"><t>target paper</t></p>']
+        for i in range(1, 5):
+            sources.append(f'<p id="b{i}"><t>citing</t><c xlink="doc0"/></p>')
+        graph = build_graph(*sources)
+        result = compute_elemrank(graph)
+        roots = {d.doc_id: graph.index_of[d.root.dewey] for d in graph.iter_documents()}
+        assert result.scores[roots[0]] > result.scores[roots[1]]
+
+    def test_forward_propagation_to_subelements(self):
+        """Sections of a heavily cited paper outrank sections of an uncited
+        paper (the paper's 'gray' anecdote mechanism)."""
+        sources = [
+            "<p><sec>famous section text</sec></p>",
+            "<p><sec>obscure section text</sec></p>",
+        ]
+        for i in range(2, 8):
+            sources.append(f'<p><c xlink="doc0"/></p>')
+        graph = build_graph(*sources)
+        result = compute_elemrank(graph)
+        famous_sec = graph.documents[0].root.find_first("sec")
+        obscure_sec = graph.documents[1].root.find_first("sec")
+        assert (
+            result.scores[graph.index_of[famous_sec.dewey]]
+            > result.scores[graph.index_of[obscure_sec.dewey]]
+        )
+
+    def test_reverse_aggregate_propagation(self):
+        """A container of many cited papers outranks a container of one
+        (E4's aggregate reverse-containment semantics)."""
+        many = (
+            "<w>"
+            + "".join(f'<paper id="m{i}"><t>text</t></paper>' for i in range(3))
+            + "</w>"
+        )
+        one = '<w><paper id="s0"><t>text</t></paper></w>'
+        sources = [many, one]
+        # Every paper is equally important: 4 citations each.  The workshop
+        # holding three such papers should aggregate a higher rank than the
+        # workshop holding one.
+        for paper in ("m0", "m1", "m2"):
+            for _ in range(4):
+                sources.append(f'<p><c xlink="doc0#{paper}"/></p>')
+        for _ in range(4):
+            sources.append('<p><c xlink="doc1#s0"/></p>')
+        graph = build_graph(*sources)
+        result = compute_elemrank(graph)
+        many_root = graph.index_of[graph.documents[0].root.dewey]
+        one_root = graph.index_of[graph.documents[1].root.dewey]
+        assert result.scores[many_root] > result.scores[one_root]
+
+
+class TestHTMLGeneralization:
+    def test_flat_html_ordering_matches_pagerank(self):
+        """With two-level documents XRANK behaves like an HTML engine: the
+        E4 root ordering must match document-level PageRank."""
+        pages = [
+            ('<a href="doc1">to one</a><a href="doc2">to two</a>', "doc0"),
+            ('<a href="doc2">to two</a>', "doc1"),
+            ('<a href="doc0">back</a>', "doc2"),
+            ('<a href="doc2">to two again</a>', "doc3"),
+        ]
+        graph = CollectionGraph()
+        for i, (source, uri) in enumerate(pages):
+            graph.add_document(parse_html(source, doc_id=i, uri=uri))
+        graph.finalize()
+        elemrank = compute_elemrank(graph)
+        root_scores = [
+            elemrank.scores[graph.index_of[graph.documents[i].root.dewey]]
+            for i in range(len(pages))
+        ]
+
+        doc_edges = [(0, 1), (0, 2), (1, 2), (2, 0), (3, 2)]
+        pr = pagerank(len(pages), doc_edges)
+        assert np.argsort(root_scores).tolist() == np.argsort(pr.scores).tolist()
+
+
+class TestVariants:
+    def test_e1_has_no_reverse_flow(self):
+        """Under E1 a parent with one cited child gains nothing from it."""
+        sources = [
+            "<w><paper id='x'><t>t</t></paper></w>",
+            "<p><c xlink='doc0#x'/></p>",
+            "<p><c xlink='doc0#x'/></p>",
+        ]
+        graph = build_graph(*sources)
+        e1 = compute_elemrank(graph, variant=ElemRankVariant.E1_PAGERANK)
+        e4 = compute_elemrank(graph, variant=ElemRankVariant.E4_FINAL)
+        root = graph.index_of[graph.documents[0].root.dewey]
+        paper = graph.index_of[graph.documents[0].root.find_first("paper").dewey]
+        # E4 propagates the paper's rank back to the workshop; E1 cannot.
+        assert e4.scores[root] / e4.scores[paper] > e1.scores[root] / e1.scores[paper]
+
+    def test_params_validation(self):
+        with pytest.raises(QueryError):
+            ElemRankParams(d1=0.5, d2=0.4, d3=0.3)
+        with pytest.raises(QueryError):
+            ElemRankParams(d1=-0.1)
+        with pytest.raises(QueryError):
+            ElemRankParams(threshold=0.0)
+
+    def test_random_jump_property(self):
+        params = ElemRankParams(d1=0.35, d2=0.25, d3=0.25)
+        assert params.random_jump == pytest.approx(0.15)
+
+    def test_score_accessors(self, small_corpus_graph):
+        result = compute_elemrank(small_corpus_graph)
+        mapping = result.as_mapping(small_corpus_graph)
+        first = small_corpus_graph.elements[0]
+        assert mapping[first.dewey] == result.score_of(
+            small_corpus_graph, first.dewey
+        )
+        with pytest.raises(KeyError):
+            result.score_of(small_corpus_graph, first.dewey.child(999))
+
+    def test_d_sweep_converges_similarly(self, small_corpus_graph):
+        """The paper: varying d1/d2/d3 does not significantly change
+        convergence time."""
+        iteration_counts = []
+        for d1, d2, d3 in [(0.35, 0.25, 0.25), (0.15, 0.35, 0.35), (0.55, 0.15, 0.15)]:
+            result = compute_elemrank(
+                small_corpus_graph, ElemRankParams(d1=d1, d2=d2, d3=d3)
+            )
+            assert result.converged
+            iteration_counts.append(result.iterations)
+        assert max(iteration_counts) < 4 * min(iteration_counts)
+
+
+class TestPurePythonDifferential:
+    """The pure-Python and numpy implementations must agree — two
+    independent translations of the Section 3.1 formula."""
+
+    def test_matches_numpy_on_figure1(self, figure1_graph):
+        from repro.ranking.elemrank_py import compute_elemrank_pure
+
+        vectorized = compute_elemrank(figure1_graph)
+        pure = compute_elemrank_pure(figure1_graph)
+        assert pure.converged
+        for a, b in zip(vectorized.scores, pure.scores):
+            assert abs(float(a) - float(b)) < 1e-8
+
+    def test_matches_numpy_on_linked_corpus(self, small_corpus_graph):
+        from repro.ranking.elemrank_py import compute_elemrank_pure
+
+        vectorized = compute_elemrank(small_corpus_graph)
+        pure = compute_elemrank_pure(small_corpus_graph)
+        assert pure.iterations == vectorized.iterations
+        for a, b in zip(vectorized.scores, pure.scores):
+            assert abs(float(a) - float(b)) < 1e-8
+
+    def test_pure_handles_empty_graph(self):
+        from repro.ranking.elemrank_py import compute_elemrank_pure
+
+        graph = CollectionGraph()
+        graph.finalize()
+        result = compute_elemrank_pure(graph)
+        assert result.converged and len(result.scores) == 0
+
+    def test_pure_unconverged_flag(self, small_corpus_graph):
+        from repro.ranking.elemrank_py import compute_elemrank_pure
+
+        params = ElemRankParams(threshold=1e-30, max_iterations=2)
+        result = compute_elemrank_pure(small_corpus_graph, params)
+        assert not result.converged
+        assert result.iterations == 2

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.XMLParseError,
+            errors.DeweyError,
+            errors.StorageError,
+            errors.PageError,
+            errors.BTreeError,
+            errors.IndexError_,
+            errors.IndexNotBuiltError,
+            errors.DocumentNotFoundError,
+            errors.QueryError,
+            errors.ConvergenceError,
+        ],
+    )
+    def test_all_derive_from_xrank_error(self, exc):
+        assert issubclass(exc, errors.XRankError)
+
+    def test_page_error_is_storage_error(self):
+        assert issubclass(errors.PageError, errors.StorageError)
+        assert issubclass(errors.BTreeError, errors.StorageError)
+
+    def test_index_sub_hierarchy(self):
+        assert issubclass(errors.IndexNotBuiltError, errors.IndexError_)
+        assert issubclass(errors.DocumentNotFoundError, errors.IndexError_)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)
+
+
+class TestXMLParseErrorLocation:
+    def test_line_in_message(self):
+        error = errors.XMLParseError("bad tag", line=42)
+        assert "line 42" in str(error)
+        assert error.line == 42
+
+    def test_offset_in_message(self):
+        error = errors.XMLParseError("bad tag", offset=1234)
+        assert "offset 1234" in str(error)
+
+    def test_line_preferred_over_offset(self):
+        error = errors.XMLParseError("bad", offset=5, line=2)
+        assert "line 2" in str(error)
+        assert "offset" not in str(error)
+
+    def test_no_location(self):
+        error = errors.XMLParseError("just bad")
+        assert str(error) == "just bad"
+
+    def test_catchable_at_boundary(self):
+        """One except clause covers the whole library (the documented
+        contract of the hierarchy)."""
+        from repro.xmlmodel.parser import parse_xml
+
+        with pytest.raises(errors.XRankError):
+            parse_xml("<a><b></a>", doc_id=0)

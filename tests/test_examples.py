@@ -1,0 +1,56 @@
+"""Smoke tests: the fast example scripts must run and show their claims."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "subsection" in out            # most specific result
+        assert "XQL query language" in out
+        assert "ancestor <workshop>" in out   # context navigation
+
+    def test_mixed_html_xml(self, capsys):
+        out = run_example("mixed_html_xml", capsys)
+        assert "HTML page" in out and "XML <" in out
+        # The linked tutorial must outrank the unlinked copycat: the doc-1
+        # line has to appear before the doc-2 line.
+        assert out.index("doc 1:") < out.index("doc 2:")
+
+    def test_live_updates(self, capsys):
+        out = run_example("live_updates", capsys)
+        assert "search('breaking') -> []" in out   # replaced content gone
+        assert "corrected" in out
+        assert "delta=0" in out                    # merge compacted
+
+
+class TestSlowExamples:
+    """The corpus-generating examples, exercised at reduced size."""
+
+    def test_dblp_search(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["dblp_search.py", "60"])
+        out = run_example("dblp_search", capsys)
+        assert "jim gray" in out
+        assert "ElemRank" in out
+
+    def test_advanced_queries(self, capsys):
+        out = run_example("advanced_queries", capsys)
+        assert "[ranking]" in out                 # highlighting
+        assert "disjunctive" in out
+        assert "library/book/title" in out        # path constraint
+        assert "tf-idf" in out
+        assert "HITS" in out

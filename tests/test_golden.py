@@ -1,0 +1,73 @@
+"""Golden ranking snapshots: silent regression detection.
+
+Ranking quality is easy to regress invisibly — every individual component
+can stay "correct" while a wiring change reshuffles the final order.  These
+tests pin the exact top results (IDs and rounded ranks) for a fixed seed
+corpus and fixed queries.  If an intentional change to the ranking pipeline
+alters them, update the constants alongside the change and say why in the
+commit.
+"""
+
+import pytest
+
+from repro.engine import XRankEngine
+
+CORPUS = [
+    (
+        "w1",
+        "<workshop><title>search engines</title>"
+        "<paper id='p1'><title>ranked xml search</title>"
+        "<abstract>ranked retrieval over xml documents</abstract>"
+        "<cite ref='p2'>follow up</cite></paper>"
+        "<paper id='p2'><title>dewey identifiers</title>"
+        "<body><sec>xml search with dewey ids and ranked lists</sec></body>"
+        "</paper></workshop>",
+    ),
+    (
+        "w2",
+        "<article><title>unrelated topic</title>"
+        "<body>plain text mentioning xml once</body>"
+        "<refs><c xlink='w1'/></refs></article>",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    e = XRankEngine()
+    for uri, source in CORPUS:
+        e.add_xml(source, uri=uri)
+    e.build(kinds=["dil"])
+    return e
+
+
+GOLDEN = {
+    "xml search": [
+        ("0.2.2.0", 0.048296),
+        ("0.1.1", 0.033288),
+    ],
+    "ranked xml": [
+        ("0.1.1", 0.033288),
+        ("0.1.2", 0.016644),
+        ("0.2.2.0", 0.013799),
+    ],
+    "dewey": [
+        ("0.2.2.0", 0.024148),
+        ("0.2.1", 0.022719),
+    ],
+}
+
+
+class TestGoldenRankings:
+    @pytest.mark.parametrize("query", sorted(GOLDEN))
+    def test_pinned_top_results(self, engine, query):
+        hits = engine.search(query, kind="dil", m=len(GOLDEN[query]))
+        got = [(h.dewey, round(h.rank, 6)) for h in hits]
+        expected = GOLDEN[query]
+        assert [g[0] for g in got] == [e[0] for e in expected], (
+            f"result ORDER changed for {query!r}: {got}"
+        )
+        for (got_id, got_rank), (_, want_rank) in zip(got, expected):
+            assert got_rank == pytest.approx(want_rank, abs=2e-6), (
+                f"rank drifted for {got_id} under {query!r}"
+            )

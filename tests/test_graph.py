@@ -1,0 +1,149 @@
+"""Unit tests for the collection graph: element table, IDREF/XLink
+resolution, document management."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.parser import parse_xml
+
+
+def make_graph(*sources, uris=None):
+    graph = CollectionGraph()
+    for i, source in enumerate(sources):
+        uri = uris[i] if uris else f"doc{i}"
+        graph.add_document(parse_xml(source, doc_id=i, uri=uri))
+    graph.finalize()
+    return graph
+
+
+class TestElementTable:
+    def test_dense_index_covers_all_elements(self, figure1_graph):
+        graph = figure1_graph
+        assert len(graph.elements) == graph.documents[5].num_elements
+        for i, element in enumerate(graph.elements):
+            assert graph.index_of[element.dewey] == i
+
+    def test_parent_index(self, figure1_graph):
+        graph = figure1_graph
+        for i, element in enumerate(graph.elements):
+            if element.parent is None:
+                assert graph.parent_index[i] == -1
+            else:
+                assert graph.elements[graph.parent_index[i]] is element.parent
+
+    def test_counts(self, figure1_graph):
+        graph = figure1_graph
+        for i, element in enumerate(graph.elements):
+            assert graph.children_count[i] == element.num_subelements
+        assert graph.num_documents == 1
+        assert all(
+            count == graph.documents[5].num_elements
+            for count in graph.doc_element_count
+        )
+
+    def test_element_by_dewey(self, figure1_graph):
+        graph = figure1_graph
+        subsection = graph.documents[5].root.find_first("subsection")
+        assert graph.element_by_dewey(subsection.dewey) is subsection
+
+
+class TestIdrefResolution:
+    def test_intra_document_ref(self, figure1_graph):
+        graph = figure1_graph
+        assert graph.resolution.idrefs_resolved == 1
+        cite = graph.documents[5].root.find_first("cite")
+        paper2 = [
+            e for e in graph.documents[5].iter_elements()
+            if e.tag == "paper" and e.attribute("id") == "2"
+        ][0]
+        edges = [
+            (graph.elements[s], graph.elements[t])
+            for s, t in graph.hyperlink_edges
+        ]
+        assert (cite, paper2) in edges
+
+    def test_dangling_idref_counted(self):
+        graph = make_graph('<a><x ref="nothing"/></a>')
+        assert graph.resolution.idrefs_dangling == 1
+        assert "nothing" in graph.resolution.dangling_targets
+        assert graph.hyperlink_edges == []
+
+    def test_multivalue_idrefs(self):
+        graph = make_graph('<a><p id="1"/><p id="2"/><x ref="1 2"/></a>')
+        assert graph.resolution.idrefs_resolved == 2
+
+
+class TestXlinkResolution:
+    def test_interdocument_link(self):
+        graph = make_graph(
+            '<a><cite xlink="doc1"/></a>', "<b>target</b>"
+        )
+        assert graph.resolution.xlinks_resolved == 1
+        src, dst = graph.hyperlink_edges[0]
+        assert graph.elements[dst].tag == "b"
+
+    def test_fragment_link(self):
+        graph = make_graph(
+            '<a><cite xlink="doc1#sec2"/></a>',
+            '<b><s id="sec1"/><s id="sec2"/></b>',
+        )
+        assert graph.resolution.xlinks_resolved == 1
+        _, dst = graph.hyperlink_edges[0]
+        assert graph.elements[dst].attribute("id") == "sec2"
+
+    def test_dangling_uri_and_fragment(self):
+        graph = make_graph(
+            '<a><c xlink="nowhere"/><c xlink="doc1#missing"/></a>', "<b/>"
+        )
+        assert graph.resolution.xlinks_dangling == 2
+
+    def test_figure1_xlink_dangles_without_target(self, figure1_graph):
+        # '/paper/xmlql/' names a document that is not in the collection.
+        assert figure1_graph.resolution.xlinks_dangling == 1
+
+    def test_out_hyperlink_counts(self):
+        graph = make_graph(
+            '<a><c xlink="doc1"/><c xlink="doc1"/></a>', "<b/>"
+        )
+        source_index = [
+            i for i, e in enumerate(graph.elements) if e.tag == "c"
+        ]
+        counts = [graph.out_hyperlink_count[i] for i in source_index]
+        assert sorted(counts) == [1, 1]
+
+
+class TestDocumentManagement:
+    def test_duplicate_doc_id_rejected(self):
+        graph = CollectionGraph()
+        graph.add_document(parse_xml("<a/>", doc_id=1))
+        with pytest.raises(DocumentNotFoundError):
+            graph.add_document(parse_xml("<b/>", doc_id=1))
+
+    def test_remove_document(self):
+        graph = make_graph("<a/>", "<b/>")
+        removed = graph.remove_document(0)
+        assert removed.root.tag == "a"
+        graph.finalize()
+        assert graph.num_documents == 1
+        with pytest.raises(DocumentNotFoundError):
+            graph.remove_document(0)
+
+    def test_remove_clears_uri_mapping(self):
+        graph = make_graph("<a/>", "<b/>")
+        graph.remove_document(0)
+        assert graph.document_by_uri("doc0") is None
+        assert graph.document_by_uri("doc1") is not None
+
+    def test_finalize_idempotent(self):
+        graph = make_graph('<a><c xlink="doc1"/></a>', "<b/>")
+        edges_before = list(graph.hyperlink_edges)
+        graph.finalize()
+        assert graph.hyperlink_edges == edges_before
+
+    def test_lazy_finalize_through_num_elements(self):
+        graph = CollectionGraph()
+        graph.add_document(parse_xml("<a><b/></a>", doc_id=0))
+        assert not graph.finalized
+        assert graph.num_elements == 2
+        assert graph.finalized

@@ -1,0 +1,75 @@
+"""Tests for the bench harness formatting and measurement plumbing."""
+
+import pytest
+
+from repro.bench.harness import (
+    APPROACHES,
+    BENCH_STORAGE,
+    ExperimentTable,
+    SeriesPoint,
+)
+from repro.index.base import SpaceReport, _human_bytes
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert _human_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert _human_bytes(2048) == "2.0KB"
+
+    def test_megabytes(self):
+        assert _human_bytes(3 * 1024 * 1024) == "3.0MB"
+
+
+class TestSpaceReport:
+    def test_total_with_index(self):
+        report = SpaceReport("rdil", 1000, 500, 3, 42)
+        assert report.total_bytes == 1500
+
+    def test_total_without_index(self):
+        report = SpaceReport("dil", 1000, None, 3, 42)
+        assert report.total_bytes == 1000
+
+    def test_format_row_na(self):
+        report = SpaceReport("dil", 1000, None, 3, 42)
+        assert "N/A" in report.format_row()
+
+    def test_format_row_values(self):
+        report = SpaceReport("rdil", 2048, 1024, 3, 42)
+        row = report.format_row()
+        assert "2.0KB" in row and "1.0KB" in row
+
+
+class TestExperimentTable:
+    def test_format_orders_by_approach(self):
+        table = ExperimentTable("demo", "x", "y")
+        table.points.append(
+            SeriesPoint(x=1, values={"hdil": 3.0, "naive-id": 1.0, "dil": 2.0})
+        )
+        text = table.format()
+        header = text.splitlines()[1]
+        assert header.index("naive-id") < header.index("dil") < header.index("hdil")
+
+    def test_format_includes_notes(self):
+        table = ExperimentTable("demo", "x", "y", notes=["something"])
+        table.points.append(SeriesPoint(x=1, values={"dil": 1.0}))
+        assert "note: something" in table.format()
+
+    def test_missing_approach_rendered_nan(self):
+        table = ExperimentTable("demo", "x", "y")
+        table.points.append(SeriesPoint(x=1, values={"dil": 1.0}))
+        table.points.append(SeriesPoint(x=2, values={"dil": 2.0, "rdil": 1.0}))
+        assert "nan" in table.format()
+
+
+class TestBenchStorage:
+    def test_calibration_ratio(self):
+        # The documented 4:1 seek:transfer calibration.
+        assert BENCH_STORAGE.seek_cost_ms / BENCH_STORAGE.transfer_cost_ms == 4.0
+        assert BENCH_STORAGE.page_size == 1024
+
+    def test_approaches_tuple(self):
+        assert APPROACHES[0] == "naive-id"
+        assert APPROACHES[-1] == "hdil"
+        assert len(APPROACHES) == 5

@@ -1,0 +1,79 @@
+"""Unit tests for the static disk-resident hash index."""
+
+import random
+
+import pytest
+
+from repro.config import StorageParams
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.hashindex import HashIndex
+from repro.xmlmodel.dewey import DeweyId
+
+
+def make_disk(page_size=256, pool=16):
+    return SimulatedDisk(StorageParams(page_size=page_size, buffer_pool_pages=pool))
+
+
+class TestBuildAndLookup:
+    def test_roundtrip(self):
+        disk = make_disk()
+        entries = [
+            (DeweyId((i,)), f"payload-{i}".encode()) for i in range(500)
+        ]
+        index = HashIndex.build(disk, entries)
+        assert index.num_entries == 500
+        for key, payload in random.Random(0).sample(entries, 50):
+            assert index.lookup(key) == payload
+
+    def test_missing_key(self):
+        disk = make_disk()
+        index = HashIndex.build(disk, [(DeweyId((1,)), b"x")])
+        assert index.lookup(DeweyId((2,))) is None
+        assert DeweyId((1,)) in index
+        assert DeweyId((9,)) not in index
+
+    def test_multicomponent_keys(self):
+        disk = make_disk()
+        keys = [DeweyId((1, i, i * 2)) for i in range(100)]
+        index = HashIndex.build(disk, [(k, str(k).encode()) for k in keys])
+        for key in keys:
+            assert index.lookup(key) == str(key).encode()
+
+    def test_duplicate_keys_rejected(self):
+        disk = make_disk()
+        entries = [(DeweyId((1,)), b"a"), (DeweyId((1,)), b"b")]
+        with pytest.raises(StorageError):
+            HashIndex.build(disk, entries)
+
+    def test_empty_index(self):
+        disk = make_disk()
+        index = HashIndex.build(disk, [])
+        assert index.lookup(DeweyId((1,))) is None
+        assert index.byte_size == 0
+
+    def test_oversized_entry_rejected(self):
+        disk = make_disk(page_size=64)
+        with pytest.raises(StorageError):
+            HashIndex.build(disk, [(DeweyId((1,)), b"x" * 100)])
+
+    def test_bad_fill_factor(self):
+        disk = make_disk()
+        with pytest.raises(StorageError):
+            HashIndex.build(disk, [], fill_factor=0.0)
+
+
+class TestIOBehavior:
+    def test_probe_charges_random_read(self):
+        disk = make_disk(pool=4)
+        entries = [(DeweyId((i,)), b"p") for i in range(300)]
+        index = HashIndex.build(disk, entries)
+        disk.reset_stats()
+        disk.drop_cache()
+        index.lookup(DeweyId((123,)))
+        assert disk.stats.random_reads >= 1
+
+    def test_byte_size_positive(self):
+        disk = make_disk()
+        index = HashIndex.build(disk, [(DeweyId((i,)), b"pp") for i in range(50)])
+        assert index.byte_size > 0

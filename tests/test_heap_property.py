@@ -1,0 +1,68 @@
+"""Property tests for the bounded result heap."""
+
+from hypothesis import given, strategies as st
+
+from repro.query.results import QueryResult, ResultHeap
+from repro.xmlmodel.dewey import DeweyId
+
+
+def make_results(ranks):
+    return [
+        QueryResult(rank=rank, dewey=DeweyId((i,)))
+        for i, rank in enumerate(ranks)
+    ]
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=60),
+    st.integers(min_value=1, max_value=10),
+)
+def test_heap_keeps_exactly_the_topm(ranks, capacity):
+    heap = ResultHeap(capacity)
+    results = make_results(ranks)
+    for result in results:
+        heap.add(result)
+    got = [r.rank for r in heap.results()]
+    expected = sorted(ranks, reverse=True)[:capacity]
+    assert got == expected
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=60),
+    st.integers(min_value=1, max_value=10),
+)
+def test_results_descending_and_kth_rank(ranks, capacity):
+    heap = ResultHeap(capacity)
+    for result in make_results(ranks):
+        heap.add(result)
+    got = heap.results()
+    assert all(a.rank >= b.rank for a, b in zip(got, got[1:]))
+    if len(ranks) >= capacity:
+        assert heap.full
+        assert heap.kth_rank() == got[-1].rank
+    else:
+        assert heap.kth_rank() == float("-inf")
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=30))
+def test_tie_handling_consistent_across_capacities(capacity, count):
+    """With all-equal ranks, the surviving set must be the earliest arrivals
+    and presentation must match arrival order — the invariant pagination
+    relies on."""
+    results = make_results([1.0] * count)
+    heap = ResultHeap(capacity)
+    for result in results:
+        heap.add(result)
+    got_ids = [r.dewey.components[0] for r in heap.results()]
+    assert got_ids == list(range(min(capacity, count)))
+
+
+def test_add_reports_whether_entered():
+    heap = ResultHeap(2)
+    assert heap.add(make_results([5.0])[0])
+    assert heap.add(make_results([7.0])[0])
+    low = QueryResult(rank=1.0, dewey=DeweyId((9,)))
+    assert not heap.add(low)
+    high = QueryResult(rank=9.0, dewey=DeweyId((8,)))
+    assert heap.add(high)
+    assert [r.rank for r in heap.results()] == [9.0, 7.0]

@@ -1,0 +1,88 @@
+"""Tests for the HITS variant (paper Section 3.1 footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.ranking.hits import element_hits, hits
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestHits:
+    def test_authority_concentrates_on_pointed_node(self):
+        # Nodes 1..4 all point at node 0.
+        result = hits(5, [(i, 0) for i in range(1, 5)])
+        assert result.converged
+        assert np.argmax(result.authorities) == 0
+        # The pointers are the hubs.
+        assert result.authorities[1] == pytest.approx(0.0, abs=1e-6)
+        assert result.hubs[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_hub_and_authority_split(self):
+        # 0 -> {2,3}, 1 -> {2,3}: 0,1 are hubs; 2,3 authorities.
+        result = hits(4, [(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert result.hubs[0] == pytest.approx(result.hubs[1])
+        assert result.authorities[2] == pytest.approx(result.authorities[3])
+        assert result.authorities[2] > result.authorities[0]
+
+    def test_unit_norm(self):
+        result = hits(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        assert np.linalg.norm(result.authorities) == pytest.approx(1.0)
+        assert np.linalg.norm(result.hubs) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        result = hits(0, [])
+        assert result.converged
+        assert len(result.authorities) == 0
+
+    def test_no_edges(self):
+        result = hits(3, [])
+        assert result.converged
+        # With no edges everything collapses to zero after one iteration.
+        assert result.authorities.sum() == pytest.approx(0.0)
+
+    def test_divergence_raises(self):
+        with pytest.raises(ConvergenceError):
+            hits(
+                4,
+                [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                threshold=1e-30,
+                max_iterations=2,
+                raise_on_divergence=True,
+            )
+
+
+class TestElementHits:
+    @pytest.fixture()
+    def graph(self):
+        graph = CollectionGraph()
+        graph.add_document(
+            parse_xml('<w><p id="x"><t>target</t></p></w>', doc_id=0, uri="doc0")
+        )
+        for i in range(1, 5):
+            graph.add_document(
+                parse_xml(f'<c><r xlink="doc0#x"/></c>', doc_id=i, uri=f"doc{i}")
+            )
+        graph.finalize()
+        return graph
+
+    def test_cited_element_is_top_authority(self, graph):
+        result = element_hits(graph, include_containment=False)
+        target = [
+            e for e in graph.elements
+            if e.tag == "p"
+        ][0]
+        assert np.argmax(result.authorities) == graph.index_of[target.dewey]
+
+    def test_containment_spreads_authority(self, graph):
+        with_containment = element_hits(graph, include_containment=True)
+        without = element_hits(graph, include_containment=False)
+        title = [e for e in graph.elements if e.tag == "t"][0]
+        index = graph.index_of[title.dewey]
+        # Pure hyperlink HITS gives the <t> child exactly nothing;
+        # bidirectional containment coupling lets (a trickle of) authority
+        # reach it — strictly positive, unlike the hyperlink-only run.
+        assert without.authorities[index] == pytest.approx(0.0, abs=1e-12)
+        assert with_containment.authorities[index] > 1e-12
+        assert with_containment.authorities[index] > without.authorities[index]

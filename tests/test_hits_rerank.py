@@ -1,0 +1,92 @@
+"""Tests for query-dependent HITS re-ranking."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.builder import IndexBuilder
+from repro.query.dil_eval import DILEvaluator
+from repro.query.hits_rerank import build_base_set, hits_rerank
+from repro.query.results import QueryResult
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.parser import parse_xml
+
+
+@pytest.fixture()
+def linked_graph():
+    """Two keyword-matching docs; one is cited by three others."""
+    graph = CollectionGraph()
+    graph.add_document(
+        parse_xml("<p id='a'><t>needle popular</t></p>", doc_id=0, uri="doc0")
+    )
+    graph.add_document(
+        parse_xml("<p id='b'><t>needle obscure</t></p>", doc_id=1, uri="doc1")
+    )
+    for i in range(2, 5):
+        graph.add_document(
+            parse_xml(f"<c><r xlink='doc0'/></c>", doc_id=i, uri=f"doc{i}")
+        )
+    graph.finalize()
+    return graph
+
+
+def search(graph, keywords, m=10):
+    builder = IndexBuilder(graph)
+    return DILEvaluator(builder.build_dil()).evaluate(keywords, m=m)
+
+
+class TestBaseSet:
+    def test_expands_along_hyperlinks(self, linked_graph):
+        root_element = linked_graph.documents[0].root
+        root = {linked_graph.index_of[root_element.dewey]}
+        members, edges = build_base_set(linked_graph, root)
+        # The three citing elements join the base set.
+        member_tags = {linked_graph.elements[i].tag for i in members}
+        assert "r" in member_tags
+        assert edges
+
+    def test_edges_reindexed_locally(self, linked_graph):
+        root = set(range(len(linked_graph.elements)))
+        members, edges = build_base_set(linked_graph, root)
+        assert all(0 <= s < len(members) and 0 <= t < len(members) for s, t in edges)
+
+
+class TestRerank:
+    def test_authority_promotes_cited_result(self, linked_graph):
+        results = search(linked_graph, ["needle"])
+        # Force the obscure doc first to prove re-ranking moves things.
+        forced = sorted(results, key=lambda r: r.dewey.doc_id, reverse=True)
+        reranked = hits_rerank(forced, linked_graph, blend=1.0)
+        assert reranked[0].dewey.doc_id == 0  # the cited document wins
+
+    def test_blend_zero_preserves_order(self, linked_graph):
+        results = search(linked_graph, ["needle"])
+        reranked = hits_rerank(results, linked_graph, blend=0.0)
+        assert [str(r.dewey) for r in reranked] == [
+            str(r.dewey) for r in results
+        ]
+
+    def test_scores_bounded(self, linked_graph):
+        results = search(linked_graph, ["needle"])
+        for result in hits_rerank(results, linked_graph, blend=0.5):
+            assert 0.0 <= result.rank <= 1.0
+
+    def test_empty_results(self, linked_graph):
+        assert hits_rerank([], linked_graph) == []
+
+    def test_bad_blend(self, linked_graph):
+        results = search(linked_graph, ["needle"])
+        with pytest.raises(QueryError):
+            hits_rerank(results, linked_graph, blend=1.5)
+
+    def test_requires_dewey_results(self, linked_graph):
+        with pytest.raises(QueryError):
+            hits_rerank(
+                [QueryResult(rank=1.0, elem_id=0)], linked_graph
+            )
+
+    def test_keyword_ranks_preserved(self, linked_graph):
+        results = search(linked_graph, ["needle"])
+        reranked = hits_rerank(results, linked_graph, blend=0.3)
+        originals = {str(r.dewey): r.keyword_ranks for r in results}
+        for result in reranked:
+            assert result.keyword_ranks == originals[str(result.dewey)]

@@ -1,0 +1,88 @@
+"""Unit tests for the tolerant HTML front-end."""
+
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.html import parse_html
+from repro.xmlmodel.parser import parse_xml
+
+PAGE = """
+<!DOCTYPE html>
+<html>
+<head><title>My page</title>
+<style>body { color: red }</style>
+<script>var x = "hidden words";</script>
+</head>
+<body>
+<h1>Welcome</h1>
+<p>Some <b>bold text about xml search.
+<a href="other.html">a link</a>
+<img src="x.png">
+<input disabled>
+&nbsp;trailing
+</body>
+</html>
+"""
+
+
+class TestFlattening:
+    def test_single_root_element(self):
+        doc = parse_html(PAGE, doc_id=3)
+        assert doc.is_html
+        assert doc.root.tag == "html"
+        assert doc.root.dewey.components == (3,)
+
+    def test_all_text_under_root(self):
+        doc = parse_html(PAGE, doc_id=0)
+        words = {w for w, _ in doc.root.direct_words()}
+        assert {"welcome", "bold", "xml", "search", "link", "trailing"} <= words
+
+    def test_script_and_style_skipped(self):
+        doc = parse_html(PAGE, doc_id=0)
+        words = {w for w, _ in doc.root.all_words()}
+        assert "hidden" not in words
+        assert "color" not in words
+
+    def test_positions_consecutive(self):
+        doc = parse_html("<p>one two</p><p>three</p>", doc_id=0)
+        positions = sorted(p for _, p in doc.root.direct_words())
+        assert positions == list(range(doc.word_count))
+
+    def test_unclosed_tags_forgiven(self):
+        doc = parse_html("<p>alpha<p>beta<br>gamma", doc_id=0)
+        words = {w for w, _ in doc.root.all_words()}
+        assert {"alpha", "beta", "gamma"} <= words
+
+
+class TestHyperlinks:
+    def test_href_lifted_to_xlink_pseudo_elements(self):
+        doc = parse_html(PAGE, doc_id=0)
+        links = [
+            e for e in doc.root.child_elements() if e.tag == "xlink"
+        ]
+        assert len(links) == 1
+        assert next(links[0].value_children()).text == "other.html"
+
+    def test_html_links_resolve_in_graph(self):
+        graph = CollectionGraph()
+        graph.add_document(
+            parse_html('<a href="target">source page</a>', doc_id=0, uri="src")
+        )
+        graph.add_document(parse_html("<p>the target</p>", doc_id=1, uri="target"))
+        graph.finalize()
+        assert graph.resolution.xlinks_resolved == 1
+        src_root = graph.documents[0].root
+        dst_root = graph.documents[1].root
+        # Link source is the root (flat HTML), target the other root.
+        edges = [
+            (graph.elements[s].dewey, graph.elements[t].dewey)
+            for s, t in graph.hyperlink_edges
+        ]
+        assert (src_root.dewey, dst_root.dewey) in edges
+
+    def test_mixed_html_xml_graph(self):
+        graph = CollectionGraph()
+        graph.add_document(
+            parse_xml('<paper><cite xlink="page"/></paper>', doc_id=0)
+        )
+        graph.add_document(parse_html("<p>a page</p>", doc_id=1, uri="page"))
+        graph.finalize()
+        assert graph.resolution.xlinks_resolved == 1

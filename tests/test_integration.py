@@ -1,0 +1,137 @@
+"""Cross-module integration tests: full pipeline on realistic corpora,
+cold vs warm cache, deletes across index kinds, paper-shape sanity."""
+
+import pytest
+
+from repro.bench.harness import IndexedCorpus
+from repro.config import RankingParams, StorageParams
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.textgen import PlantedKeywords
+from repro.datasets.xmark import generate_xmark
+from repro.engine import XRankEngine
+
+
+@pytest.fixture(scope="module")
+def dblp_indexed():
+    plan = PlantedKeywords.default()
+    plan.correlated_rate = 0.5
+    plan.independent_rate = 0.7
+    corpus = generate_dblp(num_papers=300, seed=21, planted=plan)
+    return IndexedCorpus(
+        corpus,
+        storage=StorageParams(page_size=1024, buffer_pool_pages=32),
+    ), plan
+
+
+class TestCrossIndexAgreement:
+    def test_dewey_family_agrees_on_real_corpus(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        queries = [
+            plan.correlated_groups[0][:2],
+            plan.correlated_groups[1][:3],
+            ["article", plan.correlated_groups[0][0]],
+        ]
+        for query in queries:
+            dil = indexed.evaluators["dil"].evaluate(query, m=10)
+            rdil = indexed.evaluators["rdil"].evaluate(query, m=10)
+            hdil = indexed.evaluators["hdil"].evaluate(query, m=10)
+            dil_ranks = [round(r.rank, 8) for r in dil]
+            assert [round(r.rank, 8) for r in rdil] == pytest.approx(dil_ranks, rel=1e-5)
+            assert [round(r.rank, 8) for r in hdil] == pytest.approx(dil_ranks, rel=1e-5)
+
+    def test_naive_superset_of_dewey_results(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        dewey_hits = indexed.evaluators["dil"].evaluate(query, m=1000)
+        naive_hits = indexed.evaluators["naive-id"].evaluate(query, m=100000)
+        graph = indexed.corpus.graph
+        naive_ids = {r.elem_id for r in naive_hits}
+        for hit in dewey_hits:
+            assert graph.index_of[hit.dewey] in naive_ids
+
+
+class TestCacheBehaviour:
+    def test_warm_cache_cheaper_than_cold(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        cold = indexed.measure("rdil", query, m=10).cost_ms
+        # Re-run without dropping the cache.
+        index = indexed.indexes["rdil"]
+        index.disk.reset_stats()
+        indexed.evaluators["rdil"].evaluate(list(query), m=10)
+        warm = index.io_cost_ms()
+        assert warm < cold
+
+    def test_dil_scan_mostly_sequential(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        measurement = indexed.measure("dil", query, m=10)
+        assert measurement.io.sequential_reads > measurement.io.random_reads
+
+    def test_rdil_mostly_random(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        measurement = indexed.measure("rdil", query, m=10)
+        assert measurement.io.random_reads >= measurement.io.sequential_reads
+
+
+class TestEndToEndEngine:
+    def test_engine_over_generated_corpora(self):
+        engine = XRankEngine()
+        dblp = generate_dblp(num_papers=40, seed=31, plant_anecdotes=True)
+        for document in dblp.documents:
+            engine.add_document(document)
+        engine.build(kinds=["hdil"])
+        hits = engine.search("gray", m=5)
+        assert hits
+        assert all(hits[i].rank >= hits[i + 1].rank for i in range(len(hits) - 1))
+
+    def test_engine_over_xmark(self):
+        engine = XRankEngine()
+        corpus = generate_xmark(
+            num_items=30, num_auctions=40, seed=8, plant_anecdotes=True
+        )
+        for document in corpus.documents:
+            engine.add_document(document)
+        engine.build(kinds=["dil"])
+        hits = engine.search("stained mirror", kind="dil")
+        assert hits
+        assert hits[0].tag == "item"
+
+    def test_delete_then_rebuild_reclaims(self):
+        engine = XRankEngine()
+        first = engine.add_xml("<a>unique-alpha</a>")
+        engine.add_xml("<b>unique-beta</b>")
+        engine.build(kinds=["dil"])
+        engine.delete_document(first)
+        assert engine.search("unique alpha", kind="dil") == []
+        # Rebuild drops the tombstone and the deleted document's postings.
+        engine.graph.remove_document(first)
+        engine.build(kinds=["dil"])
+        assert engine.search("unique alpha", kind="dil") == []
+        assert engine.search("unique beta", kind="dil")
+
+
+class TestRankingShape:
+    def test_specific_results_rank_above_shallow(self, dblp_indexed):
+        """Two keywords inside one small element should produce results
+        whose top hit is deep (specific), not a document root."""
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        hits = indexed.evaluators["dil"].evaluate(query, m=5)
+        assert hits[0].dewey.depth >= 1
+
+    def test_sum_aggregation_not_below_max(self, dblp_indexed):
+        indexed, plan = dblp_indexed
+        query = plan.correlated_groups[0][:2]
+        from repro.query.dil_eval import DILEvaluator
+
+        max_eval = DILEvaluator(
+            indexed.indexes["dil"], RankingParams(aggregation="max")
+        )
+        sum_eval = DILEvaluator(
+            indexed.indexes["dil"], RankingParams(aggregation="sum")
+        )
+        best_max = max_eval.evaluate(query, m=1)[0]
+        best_sum = sum_eval.evaluate(query, m=1)[0]
+        assert best_sum.rank >= best_max.rank - 1e-12

@@ -1,0 +1,75 @@
+"""Configuration-matrix agreement tests.
+
+The Dewey-family evaluators must agree on the top-m under *every*
+configuration combination — scorer x aggregation x proximity x decay — not
+just the defaults.  This matrix guards the interactions: e.g. tf-idf scores
+with f = sum change posting values and rank arithmetic simultaneously, and
+the RDIL threshold bound must survive all of it.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.config import RankingParams
+from repro.index.builder import IndexBuilder
+from repro.query.dil_eval import DILEvaluator
+from repro.query.hdil_eval import HDILEvaluator
+from repro.query.rdil_eval import RDILEvaluator
+
+from conftest import random_graph
+
+SCORERS = ("elemrank", "tfidf")
+AGGREGATIONS = ("max", "sum")
+PROXIMITY = (True, False)
+DECAYS = (0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(random.Random(77), num_docs=4, max_depth=4)
+
+
+@pytest.mark.parametrize(
+    ("scorer", "aggregation", "use_proximity", "decay"),
+    list(itertools.product(SCORERS, AGGREGATIONS, PROXIMITY, DECAYS)),
+)
+def test_dewey_family_agreement_matrix(
+    graph, scorer, aggregation, use_proximity, decay
+):
+    ranking = RankingParams(
+        decay=decay, aggregation=aggregation, use_proximity=use_proximity
+    )
+    builder = IndexBuilder(graph, scorer=scorer)
+    dil = DILEvaluator(builder.build_dil(), ranking)
+    rdil = RDILEvaluator(builder.build_rdil(), ranking)
+    hdil = HDILEvaluator(builder.build_hdil(), ranking)
+
+    for keywords in (["alpha", "beta"], ["gamma", "delta"]):
+        reference = [
+            round(r.rank, 8) for r in dil.evaluate(keywords, m=5)
+        ]
+        for name, other in (("rdil", rdil), ("hdil", hdil)):
+            got = [round(r.rank, 8) for r in other.evaluate(keywords, m=5)]
+            assert got == pytest.approx(reference, rel=1e-5), (
+                f"{name} diverges under scorer={scorer}, f={aggregation}, "
+                f"proximity={use_proximity}, decay={decay}"
+            )
+
+
+@pytest.mark.parametrize("scorer", SCORERS)
+def test_matrix_matches_reference_semantics(graph, scorer):
+    """Result SETS are scorer-independent (scores change, membership not)."""
+    from conftest import reference_results
+
+    builder = IndexBuilder(graph, scorer=scorer)
+    evaluator = DILEvaluator(builder.build_dil())
+    got = {
+        r.dewey.components
+        for r in evaluator.evaluate(["alpha", "beta"], m=10_000)
+    }
+    expected = set(
+        reference_results(graph, ["alpha", "beta"], builder.elemranks)
+    )
+    assert got == expected

@@ -1,0 +1,108 @@
+"""Unit tests for the node model: navigation, containment, content access."""
+
+from repro.xmlmodel.dewey import DeweyId
+from repro.xmlmodel.nodes import Document, Element, ValueNode
+from repro.xmlmodel.parser import parse_xml
+
+DOC = "<a k=\"v\"><b>one</b><c><d>two three</d></c>four</a>"
+
+
+class TestNavigation:
+    def test_iter_elements_preorder_is_dewey_order(self):
+        doc = parse_xml(DOC, doc_id=0)
+        deweys = [e.dewey for e in doc.iter_elements()]
+        assert deweys == sorted(deweys)
+
+    def test_child_elements_and_values(self):
+        doc = parse_xml(DOC, doc_id=0)
+        root = doc.root
+        assert [e.tag for e in root.child_elements()] == ["k", "b", "c"]
+        assert [v.text for v in root.value_children()] == ["four"]
+
+    def test_ancestors(self):
+        doc = parse_xml(DOC, doc_id=0)
+        d = doc.root.find_first("d")
+        assert [a.tag for a in d.ancestors()] == ["c", "a"]
+
+    def test_iter_values_document_order(self):
+        doc = parse_xml(DOC, doc_id=0)
+        assert [v.text for v in doc.root.iter_values()] == [
+            "v", "one", "two three", "four",
+        ]
+
+    def test_find_first_missing(self):
+        doc = parse_xml(DOC, doc_id=0)
+        assert doc.root.find_first("nope") is None
+
+    def test_find_first_does_not_match_self(self):
+        doc = parse_xml("<a><a>inner</a></a>", doc_id=0)
+        found = doc.root.find_first("a")
+        assert found is not doc.root
+
+
+class TestContent:
+    def test_num_subelements_counts_attributes(self):
+        doc = parse_xml(DOC, doc_id=0)
+        # k (attribute), b, c
+        assert doc.root.num_subelements == 3
+
+    def test_direct_vs_all_words(self):
+        doc = parse_xml(DOC, doc_id=0)
+        direct = {w for w, _ in doc.root.direct_words()}
+        # own tag, plus the direct value "four"; not nested words
+        assert "four" in direct and "a" in direct
+        assert "two" not in direct
+        everything = {w for w, _ in doc.root.all_words()}
+        assert {"one", "two", "three", "four"} <= everything
+
+    def test_text_content(self):
+        doc = parse_xml(DOC, doc_id=0)
+        c = doc.root.find_first("c")
+        assert c.text_content() == "two three"
+
+    def test_attribute_accessor(self):
+        doc = parse_xml(DOC, doc_id=0)
+        assert doc.root.attribute("k") == "v"
+        assert doc.root.attribute("missing") is None
+
+    def test_attribute_not_confused_with_element(self):
+        doc = parse_xml("<a><k>element not attr</k></a>", doc_id=0)
+        assert doc.root.attribute("k") is None
+
+
+class TestDocument:
+    def test_num_elements(self):
+        doc = parse_xml(DOC, doc_id=0)
+        # a, k(attr), b, c, d
+        assert doc.num_elements == 5
+
+    def test_element_by_dewey(self):
+        doc = parse_xml(DOC, doc_id=0)
+        d = doc.root.find_first("d")
+        assert doc.element_by_dewey(d.dewey) is d
+        assert doc.element_by_dewey(DeweyId.parse("0.9.9")) is None
+
+    def test_elements_with_id_attribute(self):
+        doc = parse_xml('<r><x id="one"/><y id="two"/><z id="one"/></r>', doc_id=0)
+        targets = doc.elements_with_id_attribute()
+        assert set(targets) == {"one", "two"}
+        assert targets["one"].tag == "x"  # first occurrence wins
+
+    def test_repr_smoke(self):
+        doc = parse_xml(DOC, doc_id=0)
+        assert "Document" in repr(doc)
+        assert "Element" in repr(doc.root)
+        value = next(doc.root.value_children())
+        assert "ValueNode" in repr(value)
+
+
+class TestManualConstruction:
+    def test_append_sets_parent(self):
+        root = Element("r", DeweyId((0,)))
+        child = Element("c", DeweyId((0, 0)))
+        value = ValueNode(DeweyId((0, 1)), "hello", [("hello", 0)])
+        root.append(child)
+        root.append(value)
+        assert child.parent is root
+        assert value.parent is root
+        assert not value.is_element and root.is_element

@@ -1,0 +1,79 @@
+"""Unit tests for the classic PageRank baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.ranking.pagerank import pagerank, pagerank_from_adjacency
+
+
+class TestPageRank:
+    def test_cycle_is_uniform(self):
+        result = pagerank(3, [(0, 1), (1, 2), (2, 0)])
+        assert result.converged
+        assert np.allclose(result.scores, 1 / 3, atol=1e-4)
+
+    def test_scores_sum_to_one(self):
+        result = pagerank(5, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 0)])
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_star_center_wins(self):
+        edges = [(i, 0) for i in range(1, 6)]
+        result = pagerank(6, edges)
+        assert result.scores[0] == max(result.scores)
+
+    def test_dangling_nodes_handled(self):
+        # Node 1 has no out-links; mass must not leak.
+        result = pagerank(2, [(0, 1)])
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert result.scores[1] > result.scores[0]
+
+    def test_no_edges(self):
+        result = pagerank(4, [])
+        assert np.allclose(result.scores, 0.25, atol=1e-4)
+
+    def test_empty_graph(self):
+        result = pagerank(0, [])
+        assert result.converged
+        assert len(result.scores) == 0
+
+    def test_damping_extreme(self):
+        low_damping = pagerank(3, [(0, 1), (1, 2), (2, 0)], damping=0.01)
+        assert np.allclose(low_damping.scores, 1 / 3, atol=1e-3)
+
+    def test_divergence_raises_when_asked(self):
+        # Asymmetric graph: the iteration cannot settle in two steps.
+        with pytest.raises(ConvergenceError):
+            pagerank(
+                4,
+                [(0, 1), (1, 2), (2, 0), (0, 2), (3, 0)],
+                threshold=1e-30,
+                max_iterations=2,
+                raise_on_divergence=True,
+            )
+
+    def test_unconverged_flag(self):
+        result = pagerank(
+            4,
+            [(0, 1), (1, 2), (2, 0), (0, 2), (3, 0)],
+            threshold=1e-30,
+            max_iterations=2,
+        )
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_parallel_edges_weighted(self):
+        # Two edges 0->1 vs one edge 0->2: node 1 gets twice the share.
+        result = pagerank(3, [(0, 1), (0, 1), (0, 2), (1, 0), (2, 0)])
+        assert result.scores[1] > result.scores[2]
+
+    def test_as_dict(self):
+        result = pagerank(2, [(0, 1), (1, 0)])
+        mapping = result.as_dict(["a", "b"])
+        assert set(mapping) == {"a", "b"}
+
+    def test_adjacency_wrapper(self):
+        result = pagerank_from_adjacency({0: [1], 1: [2], 2: [0]})
+        assert len(result.scores) == 3
+        assert result.converged

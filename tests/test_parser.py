@@ -1,0 +1,138 @@
+"""Unit tests for the XML parser: Dewey numbering, attribute lifting,
+word positions and error handling."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.dewey import DeweyId
+from repro.xmlmodel.nodes import Element, ValueNode
+from repro.xmlmodel.parser import XMLParser, parse_xml
+
+
+class TestStructure:
+    def test_root_dewey_is_doc_id(self):
+        doc = parse_xml("<a/>", doc_id=9)
+        assert doc.root.dewey == DeweyId((9,))
+        assert doc.doc_id == 9
+
+    def test_children_numbered_in_document_order(self):
+        doc = parse_xml("<a><b/><c/>text<d/></a>", doc_id=0)
+        kinds = [
+            (child.tag if isinstance(child, Element) else "#text", str(child.dewey))
+            for child in doc.root.children
+        ]
+        assert kinds == [
+            ("b", "0.0"),
+            ("c", "0.1"),
+            ("#text", "0.2"),
+            ("d", "0.3"),
+        ]
+
+    def test_attributes_become_leading_subelements(self):
+        doc = parse_xml('<a x="1" y="2"><b/></a>', doc_id=0)
+        children = list(doc.root.children)
+        assert [c.tag for c in children] == ["x", "y", "b"]
+        assert children[0].from_attribute and children[1].from_attribute
+        assert not children[2].from_attribute
+        assert str(children[0].dewey) == "0.0"
+        assert str(children[2].dewey) == "0.2"
+
+    def test_attribute_value_node(self):
+        doc = parse_xml('<a date="28 July 2000"/>', doc_id=0)
+        attr = next(doc.root.child_elements())
+        value = next(attr.value_children())
+        assert value.text == "28 July 2000"
+        assert [w for w, _ in value.words] == ["28", "july", "2000"]
+
+    def test_nested_dewey_ids(self):
+        doc = parse_xml("<a><b><c>deep</c></b></a>", doc_id=5)
+        c = doc.root.find_first("c")
+        assert str(c.dewey) == "5.0.0"
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_xml("<a>\n  <b/>\n</a>", doc_id=0)
+        assert all(isinstance(c, Element) for c in doc.root.children)
+
+    def test_keep_whitespace_option(self):
+        parser = XMLParser(keep_whitespace_values=True)
+        doc = parser.parse("<a> <b/> </a>", doc_id=0)
+        assert any(isinstance(c, ValueNode) for c in doc.root.children)
+
+    def test_empty_tag_element(self):
+        doc = parse_xml("<a><b/></a>", doc_id=0)
+        b = doc.root.find_first("b")
+        assert b is not None and b.num_subelements == 0
+
+
+class TestWordPositions:
+    def test_positions_are_global_and_consecutive(self):
+        doc = parse_xml("<a><b>one two</b><c>three</c></a>", doc_id=0)
+        words = sorted(
+            ((pos, word) for e in doc.iter_elements() for word, pos in e.direct_words())
+        )
+        tokens = [word for _, word in words]
+        # tag names occupy positions too (names are values, Section 2.1)
+        assert tokens == ["a", "b", "one", "two", "c", "three"]
+        positions = [pos for pos, _ in words]
+        assert positions == list(range(6))
+        assert doc.word_count == 6
+
+    def test_tag_names_indexable(self):
+        doc = parse_xml("<author>Jim</author>", doc_id=0)
+        words = {w for w, _ in doc.root.direct_words()}
+        assert "author" in words and "jim" in words
+
+    def test_tag_names_can_be_disabled(self):
+        doc = parse_xml("<author>Jim</author>", doc_id=0, index_tag_names=False)
+        words = {w for w, _ in doc.root.direct_words()}
+        assert words == {"jim"}
+
+    def test_hyperlink_attribute_values_not_tokenized(self):
+        doc = parse_xml('<a xlink="/paper/xmlql/">text</a>', doc_id=0)
+        attr = next(doc.root.child_elements())
+        value = next(attr.value_children())
+        assert value.text == "/paper/xmlql/"
+        assert value.words == ()
+
+    def test_multiword_tag_names(self):
+        doc = parse_xml("<xlink:href>x</xlink:href>", doc_id=0)
+        words = {w for w, _ in doc.root.direct_words()}
+        assert {"xlink", "href", "x"} <= words
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a><b></a>",        # mismatched end tag
+            "<a>",               # unclosed element
+            "</a>",              # end tag without start
+            "<a/><b/>",          # multiple roots
+            "",                  # no root
+            "text only",         # data outside root
+        ],
+    )
+    def test_structural_errors(self, source):
+        with pytest.raises(XMLParseError):
+            parse_xml(source, doc_id=0)
+
+    def test_comments_between_roots_ok(self):
+        doc = parse_xml("<!-- before --><a/><!-- after -->", doc_id=0)
+        assert doc.root.tag == "a"
+
+
+class TestFigure1:
+    def test_figure1_shape(self, figure1_document):
+        root = figure1_document.root
+        assert root.tag == "workshop"
+        assert root.attribute("date") == "28 July 2000"
+        proceedings = root.find_first("proceedings")
+        papers = list(proceedings.child_elements())
+        assert [p.tag for p in papers] == ["paper", "paper"]
+        assert papers[0].attribute("id") == "1"
+
+    def test_figure1_subsection_dewey_depth(self, figure1_document):
+        subsection = figure1_document.root.find_first("subsection")
+        # workshop/proceedings/paper/body/section/subsection = depth 5
+        assert subsection.dewey.depth == 5
+        assert subsection.dewey.doc_id == 5

@@ -1,0 +1,134 @@
+"""Hypothesis property tests across the whole stack.
+
+Random XML trees are generated structurally (not as strings), serialized,
+re-parsed and queried — checking parser/serializer inverses, index/evaluator
+agreement and the merge-vs-reference equivalence under fuzzing.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import RankingParams
+from repro.index.builder import IndexBuilder
+from repro.query.dil_eval import DILEvaluator
+from repro.query.rdil_eval import RDILEvaluator
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import document_to_xml
+
+from conftest import VOCAB, reference_results
+
+# -- structural XML generation ------------------------------------------------
+
+tag_names = st.sampled_from(["r", "s", "t", "u"])
+words = st.lists(st.sampled_from(VOCAB), min_size=1, max_size=4).map(" ".join)
+
+
+def xml_tree(depth):
+    if depth == 0:
+        return words
+    return st.one_of(
+        words,
+        st.builds(
+            lambda tag, children: f"<{tag}>{' '.join(children)}</{tag}>",
+            tag_names,
+            st.lists(xml_tree(depth - 1), min_size=0, max_size=3),
+        ),
+    )
+
+
+documents = st.builds(
+    lambda tag, children: f"<{tag}>{' '.join(children)}</{tag}>",
+    tag_names,
+    st.lists(xml_tree(3), min_size=0, max_size=4),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(documents)
+def test_parse_serialize_roundtrip_preserves_words(source):
+    doc = parse_xml(source, doc_id=0)
+    reparsed = parse_xml(document_to_xml(doc), doc_id=0)
+    original_words = sorted(w for w, _ in doc.root.all_words())
+    roundtrip_words = sorted(w for w, _ in reparsed.root.all_words())
+    assert original_words == roundtrip_words
+
+
+@settings(max_examples=40, deadline=None)
+@given(documents)
+def test_dewey_numbering_invariants(source):
+    doc = parse_xml(source, doc_id=0)
+    seen = set()
+    for element in doc.iter_elements():
+        assert element.dewey not in seen
+        seen.add(element.dewey)
+        if element.parent is not None:
+            assert element.parent.dewey.is_ancestor_of(element.dewey)
+            assert element.dewey.parent() == element.parent.dewey
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(documents, min_size=1, max_size=3), st.integers(0, 10_000))
+def test_merge_matches_reference_under_fuzzing(sources, salt):
+    graph = CollectionGraph()
+    for i, source in enumerate(sources):
+        graph.add_document(parse_xml(source, doc_id=i))
+    graph.finalize()
+    builder = IndexBuilder(graph)
+    evaluator = DILEvaluator(builder.build_dil())
+    rng = random.Random(salt)
+    keywords = rng.sample(VOCAB, 2)
+    got = {
+        r.dewey.components: r.rank
+        for r in evaluator.evaluate(keywords, m=100_000)
+    }
+    expected = reference_results(graph, keywords, builder.elemranks)
+    assert set(got) == set(expected)
+    for key, rank in expected.items():
+        assert abs(got[key] - rank) < max(1e-4 * abs(rank), 1e-10)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(documents, min_size=1, max_size=3), st.integers(0, 10_000))
+def test_rdil_topm_matches_dil_under_fuzzing(sources, salt):
+    graph = CollectionGraph()
+    for i, source in enumerate(sources):
+        graph.add_document(parse_xml(source, doc_id=i))
+    graph.finalize()
+    builder = IndexBuilder(graph)
+    dil = DILEvaluator(builder.build_dil())
+    rdil = RDILEvaluator(builder.build_rdil())
+    rng = random.Random(salt)
+    keywords = rng.sample(VOCAB, 2)
+    m = rng.choice([1, 3, 10])
+    dil_ranks = [round(r.rank, 8) for r in dil.evaluate(keywords, m=m)]
+    rdil_ranks = [round(r.rank, 8) for r in rdil.evaluate(keywords, m=m)]
+    assert len(dil_ranks) == len(rdil_ranks)
+    for a, b in zip(dil_ranks, rdil_ranks):
+        assert abs(a - b) < max(1e-5 * abs(a), 1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents, st.sampled_from(VOCAB))
+def test_single_keyword_results_are_direct_containers(source, keyword):
+    graph = CollectionGraph()
+    graph.add_document(parse_xml(source, doc_id=0))
+    graph.finalize()
+    builder = IndexBuilder(graph)
+    evaluator = DILEvaluator(builder.build_dil())
+    results = evaluator.evaluate([keyword], m=100_000)
+    expected = {
+        element.dewey.components
+        for element in graph.elements
+        if keyword in {w for w, _ in element.direct_words()}
+    }
+    assert {r.dewey.components for r in results} == expected

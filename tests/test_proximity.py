@@ -1,0 +1,83 @@
+"""Unit and property tests for the smallest-window proximity measure."""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking.proximity import proximity, smallest_window
+
+
+def brute_force_window(position_lists):
+    """O(product) reference: try every combination of one position per list."""
+    if not position_lists or any(not pl for pl in position_lists):
+        return None
+    best = None
+    for combo in itertools.product(*position_lists):
+        window = max(combo) - min(combo) + 1
+        if best is None or window < best:
+            best = window
+    return best
+
+
+class TestSmallestWindow:
+    def test_adjacent(self):
+        assert smallest_window([[3], [4]]) == 2
+
+    def test_single_list(self):
+        assert smallest_window([[10, 20, 30]]) == 1
+
+    def test_interleaved(self):
+        assert smallest_window([[1, 100], [99]]) == 2
+
+    def test_three_lists(self):
+        assert smallest_window([[1, 50], [2, 60], [3, 70]]) == 3
+
+    def test_empty_inputs(self):
+        assert smallest_window([]) is None
+        assert smallest_window([[1], []]) is None
+
+    def test_same_position_twice(self):
+        # Two keywords at the same position: window of 1.
+        assert smallest_window([[5], [5]]) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 60), min_size=1, max_size=6),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_bruteforce(self, lists):
+        sorted_lists = [sorted(pl) for pl in lists]
+        assert smallest_window(sorted_lists) == brute_force_window(sorted_lists)
+
+    def test_large_inputs_fast(self):
+        rng = random.Random(0)
+        lists = [sorted(rng.sample(range(100_000), 2000)) for _ in range(4)]
+        assert smallest_window(lists) is not None
+
+
+class TestProximityFactor:
+    def test_adjacent_keywords_give_one(self):
+        assert proximity([[10], [11], [12]]) == 1.0
+
+    def test_single_keyword_is_one(self):
+        assert proximity([[5, 9]]) == 1.0
+
+    def test_far_apart_approaches_zero(self):
+        value = proximity([[0], [10_000]])
+        assert 0 < value < 0.001
+
+    def test_missing_keyword_is_zero(self):
+        assert proximity([[1], []]) == 0.0
+        assert proximity([]) == 0.0
+
+    def test_never_exceeds_one(self):
+        assert proximity([[5], [5]]) == 1.0
+
+    def test_monotone_in_window(self):
+        near = proximity([[0], [3]])
+        far = proximity([[0], [30]])
+        assert near > far

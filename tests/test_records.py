@@ -1,0 +1,103 @@
+"""Unit tests for the binary record codecs and page packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.records import (
+    RecordReader,
+    RecordWriter,
+    pack_into_pages,
+    unpack_page,
+)
+from repro.xmlmodel.dewey import DeweyId
+
+
+class TestWriterReader:
+    def test_mixed_fields_roundtrip(self):
+        writer = RecordWriter()
+        writer.uint(42).float64(3.25).bytes_field(b"payload")
+        writer.dewey(DeweyId.parse("1.2.3"))
+        writer.uint_list([5, 9, 9, 30])
+        data = writer.getvalue()
+        assert len(writer) == len(data)
+
+        reader = RecordReader(data)
+        assert reader.uint() == 42
+        assert reader.float64() == 3.25
+        assert reader.bytes_field() == b"payload"
+        assert reader.dewey() == DeweyId.parse("1.2.3")
+        assert reader.uint_list() == [5, 9, 9, 30]
+        assert reader.exhausted
+
+    def test_float32_precision(self):
+        writer = RecordWriter()
+        writer.float32(0.1)
+        value = RecordReader(writer.getvalue()).float32()
+        assert value == pytest.approx(0.1, rel=1e-6)
+
+    def test_uint_list_requires_sorted(self):
+        with pytest.raises(StorageError):
+            RecordWriter().uint_list([3, 1])
+
+    def test_truncated_reads(self):
+        with pytest.raises(StorageError):
+            RecordReader(b"\x01").float64()
+        with pytest.raises(StorageError):
+            RecordReader(b"\x05ab").bytes_field()
+        with pytest.raises(StorageError):
+            RecordReader(b"\x01\x02").float32()
+
+    def test_raw_passthrough(self):
+        data = RecordWriter().raw(b"abc").getvalue()
+        assert data == b"abc"
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+    def test_uint_list_roundtrip(self, values):
+        values.sort()
+        data = RecordWriter().uint_list(values).getvalue()
+        assert RecordReader(data).uint_list() == values
+
+    @given(st.binary(max_size=200))
+    def test_bytes_field_roundtrip(self, blob):
+        data = RecordWriter().bytes_field(blob).getvalue()
+        assert RecordReader(data).bytes_field() == blob
+
+
+class TestPagePacking:
+    def test_records_never_split(self):
+        records = [bytes([i]) * 30 for i in range(20)]
+        pages, boundaries = pack_into_pages(records, page_size=100)
+        assert len(pages) > 1
+        assert boundaries[0] == 0
+        # Unpack every page and confirm full records come back in order.
+        recovered = []
+        for page in pages:
+            count, reader = unpack_page(page)
+            for _ in range(count):
+                # Records here are raw; this test packs unframed records, so
+                # reconstruct by fixed length.
+                recovered.append(reader.data[reader.offset : reader.offset + 30])
+                reader.offset += 30
+        assert recovered == records
+
+    def test_boundaries_index_first_record(self):
+        records = [b"x" * 40 for _ in range(10)]
+        pages, boundaries = pack_into_pages(records, page_size=100)
+        # 100-byte pages hold 1 record each (40 + overhead margin allows 1).
+        assert boundaries == sorted(boundaries)
+        assert boundaries[0] == 0
+        assert sum(unpack_page(p)[0] for p in pages) == 10
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(StorageError):
+            pack_into_pages([b"x" * 200], page_size=100)
+
+    def test_empty_input(self):
+        pages, boundaries = pack_into_pages([], page_size=100)
+        assert pages == [] and boundaries == []
+
+    def test_page_size_respected(self):
+        records = [b"r" * 25 for _ in range(40)]
+        pages, _ = pack_into_pages(records, page_size=128)
+        assert all(len(page) <= 128 for page in pages)

@@ -1,0 +1,92 @@
+"""Unit tests for the ranking-function pieces (paper Section 2.3.2)."""
+
+import pytest
+
+from repro.config import RankingParams
+from repro.errors import QueryError
+from repro.ranking.scoring import (
+    aggregate_occurrences,
+    occurrence_rank,
+    overall_rank,
+    ta_threshold,
+)
+
+
+class TestOccurrenceRank:
+    def test_direct_containment_no_decay(self):
+        assert occurrence_rank(0.5, 0, decay=0.75) == 0.5
+
+    def test_decay_per_level(self):
+        assert occurrence_rank(1.0, 2, decay=0.5) == 0.25
+
+    def test_decay_one_means_no_specificity(self):
+        assert occurrence_rank(0.8, 5, decay=1.0) == pytest.approx(0.8)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(QueryError):
+            occurrence_rank(1.0, -1, decay=0.5)
+
+
+class TestAggregation:
+    def test_max_default(self):
+        assert aggregate_occurrences([0.1, 0.5, 0.3]) == 0.5
+
+    def test_sum(self):
+        assert aggregate_occurrences([0.1, 0.5], "sum") == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert aggregate_occurrences([]) == 0.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate_occurrences([1.0], "median")
+
+
+class TestOverallRank:
+    def test_sum_times_proximity(self):
+        params = RankingParams()
+        rank = overall_rank([0.2, 0.3], [[10], [11]], params)
+        assert rank == pytest.approx(0.5)  # adjacent => proximity 1
+
+    def test_proximity_scales_down(self):
+        params = RankingParams()
+        near = overall_rank([0.2, 0.3], [[10], [11]], params)
+        far = overall_rank([0.2, 0.3], [[10], [200]], params)
+        assert far < near
+
+    def test_proximity_disabled(self):
+        params = RankingParams(use_proximity=False)
+        rank = overall_rank([0.2, 0.3], [[10], [9999]], params)
+        assert rank == pytest.approx(0.5)
+
+    def test_monotone_in_keyword_ranks(self):
+        """The TA requirement: the first factor is monotone."""
+        params = RankingParams(use_proximity=False)
+        low = overall_rank([0.1, 0.1], [[1], [2]], params)
+        high = overall_rank([0.2, 0.1], [[1], [2]], params)
+        assert high > low
+
+
+class TestThreshold:
+    def test_sum_of_current_ranks(self):
+        assert ta_threshold([0.5, 0.25, 0.1]) == pytest.approx(0.85)
+
+    def test_threshold_bounds_overall_rank(self):
+        """decay <= 1 and proximity <= 1 imply rank <= threshold built from
+        the same per-keyword ElemRanks."""
+        params = RankingParams()
+        keyword_ranks = [0.4 * 0.75, 0.2]  # decayed contributions
+        rank = overall_rank(keyword_ranks, [[1], [50]], params)
+        assert rank <= ta_threshold([0.4, 0.2])
+
+
+class TestRankingParamsValidation:
+    def test_decay_bounds(self):
+        with pytest.raises(QueryError):
+            RankingParams(decay=0.0)
+        with pytest.raises(QueryError):
+            RankingParams(decay=1.5)
+
+    def test_aggregation_validated(self):
+        with pytest.raises(QueryError):
+            RankingParams(aggregation="avg")

@@ -1,0 +1,60 @@
+"""Round-trip tests for the XML serializer."""
+
+import random
+
+from repro.xmlmodel.nodes import Element
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import document_to_xml, escape_attribute, escape_text
+
+from conftest import random_xml
+
+
+def structures_equal(left: Element, right: Element) -> bool:
+    """Compare tag structure, attributes and text, ignoring whitespace."""
+    if left.tag != right.tag:
+        return False
+    left_children = list(left.child_elements())
+    right_children = list(right.child_elements())
+    if len(left_children) != len(right_children):
+        return False
+    left_text = " ".join(v.text for v in left.value_children()).split()
+    right_text = " ".join(v.text for v in right.value_children()).split()
+    if left_text != right_text:
+        return False
+    return all(
+        structures_equal(a, b) for a, b in zip(left_children, right_children)
+    )
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        doc = parse_xml('<a x="1"><b>text</b><c/></a>', doc_id=0)
+        reparsed = parse_xml(document_to_xml(doc), doc_id=0)
+        assert structures_equal(doc.root, reparsed.root)
+
+    def test_figure1(self, figure1_document):
+        text = document_to_xml(figure1_document)
+        reparsed = parse_xml(text, doc_id=5)
+        assert structures_equal(figure1_document.root, reparsed.root)
+
+    def test_random_documents(self):
+        rng = random.Random(7)
+        for i in range(20):
+            source = random_xml(rng)
+            doc = parse_xml(source, doc_id=i)
+            reparsed = parse_xml(document_to_xml(doc), doc_id=i)
+            assert structures_equal(doc.root, reparsed.root)
+
+    def test_special_characters_escaped(self):
+        doc = parse_xml("<a k=\"x &amp; &quot;y&quot;\">&lt;tag&gt; &amp; more</a>", doc_id=0)
+        text = document_to_xml(doc)
+        reparsed = parse_xml(text, doc_id=0)
+        assert structures_equal(doc.root, reparsed.root)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"

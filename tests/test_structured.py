@@ -1,0 +1,111 @@
+"""Tests for path-constrained search (structured-query integration)."""
+
+import pytest
+
+from repro.engine import XRankEngine
+from repro.errors import QueryError
+from repro.query.structured import PathFilter, parse_path_pattern, _matches
+
+
+class TestPatternParsing:
+    def test_simple(self):
+        assert parse_path_pattern("a/b") == ["a", "b"]
+
+    def test_anchored(self):
+        assert parse_path_pattern("/a/b") == ["", "a", "b"]
+
+    def test_descendant_axis(self):
+        assert parse_path_pattern("a//b") == ["a", "//", "b"]
+        # A leading '//' is the default suffix semantics, so it is elided.
+        assert parse_path_pattern("//b") == ["b"]
+
+    def test_wildcard(self):
+        assert parse_path_pattern("a/*/c") == ["a", "*", "c"]
+
+    @pytest.mark.parametrize(
+        "pattern", ["", "/", "a///b", "a//", "//", "a/b c/d"]
+    )
+    def test_malformed(self, pattern):
+        with pytest.raises(QueryError):
+            parse_path_pattern(pattern)
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        ("tags", "pattern", "expected"),
+        [
+            (["w", "p", "title"], "p/title", True),
+            (["w", "p", "title"], "title", True),
+            (["w", "p", "title"], "w/title", False),
+            (["w", "p", "title"], "w//title", True),
+            (["w", "p", "title"], "/w/p/title", True),
+            (["w", "p", "title"], "/p/title", False),
+            (["w", "p", "title"], "w/*/title", True),
+            (["w", "p", "s", "title"], "w/*/title", False),
+            (["w", "p", "s", "title"], "w//title", True),
+            (["a", "b", "a", "b"], "a/b", True),
+            (["a"], "//a", True),
+            (["x", "y"], "z", False),
+        ],
+    )
+    def test_match_table(self, tags, pattern, expected):
+        assert _matches(tags, parse_path_pattern(pattern)) is expected
+
+
+class TestEngineIntegration:
+    @pytest.fixture()
+    def engine(self):
+        e = XRankEngine()
+        e.add_xml(
+            "<workshop>"
+            "<title>xml search workshop</title>"
+            "<paper><title>xml search paper</title>"
+            "<body><section>xml search body text</section></body></paper>"
+            "</workshop>"
+        )
+        e.build(kinds=["dil"])
+        return e
+
+    def test_path_restricts_results(self, engine):
+        unrestricted = engine.search("xml search", kind="dil", m=10)
+        assert len(unrestricted) >= 3
+        titles_only = engine.search(
+            "xml search", kind="dil", m=10, path="paper/title"
+        )
+        assert len(titles_only) == 1
+        assert titles_only[0].path == "workshop/paper/title"
+
+    def test_descendant_axis_path(self, engine):
+        hits = engine.search("xml search", kind="dil", m=10, path="paper//section")
+        assert [h.tag for h in hits] == ["section"]
+
+    def test_anchored_path(self, engine):
+        hits = engine.search("xml search", kind="dil", m=10, path="/workshop/title")
+        assert [h.path for h in hits] == ["workshop/title"]
+
+    def test_order_preserved(self, engine):
+        unrestricted = engine.search("xml search", kind="dil", m=10)
+        filtered = engine.search("xml search", kind="dil", m=10, path="//title")
+        filtered_deweys = [h.dewey for h in filtered]
+        expected = [h.dewey for h in unrestricted if h.tag == "title"]
+        assert filtered_deweys == expected
+
+    def test_overfetch_finds_lowranked_matches(self):
+        """A selective path whose matches rank below the top-m must still
+        surface through the over-fetch loop."""
+        e = XRankEngine()
+        docs = "".join(
+            f"<entry><title>needle {i}</title></entry>" for i in range(20)
+        )
+        e.add_xml(f"<root><special><title>needle special</title></special>{docs}</root>")
+        e.build(kinds=["dil"])
+        hits = e.search("needle", kind="dil", m=1, path="special/title")
+        assert len(hits) == 1
+        assert hits[0].path.endswith("special/title")
+
+    def test_no_matches(self, engine):
+        assert engine.search("xml search", kind="dil", path="nosuchtag") == []
+
+    def test_bad_pattern_raises(self, engine):
+        with pytest.raises(QueryError):
+            engine.search("xml", kind="dil", path="//")

@@ -1,0 +1,101 @@
+"""Unit tests for tokenization and the Zipf vocabulary model."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenize import (
+    STOPWORDS,
+    PositionCounter,
+    remove_stopwords,
+    tokenize_query,
+    words,
+)
+from repro.text.vocabulary import ZipfVocabulary, synthetic_words
+
+
+class TestWords:
+    def test_basic_tokenization(self):
+        assert words("Hello, World! 123") == ["hello", "world", "123"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert words("don't stop") == ["don't", "stop"]
+
+    def test_empty(self):
+        assert words("") == []
+        assert words("   ...   ") == []
+
+    def test_lowercasing(self):
+        assert words("XQL XQuery") == ["xql", "xquery"]
+
+    @given(st.text())
+    def test_never_raises_and_always_lowercase(self, text):
+        for token in words(text):
+            assert token == token.lower()
+            assert token
+
+
+class TestQueryTokenization:
+    def test_dedup_preserves_order(self):
+        assert tokenize_query("xml search xml") == ["xml", "search"]
+
+    def test_stopwords_kept_by_default(self):
+        assert tokenize_query("the xml") == ["the", "xml"]
+
+    def test_stopwords_removed_on_request(self):
+        assert tokenize_query("the xml", drop_stopwords=True) == ["xml"]
+
+    def test_remove_stopwords(self):
+        assert remove_stopwords(["the", "author", "of"]) == ["author"]
+        assert "author" not in STOPWORDS
+
+
+class TestPositionCounter:
+    def test_take_and_assign(self):
+        counter = PositionCounter()
+        assert counter.take(3) == 0
+        assert counter.position == 3
+        pairs = counter.assign(["a", "b"])
+        assert pairs == [("a", 3), ("b", 4)]
+        assert counter.position == 5
+
+    def test_start_offset(self):
+        counter = PositionCounter(start=10)
+        assert counter.take() == 10
+
+
+class TestZipfVocabulary:
+    def test_synthetic_words_distinct(self):
+        vocab_words = synthetic_words(500)
+        assert len(set(vocab_words)) == 500
+
+    def test_sampling_deterministic(self):
+        vocab = ZipfVocabulary(size=100)
+        a = vocab.sample_many(random.Random(1), 50)
+        b = vocab.sample_many(random.Random(1), 50)
+        assert a == b
+
+    def test_frequency_skew(self):
+        vocab = ZipfVocabulary(size=200, exponent=1.2)
+        rng = random.Random(3)
+        sample = vocab.sample_many(rng, 5000)
+        top_word = vocab.words[0]
+        rare_word = vocab.words[-1]
+        assert sample.count(top_word) > sample.count(rare_word)
+        assert sample.count(top_word) > 100
+
+    def test_expected_frequency_monotone(self):
+        vocab = ZipfVocabulary(size=50)
+        freqs = [vocab.expected_frequency(w) for w in vocab.words]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+        assert abs(sum(freqs) - 1.0) < 1e-9
+
+    def test_rank_of_unknown(self):
+        vocab = ZipfVocabulary(size=10)
+        assert vocab.rank_of("definitely-not-a-word") == -1
+        assert vocab.expected_frequency("definitely-not-a-word") == 0.0
+
+    def test_custom_words(self):
+        vocab = ZipfVocabulary(words=["x", "y", "z"])
+        assert vocab.size == 3
+        assert vocab.sample(random.Random(0)) in {"x", "y", "z"}

@@ -1,0 +1,115 @@
+"""Tests for the tf-idf alternative scorer (paper Section 4's hook)."""
+
+import pytest
+
+from repro.engine import XRankEngine
+from repro.index.builder import IndexBuilder
+from repro.query.dil_eval import DILEvaluator
+from repro.query.rdil_eval import RDILEvaluator
+from repro.ranking.tfidf import compute_tfidf_weights
+from repro.xmlmodel.graph import CollectionGraph
+from repro.xmlmodel.parser import parse_xml
+
+
+def make_graph(*sources):
+    graph = CollectionGraph()
+    for i, source in enumerate(sources):
+        graph.add_document(parse_xml(source, doc_id=i))
+    graph.finalize()
+    return graph
+
+
+class TestWeights:
+    def test_normalized_to_unit_interval(self):
+        graph = make_graph("<a><b>rare</b><c>common common common</c></a>")
+        weights = compute_tfidf_weights(graph)
+        assert weights
+        assert all(0 < w <= 1.0 for w in weights.values())
+        assert max(weights.values()) == pytest.approx(1.0)
+
+    def test_rare_terms_weigh_more_than_common(self):
+        sources = ["<d><p>common rare</p></d>"] + [
+            "<d><p>common filler</p></d>" for _ in range(8)
+        ]
+        graph = make_graph(*sources)
+        weights = compute_tfidf_weights(graph)
+        target = graph.documents[0].root.find_first("p").dewey.components
+        assert weights[(target, "rare")] > weights[(target, "common")]
+
+    def test_term_frequency_raises_weight(self):
+        graph = make_graph(
+            "<d><a>word</a><b>word word word</b><c>other other</c></d>"
+        )
+        weights = compute_tfidf_weights(graph)
+        a = graph.documents[0].root.find_first("a").dewey.components
+        b = graph.documents[0].root.find_first("b").dewey.components
+        assert weights[(b, "word")] > weights[(a, "word")]
+
+    def test_empty_graph(self):
+        graph = CollectionGraph()
+        graph.finalize()
+        assert compute_tfidf_weights(graph) == {}
+
+
+class TestTfIdfIndexing:
+    def test_builder_scorer_option(self):
+        graph = make_graph("<d><p>alpha beta</p></d>", "<d><p>alpha</p></d>")
+        builder = IndexBuilder(graph, scorer="tfidf")
+        posting = builder.direct_postings["beta"][0]
+        weights = compute_tfidf_weights(graph)
+        expected = weights[(posting.dewey.components, "beta")]
+        assert posting.elemrank == pytest.approx(expected, rel=1e-5)
+
+    def test_unknown_scorer_rejected(self):
+        graph = make_graph("<d>x</d>")
+        with pytest.raises(ValueError):
+            IndexBuilder(graph, scorer="bm25")
+
+    def test_rdil_matches_dil_under_tfidf(self):
+        """The query algorithms are score-agnostic: the TA guarantee must
+        hold for tf-idf scores exactly as for ElemRank."""
+        graph = make_graph(
+            "<d><p>alpha beta</p><q>alpha</q></d>",
+            "<d><p>beta</p><q>alpha beta gamma</q></d>",
+            "<d><p>alpha alpha beta</p></d>",
+        )
+        builder = IndexBuilder(graph, scorer="tfidf")
+        dil = DILEvaluator(builder.build_dil())
+        rdil = RDILEvaluator(builder.build_rdil())
+        for m in (1, 3, 10):
+            a = [round(r.rank, 8) for r in dil.evaluate(["alpha", "beta"], m=m)]
+            b = [round(r.rank, 8) for r in rdil.evaluate(["alpha", "beta"], m=m)]
+            assert a == pytest.approx(b, rel=1e-5)
+
+    def test_engine_tfidf_end_to_end(self):
+        engine = XRankEngine(scorer="tfidf")
+        engine.add_xml("<d><title>rare topic</title><body>common words common</body></d>")
+        engine.add_xml("<d><body>common words again</body></d>")
+        engine.build(kinds=["hdil"])
+        hits = engine.search("rare")
+        assert hits and hits[0].tag == "title"
+
+    def test_tfidf_changes_ranking_vs_elemrank(self):
+        """A heavily cited element wins under ElemRank; a term-dense element
+        wins under tf-idf."""
+        sources = [
+            "<d><p>needle</p></d>",                        # cited a lot
+            "<d><p>needle needle needle needle</p></d>",   # term-dense
+        ]
+        graph = make_graph(*sources)
+        # Add citing documents pointing at doc 0.
+        graph = CollectionGraph()
+        for i, source in enumerate(sources):
+            graph.add_document(parse_xml(source, doc_id=i, uri=f"doc{i}"))
+        for i in range(2, 8):
+            graph.add_document(
+                parse_xml(f'<c><x xlink="doc0"/></c>', doc_id=i, uri=f"doc{i}")
+            )
+        graph.finalize()
+
+        elem_eval = DILEvaluator(IndexBuilder(graph, scorer="elemrank").build_dil())
+        tfidf_eval = DILEvaluator(IndexBuilder(graph, scorer="tfidf").build_dil())
+        by_elemrank = elem_eval.evaluate(["needle"], m=2)
+        by_tfidf = tfidf_eval.evaluate(["needle"], m=2)
+        assert by_elemrank[0].dewey.doc_id == 0
+        assert by_tfidf[0].dewey.doc_id == 1

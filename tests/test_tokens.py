@@ -1,0 +1,119 @@
+"""Unit tests for the XML tokenizer (strict and lenient modes)."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.tokens import TokenType, decode_entities, tokenize
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        tokens = tokenize("<a>hi</a>")
+        assert [t.type for t in tokens] == [
+            TokenType.START_TAG,
+            TokenType.TEXT,
+            TokenType.END_TAG,
+        ]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "hi"
+        assert tokens[2].value == "a"
+
+    def test_attributes(self):
+        tokens = tokenize('<a x="1" y = "two words">t</a>')
+        assert tokens[0].attributes == [("x", "1"), ("y", "two words")]
+
+    def test_single_quoted_attributes(self):
+        tokens = tokenize("<a x='1'/>")
+        assert tokens[0].attributes == [("x", "1")]
+
+    def test_empty_tag(self):
+        tokens = tokenize('<a x="1"/>')
+        assert tokens[0].type == TokenType.EMPTY_TAG
+        assert tokens[0].attributes == [("x", "1")]
+
+    def test_comment_pi_doctype_cdata(self):
+        source = (
+            "<?xml version='1.0'?><!DOCTYPE doc><doc><!-- note -->"
+            "<![CDATA[x < y]]></doc>"
+        )
+        types = [t.type for t in tokenize(source)]
+        assert types == [
+            TokenType.PI,
+            TokenType.DOCTYPE,
+            TokenType.START_TAG,
+            TokenType.COMMENT,
+            TokenType.CDATA,
+            TokenType.END_TAG,
+        ]
+
+    def test_cdata_content_verbatim(self):
+        tokens = tokenize("<d><![CDATA[a < b & c]]></d>")
+        assert tokens[1].value == "a < b & c"
+
+    def test_line_numbers(self):
+        tokens = tokenize("<a>\n<b/>\n</a>")
+        assert tokens[0].line == 1
+        assert [t for t in tokens if t.type == TokenType.EMPTY_TAG][0].line == 2
+
+    def test_names_with_namespace_chars(self):
+        tokens = tokenize('<ns:tag xlink:href="x"/>')
+        assert tokens[0].value == "ns:tag"
+        assert tokens[0].attributes == [("xlink:href", "x")]
+
+
+class TestEntities:
+    def test_predefined(self):
+        assert decode_entities("&lt;a&gt; &amp; &quot;x&quot; &apos;") == "<a> & \"x\" '"
+
+    def test_numeric(self):
+        assert decode_entities("&#65;&#x42;") == "AB"
+
+    def test_unknown_strict_raises(self):
+        with pytest.raises(XMLParseError):
+            decode_entities("&nbsp;")
+
+    def test_unknown_lenient_passthrough(self):
+        assert decode_entities("&bogus;", lenient=True) == "&bogus;"
+        assert decode_entities("&nbsp;", lenient=True) == " "
+
+    def test_text_entities_decoded_in_stream(self):
+        tokens = tokenize("<a>x &amp; y</a>")
+        assert tokens[1].value == "x & y"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a",                      # unterminated start tag
+            "<a x=>",                  # missing attribute value
+            "<a x=1>",                 # unquoted attribute value
+            "<a><!-- never closed",    # unterminated comment
+            "<a><![CDATA[oops</a>",    # unterminated CDATA
+            "<?pi never closed",       # unterminated PI
+            "</a junk>",               # malformed end tag
+            '<a x="unclosed>',         # unterminated attribute value
+        ],
+    )
+    def test_malformed_raises(self, source):
+        with pytest.raises(XMLParseError):
+            tokenize(source)
+
+    def test_error_carries_line(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            tokenize("<a>\n<b x=>\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestLenientMode:
+    def test_unquoted_attribute(self):
+        tokens = tokenize("<a href=page.html>x</a>", lenient=True)
+        assert tokens[0].attributes == [("href", "page.html")]
+
+    def test_boolean_attribute(self):
+        tokens = tokenize("<input disabled>", lenient=True)
+        assert tokens[0].attributes == [("disabled", "disabled")]
+
+    def test_bare_ampersand_survives(self):
+        tokens = tokenize("<a>fish & chips</a>", lenient=True)
+        assert tokens[1].value == "fish & chips"

@@ -1,0 +1,84 @@
+"""Tests for query workload generation."""
+
+import pytest
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.textgen import PlantedKeywords
+from repro.datasets.workloads import (
+    document_frequencies,
+    high_correlation_queries,
+    low_correlation_queries,
+    random_queries,
+)
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return PlantedKeywords.default(num_groups=3, group_size=4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_dblp(num_papers=50, seed=3)
+
+
+class TestPlantedWorkloads:
+    def test_high_correlation_from_one_group(self, plan):
+        workload = high_correlation_queries(plan, 3, num_queries=5)
+        assert len(workload) == 5
+        for query in workload:
+            assert len(query) == 3
+            groups_containing = [
+                g for g in plan.correlated_groups if set(query) <= set(g)
+            ]
+            assert groups_containing
+
+    def test_high_correlation_too_many_keywords(self, plan):
+        with pytest.raises(QueryError):
+            high_correlation_queries(plan, 9)
+
+    def test_high_correlation_requires_groups(self):
+        with pytest.raises(QueryError):
+            high_correlation_queries(PlantedKeywords(), 2)
+
+    def test_low_correlation_distinct_keywords(self, plan):
+        workload = low_correlation_queries(plan, 2, num_queries=4)
+        for query in workload:
+            assert len(set(query)) == 2
+            assert all(k in plan.independent_keywords for k in query)
+
+    def test_low_correlation_too_many(self, plan):
+        with pytest.raises(QueryError):
+            low_correlation_queries(plan, 99)
+
+    def test_workload_iteration(self, plan):
+        workload = high_correlation_queries(plan, 2, num_queries=3)
+        assert list(workload) == workload.queries
+
+
+class TestRandomWorkloads:
+    def test_document_frequencies(self, corpus):
+        freqs = document_frequencies(corpus.graph)
+        # 'article' is a tag on every paper.
+        assert freqs["article"] == corpus.num_documents
+        assert all(count >= 1 for count in freqs.values())
+
+    def test_selectivity_bands(self, corpus):
+        freqs = document_frequencies(corpus.graph)
+        high = random_queries(corpus.graph, 2, selectivity_band="high", seed=1)
+        low = random_queries(corpus.graph, 2, selectivity_band="low", seed=1)
+        mean_high = sum(
+            freqs[k] for q in high for k in q
+        ) / (2 * len(high))
+        mean_low = sum(freqs[k] for q in low for k in q) / (2 * len(low))
+        assert mean_high > mean_low
+
+    def test_deterministic_with_seed(self, corpus):
+        a = random_queries(corpus.graph, 2, seed=5)
+        b = random_queries(corpus.graph, 2, seed=5)
+        assert a.queries == b.queries
+
+    def test_unknown_band(self, corpus):
+        with pytest.raises(QueryError):
+            random_queries(corpus.graph, 2, selectivity_band="weird")
