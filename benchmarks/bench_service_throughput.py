@@ -1,0 +1,165 @@
+"""Multi-threaded load test against the in-process serving layer.
+
+Drives :class:`repro.service.core.XRankService` (no HTTP — the point is
+serving-layer overhead, not socket throughput) with a pool of client
+threads replaying a fixed query workload over a generated DBLP corpus:
+
+* **cold** phase — caches disabled, every query evaluated from the index;
+* **warm** phase — result + posting-list caches enabled and primed, the
+  same workload replayed;
+* **deadline** phase — a zero-millisecond budget on a two-keyword query,
+  which must come back ``degraded=True`` instead of raising.
+
+Results (QPS, p50/p95/p99 latency, cache hit rate) are written to
+``BENCH_service.json`` at the repository root.
+
+Acceptance (asserted below): warm-cache QPS strictly exceeds cold-cache
+QPS on the same workload, and the deadline-limited run degrades rather
+than erroring.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.textgen import PlantedKeywords
+from repro.engine import XRankEngine
+from repro.service.core import XRankService
+
+NUM_PAPERS = 150
+NUM_THREADS = 4
+REQUESTS_PER_THREAD = 40
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _build_engine() -> XRankEngine:
+    planted = PlantedKeywords.default()
+    planted.correlated_rate = 0.5
+    planted.independent_rate = 0.7
+    corpus = generate_dblp(num_papers=NUM_PAPERS, seed=11, planted=planted)
+    engine = XRankEngine()
+    for document in corpus.documents:
+        engine.add_document(document)
+    engine.build(kinds=["hdil"])
+    return engine
+
+
+def _workload(planted: PlantedKeywords) -> List[str]:
+    """A small mixed workload: correlated pairs plus common singletons."""
+    queries = [
+        " ".join(group[:2]) for group in planted.correlated_groups[:3]
+    ]
+    queries += [group[0] for group in planted.correlated_groups[:2]]
+    queries.append(planted.independent_keywords[0])
+    return queries
+
+
+def _drive(service: XRankService, queries: List[str]) -> Dict[str, float]:
+    """Replay the workload from NUM_THREADS client threads; return stats."""
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def client(worker: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for i in range(REQUESTS_PER_THREAD):
+                query = queries[(worker + i) % len(queries)]
+                response = service.search(query, m=10)
+                assert isinstance(response.hits, list)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(NUM_THREADS)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+
+    total = NUM_THREADS * REQUESTS_PER_THREAD
+    latency = service.metrics.latency_percentiles()
+    return {
+        "requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(total / elapsed, 2),
+        "p50_ms": round(latency["p50_ms"], 4),
+        "p95_ms": round(latency["p95_ms"], 4),
+        "p99_ms": round(latency["p99_ms"], 4),
+        "result_cache_hit_rate": round(service.result_cache.hit_rate, 4),
+        "list_cache_hit_rate": round(service.list_cache.hit_rate, 4),
+    }
+
+
+@pytest.fixture(scope="module")
+def service_engine() -> XRankEngine:
+    return _build_engine()
+
+
+def test_service_throughput(service_engine, capsys):
+    planted = PlantedKeywords.default()
+    queries = _workload(planted)
+
+    # Cold: no caching at all — every request hits the evaluator.
+    cold_service = XRankService(
+        service_engine, result_cache_size=0, list_cache_size=0
+    )
+    cold = _drive(cold_service, queries)
+
+    # Warm: caches on, primed with one pass of the workload.
+    warm_service = XRankService(
+        service_engine, result_cache_size=256, list_cache_size=256
+    )
+    for query in queries:
+        warm_service.search(query, m=10)
+    warm_service.metrics = type(warm_service.metrics)()  # drop priming stats
+    warm = _drive(warm_service, queries)
+
+    # Deadline: a zero budget must degrade, never error.
+    degraded_response = cold_service.search(
+        queries[0], m=10, deadline_ms=0.0
+    )
+    deadline = {
+        "query": queries[0],
+        "deadline_ms": 0.0,
+        "degraded": degraded_response.degraded,
+        "hits": len(degraded_response.hits),
+        "errored": False,
+    }
+
+    report = {
+        "benchmark": "service_throughput",
+        "corpus": {"kind": "dblp", "papers": NUM_PAPERS, "index": "hdil"},
+        "load": {
+            "threads": NUM_THREADS,
+            "requests_per_thread": REQUESTS_PER_THREAD,
+            "distinct_queries": len(queries),
+        },
+        "cold": cold,
+        "warm": warm,
+        "speedup": round(warm["qps"] / cold["qps"], 2) if cold["qps"] else None,
+        "deadline": deadline,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    with capsys.disabled():
+        print(
+            f"\nservice throughput: cold {cold['qps']} qps "
+            f"(p95 {cold['p95_ms']:.2f}ms) -> warm {warm['qps']} qps "
+            f"(p95 {warm['p95_ms']:.4f}ms, hit rate "
+            f"{warm['result_cache_hit_rate']:.0%}) -> {OUTPUT.name}"
+        )
+
+    assert warm["qps"] > cold["qps"], report
+    assert warm["result_cache_hit_rate"] > 0.5
+    assert deadline["degraded"] is True

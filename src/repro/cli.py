@@ -7,6 +7,8 @@ Usage::
     python -m repro search corpus.xrank "gray" --mode or --context
     python -m repro explain corpus.xrank "xql language"
     python -m repro stats corpus.xrank
+    python -m repro serve corpus.xrank --port 8712
+    python -m repro serve --check
     python -m repro demo
 
 ``index`` walks the given paths, parsing ``.xml`` files with the strict XML
@@ -155,11 +157,74 @@ _DEMO_DOC = """
 """
 
 
-def cmd_demo(_args: argparse.Namespace) -> int:
-    """Build and query a tiny in-memory demo corpus."""
+def _demo_engine() -> XRankEngine:
+    """A tiny built (demo-corpus) engine for `serve` without an index file."""
     engine = XRankEngine()
     engine.add_xml(_DEMO_DOC, uri="demo")
     engine.build(kinds=["hdil"])
+    return engine
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an engine over JSON/HTTP (see repro.service)."""
+    from .service.core import XRankService
+    from .service.server import make_server, run
+
+    if args.index:
+        engine = _load_engine(args.index)
+    else:
+        print("no index file given: serving the built-in demo corpus")
+        engine = _demo_engine()
+    service = XRankService(
+        engine,
+        result_cache_size=args.result_cache,
+        list_cache_size=args.list_cache,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.queue_limit,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+    if args.check:
+        # Smoke mode for CI: bind an ephemeral port, serve one real query
+        # through the HTTP stack, and shut down.
+        import threading
+
+        from .service.client import ServiceClient
+
+        server = make_server(service, host=args.host, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(args.host, port)
+            health = client.healthz()
+            query = args.query or _first_indexed_keyword(engine) or "xql"
+            response = client.search(query, m=3)
+            print(
+                f"serve check ok: {health['documents']} documents, "
+                f"query {query!r} -> {len(response['results'])} results "
+                f"in {response['latency_ms']:.2f}ms on port {port}"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        return 0
+
+    run(service, host=args.host, port=args.port)
+    return 0
+
+
+def _first_indexed_keyword(engine: XRankEngine) -> str:
+    """Any indexed keyword (the --check smoke query for arbitrary corpora)."""
+    if engine.builder is not None and engine.builder.direct_postings:
+        return next(iter(sorted(engine.builder.direct_postings)))
+    return ""
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """Build and query a tiny in-memory demo corpus."""
+    engine = _demo_engine()
     print("demo corpus:", engine.stats())
     for query in ("xql language", "xml workshop"):
         print(f"\nquery: {query!r}")
@@ -210,6 +275,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd = commands.add_parser("stats", help="show engine statistics")
     stats_cmd.add_argument("index", help="engine file")
     stats_cmd.set_defaults(handler=cmd_stats)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve an engine over JSON/HTTP"
+    )
+    serve_cmd.add_argument(
+        "index", nargs="?", default=None,
+        help="engine file (omitted: built-in demo corpus)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8712)
+    serve_cmd.add_argument(
+        "--max-concurrent", type=int, default=8,
+        help="queries executing at once (admission control)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="requests allowed to wait for a slot before 503s",
+    )
+    serve_cmd.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-query budget; expiring queries degrade",
+    )
+    serve_cmd.add_argument(
+        "--result-cache", type=int, default=256,
+        help="query-result cache entries (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--list-cache", type=int, default=256,
+        help="decoded posting-list cache entries (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--check", action="store_true",
+        help="bind an ephemeral port, serve one query, exit (CI smoke)",
+    )
+    serve_cmd.add_argument(
+        "--query", default=None, help="query used by --check"
+    )
+    serve_cmd.set_defaults(handler=cmd_serve)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

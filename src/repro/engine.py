@@ -43,6 +43,10 @@ def _highlight(text: str, keywords: List[str]) -> str:
     """Wrap case-insensitive whole-word keyword matches in brackets."""
     import re
 
+    if not keywords:
+        # An empty alternation would compile to r"\b()\b", which matches at
+        # every word boundary and corrupts the snippet with empty brackets.
+        return text
     pattern = re.compile(
         r"\b(" + "|".join(re.escape(k) for k in keywords) + r")\b",
         re.IGNORECASE,
@@ -76,6 +80,18 @@ class SearchHit:
     def __str__(self) -> str:
         return f"[{self.rank:.5f}] <{self.tag}> {self.dewey}: {self.snippet}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (used by the HTTP serving layer)."""
+        return {
+            "rank": self.rank,
+            "dewey": self.dewey,
+            "tag": self.tag,
+            "snippet": self.snippet,
+            "path": self.path,
+            "keyword_ranks": list(self.keyword_ranks),
+            "ancestors": [list(pair) for pair in self.ancestors],
+        }
+
 
 class XRankEngine:
     """End-to-end ranked XML/HTML keyword search."""
@@ -106,6 +122,11 @@ class XRankEngine:
         self._indexes: Dict[str, object] = {}
         self._evaluators: Dict[str, object] = {}
         self._next_doc_id = 0
+        #: Monotone counter bumped by every corpus/index mutation.  The
+        #: serving layer (repro.service) tags cache entries with it, so a
+        #: stale entry is recognized without the caches being told what
+        #: changed (generation-based invalidation).
+        self.generation = 0
 
     # -- corpus management -------------------------------------------------------------
 
@@ -140,6 +161,7 @@ class XRankEngine:
         """
         if doc_id not in self.graph.documents:
             raise DocumentNotFoundError(f"no document with id {doc_id}")
+        self.generation += 1
         if not self._indexes:
             self.graph.remove_document(doc_id)
             return
@@ -163,12 +185,14 @@ class XRankEngine:
         self._indexes["dil-incremental"].add_documents(
             [document], reference=self.builder.elemranks
         )
+        self.generation += 1
         return doc_id
 
     def merge_incremental(self) -> None:
         """Fold the incremental delta into its main index (compaction)."""
         self._require_built("dil-incremental")
         self._indexes["dil-incremental"].merge()
+        self.generation += 1
 
     def replace_document(self, doc_id: int, source: str, uri: str = "") -> int:
         """Replace a document's content without a full rebuild.
@@ -194,6 +218,7 @@ class XRankEngine:
         self.builder = None
         self._indexes = {}
         self._evaluators = {}
+        self.generation += 1
 
     # -- build --------------------------------------------------------------------------------
 
@@ -217,6 +242,7 @@ class XRankEngine:
         self._evaluators = {}
         for kind in kinds:
             self._build_kind(kind)
+        self.generation += 1
 
     def _build_kind(self, kind: str) -> None:
         builder = self.builder
@@ -273,6 +299,7 @@ class XRankEngine:
         highlight: bool = False,
         path: Optional[str] = None,
         offset: int = 0,
+        deadline=None,
     ) -> List[SearchHit]:
         """Ranked keyword search.
 
@@ -293,6 +320,12 @@ class XRankEngine:
                 ``/`` anchors at the document root).
             offset: skip this many top results (pagination; page n of size
                 m is ``search(..., m=m, offset=n*m)``).
+            deadline: optional cooperative deadline — any object exposing
+                ``poll() -> bool`` (see
+                :class:`repro.service.admission.Deadline`).  The evaluator
+                loops poll it and, once expired, return the partial top-m
+                found so far instead of blocking; the caller can inspect
+                the deadline's ``expired`` flag to mark results degraded.
         """
         if offset < 0:
             raise QueryError("offset cannot be negative")
@@ -312,10 +345,12 @@ class XRankEngine:
             raise QueryError(f"unknown search mode {mode!r}")
         fetch = m + offset
         if path is None:
-            results = evaluator.evaluate(keywords, m=fetch, weights=weight_list)
+            results = evaluator.evaluate(
+                keywords, m=fetch, weights=weight_list, deadline=deadline
+            )
         else:
             results = self._evaluate_with_path(
-                evaluator, keywords, fetch, weight_list, path
+                evaluator, keywords, fetch, weight_list, path, deadline
             )
         results = results[offset:]
         if self.answer_filter is not None:
@@ -335,12 +370,14 @@ class XRankEngine:
         m: int,
         weights: Optional[List[float]],
         path: str,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m under a path constraint by over-fetch-and-filter.
 
         The evaluators rank globally, so satisfying a selective path filter
         may need more than m raw results; fetch sizes double until the
-        filtered set fills m or the raw result set stops growing.
+        filtered set fills m, the raw result set stops growing, or the
+        deadline expires (partial results, like everywhere else).
         """
         from .query.structured import PathFilter
 
@@ -348,9 +385,12 @@ class XRankEngine:
         fetch = m
         previous_raw = -1
         while True:
-            raw = evaluator.evaluate(keywords, m=fetch, weights=weights)
+            raw = evaluator.evaluate(
+                keywords, m=fetch, weights=weights, deadline=deadline
+            )
             filtered = path_filter.apply(raw, self.graph)
-            if len(filtered) >= m or len(raw) == previous_raw:
+            expired = deadline is not None and deadline.poll()
+            if len(filtered) >= m or len(raw) == previous_raw or expired:
                 return filtered[:m]
             previous_raw = len(raw)
             fetch *= 4
@@ -501,6 +541,8 @@ class XRankEngine:
             engine = pickle.load(handle)
         if not isinstance(engine, cls):
             raise XRankError(f"{path} does not contain a pickled XRankEngine")
+        if not hasattr(engine, "generation"):  # pre-serving-layer pickles
+            engine.generation = 0
         return engine
 
     # -- stats -------------------------------------------------------------------------------------

@@ -68,3 +68,28 @@ class QueryError(XRankError):
 
 class ConvergenceError(XRankError):
     """Raised when an iterative rank computation fails to converge."""
+
+
+class ServiceError(XRankError):
+    """Base class for serving-layer failures (repro.service)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the admission controller's request queue is full.
+
+    The HTTP server maps this to ``503 Service Unavailable``; callers
+    should back off and retry.
+    """
+
+
+class ServiceHTTPError(ServiceError):
+    """Raised by the service client on a non-2xx HTTP response.
+
+    Carries the status code and the decoded JSON error payload so load
+    generators can distinguish overload (503) from bad requests (400).
+    """
+
+    def __init__(self, status: int, payload: object = None):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")

@@ -24,51 +24,70 @@ from .streams import PostingStream
 
 
 class DILEvaluator:
-    """Evaluates conjunctive keyword queries against a :class:`DILIndex`."""
+    """Evaluates conjunctive keyword queries against a :class:`DILIndex`.
+
+    ``list_cache`` (optional, attached by the serving layer) is a
+    :class:`repro.service.cache.GenerationalLRU` holding decoded posting
+    lists; when present, hot lists are decoded once and reused across
+    queries instead of being re-read from the simulated disk.
+    """
 
     def __init__(self, index: DILIndex, params: Optional[RankingParams] = None):
         self.index = index
         self.params = params or RankingParams()
+        self.list_cache = None
+
+    def _stream(self, keyword: str) -> PostingStream:
+        if self.list_cache is not None:
+            postings = self.list_cache.get_or_load(
+                (self.index.kind, "full", keyword),
+                lambda: _drain_cursor(self.index.cursor(keyword)),
+            )
+            return PostingStream.from_decoded(postings, self.index.deleted_docs)
+        return PostingStream.from_cursor(
+            self.index.cursor(keyword), self.index.deleted_docs
+        )
 
     def evaluate(
         self,
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m results for the conjunctive query ``keywords``.
 
         ``weights`` optionally scales each keyword's contribution to the
-        overall rank (one positive weight per keyword).
+        overall rank (one positive weight per keyword).  ``deadline`` is an
+        optional ``poll() -> bool`` object; on expiry the partial top-m
+        found so far is returned (the serving layer flags it degraded).
         """
         validate_query(keywords, m, weights)
         self.index._require_built()
 
         if len(keywords) == 1:
             scale = weights[0] if weights else 1.0
-            return self._evaluate_single(keywords[0], m, scale)
+            return self._evaluate_single(keywords[0], m, scale, deadline)
 
-        streams = [
-            PostingStream.from_cursor(
-                self.index.cursor(keyword), self.index.deleted_docs
-            )
-            for keyword in keywords
-        ]
+        streams = [self._stream(keyword) for keyword in keywords]
         heap = ResultHeap(m)
         for result in conjunctive_merge(
-            streams, self.params, list(weights) if weights else None
+            streams,
+            self.params,
+            list(weights) if weights else None,
+            deadline=deadline,
         ):
             heap.add(result)
         return heap.results()
 
     def _evaluate_single(
-        self, keyword: str, m: int, scale: float = 1.0
+        self, keyword: str, m: int, scale: float = 1.0, deadline=None
     ) -> List[QueryResult]:
-        stream = PostingStream.from_cursor(
-            self.index.cursor(keyword), self.index.deleted_docs
-        )
+        stream = self._stream(keyword)
         heap = ResultHeap(m)
         while not stream.eof:
+            if deadline is not None and deadline.poll():
+                break
             posting = stream.next()
             heap.add(
                 QueryResult(
@@ -78,3 +97,15 @@ class DILEvaluator:
                 )
             )
         return heap.results()
+
+
+def _drain_cursor(cursor) -> List:
+    """Decode a whole inverted list (the posting-list cache's loader)."""
+    from ..index.postings import Posting
+
+    postings: List = []
+    if cursor is None:
+        return postings
+    while not cursor.eof:
+        postings.append(Posting.decode(cursor.next()))
+    return postings

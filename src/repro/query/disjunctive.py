@@ -86,6 +86,7 @@ class DisjunctiveEvaluator:
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m disjunctive results for the keywords."""
         if not keywords:
@@ -104,4 +105,6 @@ class DisjunctiveEvaluator:
         heap = ResultHeap(m)
         for result in disjunctive_merge(streams, self.params, weights):
             heap.add(result)
+            if deadline is not None and deadline.poll():
+                break
         return heap.results()

@@ -30,6 +30,7 @@ from ..config import HDILParams, RankingParams
 from ..index.hdil import HDILIndex
 from ..index.postings import Posting
 from ..xmlmodel.dewey import DeweyId
+from .dil_eval import _drain_cursor
 from .merge import conjunctive_merge
 from .rdil_eval import ProbeLoopState, RankedProbeLoop
 from .results import QueryResult, ResultHeap, validate_query
@@ -68,12 +69,37 @@ class HDILEvaluator:
         self.params = params or RankingParams()
         self.hdil_params = hdil_params or index.params
         self.last_trace = HDILTrace()
+        #: optional decoded-posting-list cache attached by repro.service
+        self.list_cache = None
+
+    def _full_stream(self, keyword: str) -> PostingStream:
+        if self.list_cache is not None:
+            postings = self.list_cache.get_or_load(
+                (self.index.kind, "full", keyword),
+                lambda: _drain_cursor(self.index.full_cursor(keyword)),
+            )
+            return PostingStream.from_decoded(postings, self.index.deleted_docs)
+        return PostingStream.from_cursor(
+            self.index.full_cursor(keyword), self.index.deleted_docs
+        )
+
+    def _ranked_stream(self, keyword: str) -> PostingStream:
+        if self.list_cache is not None:
+            postings = self.list_cache.get_or_load(
+                (self.index.kind, "ranked", keyword),
+                lambda: _drain_cursor(self.index.ranked_cursor(keyword)),
+            )
+            return PostingStream.from_decoded(postings, self.index.deleted_docs)
+        return PostingStream.from_cursor(
+            self.index.ranked_cursor(keyword), self.index.deleted_docs
+        )
 
     def evaluate(
         self,
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m conjunctive results via adaptive RDIL-then-DIL."""
         validate_query(keywords, m, weights)
@@ -84,20 +110,15 @@ class HDILEvaluator:
             return []
         if len(keywords) == 1:
             scale = weights[0] if weights else 1.0
-            return self._evaluate_single(keywords[0], m, scale)
+            return self._evaluate_single(keywords[0], m, scale, deadline)
 
         dil_expected = self._expected_dil_cost_ms(keywords)
         self.last_trace.dil_expected_ms = dil_expected
 
-        streams = [
-            PostingStream.from_cursor(
-                self.index.ranked_cursor(keyword), self.index.deleted_docs
-            )
-            for keyword in keywords
-        ]
+        streams = [self._ranked_stream(keyword) for keyword in keywords]
         btrees = [self.index.btree(keyword) for keyword in keywords]
         if any(tree is None for tree in btrees):
-            return self._evaluate_dil_mode(keywords, m, weights)
+            return self._evaluate_dil_mode(keywords, m, weights, deadline)
 
         loop = RankedProbeLoop(
             streams,
@@ -182,7 +203,9 @@ class HDILEvaluator:
                 return False
             return True
 
-        results, completed = loop.run(m, monitor=monitor, exhaustion_is_complete=False)
+        results, completed = loop.run(
+            m, monitor=monitor, exhaustion_is_complete=False, deadline=deadline
+        )
         delta = self.index.disk.stats.delta_since(start_stats)
         self.last_trace.rdil_cost_ms = delta.cost_ms(self.index.disk.params)
         self.last_trace.rdil_entries_read = loop.state.entries_read
@@ -197,7 +220,7 @@ class HDILEvaluator:
             self.last_trace.rdil_entries_read,
             self.last_trace.switch_reason,
         )
-        return self._evaluate_dil_mode(keywords, m, weights)
+        return self._evaluate_dil_mode(keywords, m, weights, deadline)
 
     # -- DIL fallback -----------------------------------------------------------------
 
@@ -206,29 +229,28 @@ class HDILEvaluator:
         keywords: Sequence[str],
         m: int,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
-        streams = [
-            PostingStream.from_cursor(
-                self.index.full_cursor(keyword), self.index.deleted_docs
-            )
-            for keyword in keywords
-        ]
+        streams = [self._full_stream(keyword) for keyword in keywords]
         heap = ResultHeap(m)
         for result in conjunctive_merge(
-            streams, self.params, list(weights) if weights else None
+            streams,
+            self.params,
+            list(weights) if weights else None,
+            deadline=deadline,
         ):
             heap.add(result)
         return heap.results()
 
     def _evaluate_single(
-        self, keyword: str, m: int, scale: float = 1.0
+        self, keyword: str, m: int, scale: float = 1.0, deadline=None
     ) -> List[QueryResult]:
         """One keyword: the ranked head serves the top-m directly."""
-        stream = PostingStream.from_cursor(
-            self.index.ranked_cursor(keyword), self.index.deleted_docs
-        )
+        stream = self._ranked_stream(keyword)
         results: List[QueryResult] = []
         while not stream.eof and len(results) < m:
+            if deadline is not None and deadline.poll():
+                return results
             posting = stream.next()
             results.append(
                 QueryResult(
@@ -243,11 +265,11 @@ class HDILEvaluator:
         # scan (rare: m larger than the replicated fraction).
         self.last_trace.switched_to_dil = True
         self.last_trace.switch_reason = "ranked head shorter than m"
-        full = PostingStream.from_cursor(
-            self.index.full_cursor(keyword), self.index.deleted_docs
-        )
+        full = self._full_stream(keyword)
         heap = ResultHeap(m)
         while not full.eof:
+            if deadline is not None and deadline.poll():
+                break
             posting = full.next()
             heap.add(
                 QueryResult(

@@ -62,6 +62,7 @@ def conjunctive_merge(
     streams: List[PostingStream],
     params: RankingParams,
     weights: Optional[List[float]] = None,
+    deadline=None,
 ) -> Iterator[QueryResult]:
     """Yield all conjunctive results of the merged streams, in Dewey order.
 
@@ -74,6 +75,12 @@ def conjunctive_merge(
     weighted accordingly"); the combination stays monotone, so the RDIL
     Threshold-Algorithm stop condition remains valid with a weighted
     threshold.
+
+    ``deadline`` is any object with a ``poll() -> bool`` method (see
+    :class:`repro.service.admission.Deadline`); it is polled once per
+    consumed posting, and when it reports expiry the merge stops *without*
+    flushing the open stack — the caller receives exactly the results whose
+    subtrees closed in time, never a half-aggregated element.
     """
     n = len(streams)
     if n == 0:
@@ -124,6 +131,9 @@ def conjunctive_merge(
         return None
 
     while True:
+        if deadline is not None and deadline.poll():
+            # Expired: report only fully-closed subtrees (partial top-k).
+            return
         source = smallest_head_index(streams)
         if source is None:
             break

@@ -94,6 +94,7 @@ class NaiveIdEvaluator:
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m naive results by id-ordered merge-join."""
         validate_query(keywords, m, weights)
@@ -108,6 +109,8 @@ class NaiveIdEvaluator:
         ]
         heap = ResultHeap(m)
         while not any(stream.eof for stream in streams):
+            if deadline is not None and deadline.poll():
+                break
             ids = [stream.peek().elem_id for stream in streams]
             smallest = min(ids)
             if all(elem_id == smallest for elem_id in ids):
@@ -138,6 +141,7 @@ class NaiveRankEvaluator:
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m naive results via the Threshold Algorithm."""
         validate_query(keywords, m, weights)
@@ -160,6 +164,8 @@ class NaiveRankEvaluator:
         seen: Set[int] = set()
         robin = 0
         while True:
+            if deadline is not None and deadline.poll():
+                break
             threshold = sum(w * r for w, r in zip(scale, current_ranks))
             if heap.full and heap.kth_rank() >= threshold:
                 break

@@ -92,17 +92,26 @@ class RankedProbeLoop:
         m: int,
         monitor: Optional[Callable[[ProbeLoopState], bool]] = None,
         exhaustion_is_complete: bool = True,
+        deadline=None,
     ) -> Tuple[List[QueryResult], bool]:
         """Run to TA-completion, stream exhaustion, or monitor abort.
 
         Returns ``(results, completed)`` — ``completed`` is False when the
         monitor aborted or the (truncated) streams ran dry before the TA
         stop condition held, meaning the caller must fall back to DIL.
+
+        ``deadline`` is an optional ``poll() -> bool`` object checked once
+        per loop step.  Expiry reports ``completed=True`` even though the
+        top-m is only partial: the caller must *not* fall back to a full
+        DIL scan (that would blow the budget further) but return what was
+        found, flagged degraded via the deadline's ``expired`` state.
         """
         heap = ResultHeap(m)
         self.state.heap = heap
         robin = 0
         while True:
+            if deadline is not None and deadline.poll():
+                return heap.results(), True
             if self._stop_condition(heap, m):
                 return heap.results(), True
             source = self._next_live_stream(robin)
@@ -209,6 +218,7 @@ class RDILEvaluator:
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
+        deadline=None,
     ) -> List[QueryResult]:
         """Top-m conjunctive results via TA over ranked lists."""
         validate_query(keywords, m, weights)
@@ -218,7 +228,7 @@ class RDILEvaluator:
             return []
         if len(keywords) == 1:
             scale = weights[0] if weights else 1.0
-            return self._evaluate_single(keywords[0], m, scale)
+            return self._evaluate_single(keywords[0], m, scale, deadline)
 
         streams = [
             PostingStream.from_cursor(
@@ -235,11 +245,13 @@ class RDILEvaluator:
             deleted_docs=self.index.deleted_docs,
             weights=list(weights) if weights else None,
         )
-        results, _completed = loop.run(m, exhaustion_is_complete=True)
+        results, _completed = loop.run(
+            m, exhaustion_is_complete=True, deadline=deadline
+        )
         return results
 
     def _evaluate_single(
-        self, keyword: str, m: int, scale: float = 1.0
+        self, keyword: str, m: int, scale: float = 1.0, deadline=None
     ) -> List[QueryResult]:
         """Top-m of a one-keyword query: the first m live ranked entries."""
         stream = PostingStream.from_cursor(
@@ -247,6 +259,8 @@ class RDILEvaluator:
         )
         results: List[QueryResult] = []
         while not stream.eof and len(results) < m:
+            if deadline is not None and deadline.poll():
+                break
             posting = stream.next()
             results.append(
                 QueryResult(

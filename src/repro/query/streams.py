@@ -21,10 +21,10 @@ class PostingStream:
 
     def __init__(
         self,
-        source: Optional[Iterable[bytes]],
+        source: Optional[Iterable],  # bytes records or decoded Postings
         deleted_docs: Optional[Set[int]] = None,
     ):
-        self._iterator: Optional[Iterator[bytes]] = (
+        self._iterator: Optional[Iterator] = (
             iter(source) if source is not None else None
         )
         self._deleted = deleted_docs or set()
@@ -48,12 +48,31 @@ class PostingStream:
     ) -> "PostingStream":
         return cls((p.encode() for p in postings), deleted_docs)
 
+    @classmethod
+    def from_decoded(
+        cls,
+        postings: Sequence[Posting],
+        deleted_docs: Optional[Set[int]] = None,
+    ) -> "PostingStream":
+        """Stream over already-decoded postings (no codec round trip).
+
+        Used by the serving layer's posting-list cache: the list is decoded
+        once, then every later query iterates the shared ``Posting`` objects
+        directly.  Tombstone filtering still happens per stream, so deletes
+        that post-date the cached decode are honoured.
+        """
+        return cls(postings, deleted_docs)
+
     def _advance(self) -> None:
         if self._iterator is None:
             self._head = None
             return
         for record in self._iterator:
-            posting = Posting.decode(record)
+            posting = (
+                record
+                if isinstance(record, Posting)
+                else Posting.decode(record)
+            )
             if posting.dewey.doc_id in self._deleted:
                 continue
             self._head = posting

@@ -1,0 +1,41 @@
+"""The XRANK serving layer: concurrency, caching, admission, HTTP.
+
+The core reproduction (:class:`repro.engine.XRankEngine`) is a
+single-threaded library; this package grows it into a deployable query
+service, the same step the hybrid/native XML-IR systems surveyed in the
+related work took on top of their core indexes:
+
+* :mod:`repro.service.concurrency` — a reader-writer lock so many
+  searches proceed concurrently while index updates take exclusive
+  writes;
+* :mod:`repro.service.cache` — a thread-safe generational LRU cache used
+  for both decoded posting lists and full query results, invalidated by
+  the engine's generation counter on every index update;
+* :mod:`repro.service.admission` — a bounded admission queue plus the
+  cooperative :class:`Deadline` threaded down into the DIL/RDIL/HDIL
+  evaluator loops (expiring queries return partial, ``degraded`` top-k);
+* :mod:`repro.service.metrics` — QPS, latency percentiles, cache hit
+  rates and queue depth, aggregating the storage layer's I/O counters;
+* :mod:`repro.service.core` — :class:`XRankService`, the in-process
+  facade tying all of the above around one engine;
+* :mod:`repro.service.server` — a stdlib-only threaded JSON-over-HTTP
+  server (``/search``, ``/add``, ``/stats``, ``/healthz``);
+* :mod:`repro.service.client` — the matching HTTP client used by the
+  load-generating benchmark.
+"""
+
+from .admission import AdmissionController, Deadline
+from .cache import GenerationalLRU
+from .concurrency import ReadWriteLock
+from .core import SearchResponse, XRankService
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "AdmissionController",
+    "Deadline",
+    "GenerationalLRU",
+    "ReadWriteLock",
+    "SearchResponse",
+    "ServiceMetrics",
+    "XRankService",
+]

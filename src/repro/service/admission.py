@@ -1,0 +1,145 @@
+"""Admission control: bounded request queue and per-query deadlines.
+
+Graceful degradation under overload needs two mechanisms working
+together.  The :class:`AdmissionController` bounds *how many* requests
+are in flight — a fixed number execute concurrently, a bounded queue
+waits, and everything beyond that is rejected immediately with a 503
+rather than piling up unbounded latency.  The :class:`Deadline` bounds
+*how long* one request may run: it is threaded down into the DIL merge,
+the RDIL threshold-algorithm loop and the HDIL hybrid, each of which
+polls it cooperatively and returns the partial top-k found so far when
+time runs out.  The service marks such responses ``degraded=True`` —
+a fast, slightly worse answer instead of a blocked worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from ..errors import ServiceOverloadedError
+
+
+class Deadline:
+    """A cooperative, latching deadline.
+
+    Evaluator loops call :meth:`poll` once per unit of work; the first
+    call at or past the expiry time latches :attr:`expired` to True and
+    every later call is a cheap attribute read of the latch.  A deadline
+    constructed with ``None`` never expires (the no-limit default).
+    """
+
+    __slots__ = ("expires_at", "expired", "_clock")
+
+    def __init__(self, timeout_s: Optional[float] = None, clock=time.monotonic):
+        self._clock = clock
+        self.expires_at = None if timeout_s is None else clock() + timeout_s
+        self.expired = False
+
+    @classmethod
+    def after_ms(cls, timeout_ms: Optional[float]) -> "Deadline":
+        """Deadline ``timeout_ms`` milliseconds from now (None = never)."""
+        if timeout_ms is None:
+            return cls(None)
+        return cls(timeout_ms / 1000.0)
+
+    def poll(self) -> bool:
+        """Check (and latch) expiry; True once the deadline has passed."""
+        if self.expired:
+            return True
+        if self.expires_at is not None and self._clock() >= self.expires_at:
+            self.expired = True
+        return self.expired
+
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds left, clamped at 0; None for a limitless deadline."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, (self.expires_at - self._clock()) * 1000.0)
+
+
+class AdmissionController:
+    """Bounded concurrency gate with a bounded wait queue.
+
+    ``max_concurrent`` requests hold execution slots at once; up to
+    ``max_queue`` more block waiting for a slot.  A request arriving when
+    the queue is full — or still waiting when ``queue_timeout_s`` runs
+    out — is rejected with :class:`ServiceOverloadedError`, which the
+    HTTP layer maps to 503.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 32,
+        queue_timeout_s: Optional[float] = 10.0,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.rejected = 0
+        self._cond = threading.Condition()
+        self._active = 0
+        self._queued = 0
+
+    def acquire(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Raises:
+            ServiceOverloadedError: queue full, or slot wait timed out.
+        """
+        with self._cond:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                return
+            if self._queued >= self.max_queue:
+                self.rejected += 1
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self._queued} waiting, "
+                    f"{self._active} active)"
+                )
+            self._queued += 1
+            try:
+                granted = self._cond.wait_for(
+                    lambda: self._active < self.max_concurrent,
+                    timeout=self.queue_timeout_s,
+                )
+            finally:
+                self._queued -= 1
+            if not granted:
+                self.rejected += 1
+                raise ServiceOverloadedError(
+                    f"timed out after {self.queue_timeout_s}s waiting for "
+                    "an execution slot"
+                )
+            self._active += 1
+
+    def release(self) -> None:
+        """Return an execution slot and wake one queued request."""
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def slot(self):
+        """``with admission.slot(): ...`` — acquire/release bracket."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def depth(self) -> dict:
+        """Queue-depth snapshot for metrics: active / queued / rejected."""
+        with self._cond:
+            return {
+                "active": self._active,
+                "queued": self._queued,
+                "rejected": self.rejected,
+            }

@@ -1,0 +1,138 @@
+"""Thread-safe generational LRU cache for the serving layer.
+
+Two instances back the service: one maps ``(kind, list, keyword)`` to a
+*decoded posting list* (hot inverted lists are decoded from the simulated
+disk once and then shared by every query), the other maps a full query
+signature to its finished ``SearchHit`` list.
+
+Invalidation is *generational*: every entry is tagged with the engine's
+generation counter at insert time, and the service bumps the cache's
+current generation (under the write lock) whenever the index changes.  A
+lookup whose entry carries a stale generation is a miss and evicts the
+entry — no enumeration of affected keys is ever needed, which is what
+makes invalidation O(1) even for "this update could affect any query".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+#: Unique sentinel distinguishing "miss" from a cached None.
+MISS = object()
+
+
+class GenerationalLRU:
+    """Bounded LRU with per-entry generation tags and hit/miss counters.
+
+    A ``capacity`` of 0 disables the cache entirely (every ``get`` is a
+    miss, ``put`` is a no-op) — the load benchmark uses this for its
+    cold-cache phase.
+    """
+
+    def __init__(self, capacity: int, name: str = ""):
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self.name = name
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+
+    # -- core operations -----------------------------------------------------------
+
+    def get(self, key: Hashable) -> Any:
+        """Cached value, or the :data:`MISS` sentinel.
+
+        Entries from an older generation are treated as misses and
+        evicted on sight.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return MISS
+            generation, value = entry
+            if generation != self.generation:
+                del self._entries[key]
+                self.misses += 1
+                self.invalidations += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert under the current generation, evicting LRU overflow."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (self.generation, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
+        """Cached value, or ``loader()``'s result (cached for next time).
+
+        The loader runs outside the lock — it may do simulated disk I/O.
+        Two threads racing on the same cold key both load; the last insert
+        wins, which is harmless for immutable values like posting lists.
+        """
+        value = self.get(key)
+        if value is not MISS:
+            return value
+        value = loader()
+        self.put(key, value)
+        return value
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def bump(self, generation: Optional[int] = None) -> None:
+        """Move to a new generation; existing entries become stale.
+
+        With no argument the generation increments; the service passes the
+        engine's own counter so cache and index always agree.
+        """
+        with self._lock:
+            if generation is None:
+                self.generation += 1
+            else:
+                self.generation = generation
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups since construction (0.0 before any lookup)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for /stats."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "name": self.name,
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "generation": self.generation,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

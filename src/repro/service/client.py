@@ -1,0 +1,97 @@
+"""A small JSON-over-HTTP client for the XRANK service.
+
+Used by the load-generating benchmark and the ``repro serve --check``
+smoke test; also convenient interactively::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8712)
+    client.search("xql language", m=5)["results"]
+
+Each call opens its own :class:`http.client.HTTPConnection`, so one
+client instance may be shared freely across load-generator threads.
+Non-2xx responses raise :class:`repro.errors.ServiceHTTPError` carrying
+the status code and decoded error payload.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, Optional
+from urllib.parse import urlencode
+
+from ..errors import ServiceHTTPError
+
+
+class ServiceClient:
+    """Thread-safe client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8712, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        m: int = 10,
+        kind: Optional[str] = None,
+        mode: str = "and",
+        offset: int = 0,
+        highlight: bool = False,
+        context: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Ranked search; returns the decoded /search JSON payload."""
+        params: Dict[str, object] = {"q": query, "m": m, "mode": mode}
+        if kind is not None:
+            params["kind"] = kind
+        if offset:
+            params["offset"] = offset
+        if highlight:
+            params["highlight"] = "true"
+        if context:
+            params["context"] = "true"
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self._request("GET", f"/search?{urlencode(params)}")
+
+    def add_xml(self, xml: str, uri: str = "") -> Dict[str, object]:
+        """Add a document; returns the /add JSON payload (doc_id, ...)."""
+        return self._request("POST", "/add", {"xml": xml, "uri": uri})
+
+    def stats(self) -> Dict[str, object]:
+        """The /stats payload (metrics, caches, I/O, engine)."""
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> Dict[str, object]:
+        """The /healthz payload."""
+        return self._request("GET", "/healthz")
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {}
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"error": raw[:200].decode("utf-8", "replace")}
+            if not 200 <= response.status < 300:
+                raise ServiceHTTPError(response.status, payload)
+            return payload
+        finally:
+            connection.close()

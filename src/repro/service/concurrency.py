@@ -1,0 +1,90 @@
+"""A writer-preference reader-writer lock for the serving layer.
+
+``XRankEngine`` is plain single-threaded Python: two concurrent
+``search()`` calls share cursor state on one simulated disk, and a
+``search()`` racing an ``add_document()`` can observe half-built indexes.
+The service therefore brackets every query in a *read* lock and every
+corpus/index mutation in a *write* lock: any number of readers proceed
+concurrently, writers are exclusive.
+
+Writer preference — readers arriving while a writer waits queue behind
+it — keeps update latency bounded under heavy query traffic (a steady
+stream of readers can otherwise starve writers forever).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Many concurrent readers / one exclusive writer, writer preference."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side -------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        """``with lock.read(): ...`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # -- write side ------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until all readers drain and no other writer holds the lock."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write(): ...`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection -----------------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot for /stats: active readers, writer, waiting writers."""
+        with self._cond:
+            return {
+                "active_readers": self._readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }

@@ -1,0 +1,290 @@
+"""The in-process query service: engine + locks + caches + admission.
+
+:class:`XRankService` is the composition point of the serving layer.  It
+wraps one :class:`~repro.engine.XRankEngine` and provides exactly the
+operations the HTTP server (and the load benchmark, which skips HTTP)
+needs:
+
+* ``search()`` — admission-controlled, read-locked, result-cached,
+  deadline-bounded ranked search returning a :class:`SearchResponse`;
+* ``add_xml()`` — write-locked corpus growth, incremental when the
+  engine has a ``dil-incremental`` index built, full rebuild otherwise,
+  followed by generation-based cache invalidation;
+* ``delete()`` / ``stats()`` / ``healthz()`` — the remaining surface.
+
+Lock discipline: queries share a read lock, mutations take the write
+lock, and cache generations are only ever bumped while holding the write
+lock — so a reader always sees a cache generation consistent with the
+index it is querying.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import SearchHit, XRankEngine
+from ..storage.iostats import IOStats
+from .admission import AdmissionController, Deadline
+from .cache import MISS, GenerationalLRU
+from .concurrency import ReadWriteLock
+from .metrics import ServiceMetrics
+
+
+@dataclass
+class SearchResponse:
+    """One served query: hits plus serving metadata."""
+
+    hits: List[SearchHit]
+    degraded: bool = False      # deadline expired; hits are a partial top-k
+    cached: bool = False        # served from the result cache
+    latency_ms: float = 0.0
+    generation: int = 0         # index generation that produced the hits
+    kind: str = "hdil"
+    query: str = ""
+    m: int = 10
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view for the HTTP layer."""
+        payload: Dict[str, object] = {
+            "query": self.query,
+            "kind": self.kind,
+            "m": self.m,
+            "degraded": self.degraded,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+            "generation": self.generation,
+            "results": [hit.to_dict() for hit in self.hits],
+        }
+        payload.update(self.extras)
+        return payload
+
+
+class XRankService:
+    """Thread-safe serving facade over one :class:`XRankEngine`."""
+
+    def __init__(
+        self,
+        engine: XRankEngine,
+        kinds: Optional[Sequence[str]] = None,
+        default_kind: Optional[str] = None,
+        result_cache_size: int = 256,
+        list_cache_size: int = 256,
+        max_concurrent: int = 8,
+        max_queue: int = 64,
+        queue_timeout_s: Optional[float] = 10.0,
+        default_deadline_ms: Optional[float] = None,
+    ):
+        """Args:
+            engine: the engine to serve; built here if it has documents
+                but no indexes yet.
+            kinds: index kinds to (re)build on writes; defaults to the
+                engine's currently built kinds, or ``("hdil",)``.
+            default_kind: kind served when a request names none.
+            result_cache_size: query-result LRU entries (0 disables).
+            list_cache_size: decoded posting-list LRU entries (0 disables).
+            max_concurrent / max_queue / queue_timeout_s: admission gate.
+            default_deadline_ms: per-query budget applied when a request
+                does not carry its own (None = unlimited).
+        """
+        self.engine = engine
+        self.lock = ReadWriteLock()
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+            queue_timeout_s=queue_timeout_s,
+        )
+        self.result_cache = GenerationalLRU(result_cache_size, name="results")
+        self.list_cache = GenerationalLRU(list_cache_size, name="posting-lists")
+        self.default_deadline_ms = default_deadline_ms
+
+        if not engine._indexes and engine.graph.documents:
+            engine.build(kinds=tuple(kinds) if kinds else ("hdil",))
+        self.kinds = tuple(
+            kinds
+            if kinds
+            else (sorted(engine._indexes) or ["hdil"])
+        )
+        self.default_kind = default_kind or (
+            "hdil" if "hdil" in self.kinds else self.kinds[0]
+        )
+        self._sync_caches()
+
+    # -- cache wiring ---------------------------------------------------------------
+
+    def _sync_caches(self) -> None:
+        """Re-attach the list cache to (possibly rebuilt) evaluators and
+        align both caches' generation with the engine.
+
+        Called at construction and after every write, while the write
+        lock (or exclusive setup) is held.
+        """
+        self.result_cache.bump(self.engine.generation)
+        self.list_cache.bump(self.engine.generation)
+        for evaluator in self.engine._evaluators.values():
+            if hasattr(evaluator, "list_cache"):
+                evaluator.list_cache = (
+                    self.list_cache if self.list_cache.capacity else None
+                )
+
+    # -- serving --------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        m: int = 10,
+        kind: Optional[str] = None,
+        mode: str = "and",
+        offset: int = 0,
+        highlight: bool = False,
+        with_context: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> SearchResponse:
+        """Admission-controlled, cached, deadline-bounded ranked search.
+
+        Raises:
+            ServiceOverloadedError: the admission queue is full.
+            QueryError / IndexNotBuiltError: malformed request or the
+                requested index kind is not built.
+        """
+        kind = kind or self.default_kind
+        started = time.perf_counter()
+        try:
+            self.admission.acquire()
+        except Exception:
+            self.metrics.record_rejection()
+            raise
+        try:
+            with self.lock.read():
+                generation = self.engine.generation
+                key = (kind, mode, query, m, offset, highlight, with_context)
+                value = self.result_cache.get(key)
+                if value is not MISS:
+                    hits, degraded, cached = value, False, True
+                else:
+                    cached = False
+                    budget = (
+                        deadline_ms
+                        if deadline_ms is not None
+                        else self.default_deadline_ms
+                    )
+                    deadline = Deadline.after_ms(budget)
+                    hits = self.engine.search(
+                        query,
+                        m=m,
+                        kind=kind,
+                        mode=mode,
+                        offset=offset,
+                        highlight=highlight,
+                        with_context=with_context,
+                        deadline=deadline,
+                    )
+                    degraded = deadline.expired
+                    if not degraded:
+                        # Partial answers must not be replayed to clients
+                        # that did not ask for a tight deadline.
+                        self.result_cache.put(key, hits)
+        except Exception:
+            self.metrics.record_error()
+            raise
+        finally:
+            self.admission.release()
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_search(latency_ms, cached=cached, degraded=degraded)
+        return SearchResponse(
+            hits=hits,
+            degraded=degraded,
+            cached=cached,
+            latency_ms=latency_ms,
+            generation=generation,
+            kind=kind,
+            query=query,
+            m=m,
+        )
+
+    # -- mutation -------------------------------------------------------------------
+
+    def add_xml(self, source: str, uri: str = "") -> Dict[str, object]:
+        """Add one XML document and make it searchable before returning.
+
+        Uses the engine's incremental index when one is built (cheap
+        delta insert); otherwise re-runs the full build over the
+        configured kinds.  Either way the caches are invalidated by
+        generation bump under the write lock.
+        """
+        started = time.perf_counter()
+        with self.lock.write():
+            incremental = "dil-incremental" in self.engine._indexes
+            if incremental:
+                doc_id = self.engine.add_xml_incremental(source, uri=uri)
+            else:
+                doc_id = self.engine.add_xml(source, uri=uri)
+                self.engine.build(kinds=self.kinds)
+            self._sync_caches()
+            documents = self.engine.graph.num_documents
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_add(latency_ms)
+        return {
+            "doc_id": doc_id,
+            "documents": documents,
+            "incremental": incremental,
+            "latency_ms": latency_ms,
+            "generation": self.engine.generation,
+        }
+
+    def delete(self, doc_id: int) -> Dict[str, object]:
+        """Tombstone one document (write-locked, cache-invalidating)."""
+        with self.lock.write():
+            self.engine.delete_document(doc_id)
+            self._sync_caches()
+            documents = self.engine.graph.num_documents
+        return {
+            "deleted": doc_id,
+            "documents": documents,
+            "generation": self.engine.generation,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop both caches (diagnostics / benchmarking)."""
+        self.result_cache.clear()
+        self.list_cache.clear()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def io_totals(self) -> IOStats:
+        """Summed I/O counters across every built index's simulated disk."""
+        total = IOStats()
+        for index in self.engine._indexes.values():
+            total = total + index.disk.stats
+        return total
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-ready dict: serving metrics + caches + engine + I/O."""
+        with self.lock.read():
+            engine_stats = self.engine.stats()
+            io = self.io_totals().as_dict()
+            generation = self.engine.generation
+        payload = {
+            "service": self.metrics.snapshot(queue_depth=self.admission.depth()),
+            "caches": {
+                "results": self.result_cache.stats(),
+                "posting_lists": self.list_cache.stats(),
+            },
+            "lock": self.lock.state(),
+            "io": io,
+            "engine": engine_stats,
+            "generation": generation,
+        }
+        return payload
+
+    def healthz(self) -> Dict[str, object]:
+        """Cheap liveness probe (no locks beyond a read of counters)."""
+        return {
+            "status": "ok" if self.engine._indexes else "empty",
+            "documents": self.engine.graph.num_documents,
+            "kinds": sorted(self.engine._indexes),
+            "generation": self.engine.generation,
+        }

@@ -1,0 +1,129 @@
+"""Service metrics: QPS, latency percentiles, cache hit rate, queue depth.
+
+All counters live behind one lock and are cheap to update from request
+threads.  Latencies go into a bounded ring (the most recent ~4k
+observations) — enough for stable p50/p95/p99 without unbounded memory —
+and completion timestamps into a parallel ring so QPS can be computed
+over a sliding window rather than diluted over the whole process uptime.
+The /stats endpoint folds in the storage layer's :class:`IOStats`
+counters, giving one place to watch both serving health and simulated
+I/O behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency/QPS windows for one service."""
+
+    def __init__(self, window: int = 4096, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._latencies_ms: deque = deque(maxlen=window)
+        self._completions: deque = deque(maxlen=window)
+        self.searches = 0
+        self.adds = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        self.degraded = 0
+        self.rejected = 0
+        self.errors = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record_search(
+        self, latency_ms: float, cached: bool, degraded: bool
+    ) -> None:
+        """Account one completed search request."""
+        with self._lock:
+            self.searches += 1
+            if cached:
+                self.result_cache_hits += 1
+            else:
+                self.result_cache_misses += 1
+            if degraded:
+                self.degraded += 1
+            self._latencies_ms.append(latency_ms)
+            self._completions.append(self._clock())
+
+    def record_add(self, latency_ms: float) -> None:
+        """Account one completed document-add request."""
+        with self._lock:
+            self.adds += 1
+            self._completions.append(self._clock())
+
+    def record_rejection(self) -> None:
+        """Account one admission rejection (503)."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_error(self) -> None:
+        """Account one failed request (500-class)."""
+        with self._lock:
+            self.errors += 1
+
+    # -- derived figures --------------------------------------------------------
+
+    def qps(self, window_s: float = 60.0) -> float:
+        """Completed requests per second over the trailing window."""
+        now = self._clock()
+        with self._lock:
+            recent = [t for t in self._completions if now - t <= window_s]
+            if not recent:
+                return 0.0
+            span = max(now - recent[0], 1e-9)
+            return len(recent) / span
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the latency ring, in milliseconds."""
+        with self._lock:
+            sample: List[float] = list(self._latencies_ms)
+        return {
+            "p50_ms": percentile(sample, 50),
+            "p95_ms": percentile(sample, 95),
+            "p99_ms": percentile(sample, 99),
+        }
+
+    def snapshot(self, queue_depth: Optional[dict] = None) -> Dict[str, object]:
+        """Everything the /stats endpoint reports about serving health."""
+        with self._lock:
+            uptime = self._clock() - self._started
+            lookups = self.result_cache_hits + self.result_cache_misses
+            counters = {
+                "searches": self.searches,
+                "adds": self.adds,
+                "result_cache_hits": self.result_cache_hits,
+                "result_cache_misses": self.result_cache_misses,
+                "result_cache_hit_rate": (
+                    self.result_cache_hits / lookups if lookups else 0.0
+                ),
+                "degraded": self.degraded,
+                "rejected": self.rejected,
+                "errors": self.errors,
+                "uptime_s": uptime,
+            }
+        counters.update(self.latency_percentiles())
+        counters["qps_60s"] = self.qps(60.0)
+        if queue_depth is not None:
+            counters["queue"] = queue_depth
+        return counters

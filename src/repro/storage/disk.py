@@ -22,6 +22,7 @@ snapshots up to ``page_size`` long.  Reads go through an LRU buffer pool:
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -79,6 +80,18 @@ class SimulatedDisk:
         self._streams: "OrderedDict[int, None]" = OrderedDict()
         # Free page ids, kept sorted for consecutive-run search.
         self._free: list = []
+        # Guards the buffer pool / stream-tracking bookkeeping, which is
+        # mutated by every read — concurrent queries share one disk.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- allocation / writing ------------------------------------------------------
 
@@ -102,7 +115,7 @@ class SimulatedDisk:
         else:
             page_id = len(self.pages)
             self.pages.append(bytes(data))
-        self.stats.page_writes += 1
+        self.stats.record_writes()
         return page_id
 
     def allocate_run(self, pages: list) -> list:
@@ -121,13 +134,13 @@ class SimulatedDisk:
         if run_start is None:
             first = len(self.pages)
             self.pages.extend(bytes(p) for p in pages)
-            self.stats.page_writes += count
+            self.stats.record_writes(count)
             return list(range(first, first + count))
         ids = list(range(run_start, run_start + count))
         for page_id, data in zip(ids, pages):
             self.pages[page_id] = bytes(data)
             self._free.remove(page_id)
-        self.stats.page_writes += count
+        self.stats.record_writes(count)
         return ids
 
     def _find_free_run(self, count: int):
@@ -164,7 +177,7 @@ class SimulatedDisk:
         self._check_page_id(page_id)
         self._check_size(data)
         self.pages[page_id] = bytes(data)
-        self.stats.page_writes += 1
+        self.stats.record_writes()
         self.pool.touch(page_id)
 
     def _check_size(self, data: bytes) -> None:
@@ -183,26 +196,28 @@ class SimulatedDisk:
     def read(self, page_id: int) -> bytes:
         """Read a page through the buffer pool, charging I/O on a miss."""
         self._check_page_id(page_id)
-        if self.pool.touch(page_id):
-            self.stats.cache_hits += 1
+        with self._lock:
+            if self.pool.touch(page_id):
+                self.stats.record_hit()
+                return self.pages[page_id]
+            if page_id - 1 in self._streams:
+                sequential = True
+                del self._streams[page_id - 1]
+            else:
+                sequential = False
+            self.stats.record_read(sequential)
+            self._streams[page_id] = None
+            while len(self._streams) > self.MAX_STREAMS:
+                self._streams.popitem(last=False)
             return self.pages[page_id]
-        self.stats.page_reads += 1
-        if page_id - 1 in self._streams:
-            self.stats.sequential_reads += 1
-            del self._streams[page_id - 1]
-        else:
-            self.stats.random_reads += 1
-        self._streams[page_id] = None
-        while len(self._streams) > self.MAX_STREAMS:
-            self._streams.popitem(last=False)
-        return self.pages[page_id]
 
     # -- cache control ---------------------------------------------------------------
 
     def drop_cache(self) -> None:
         """Empty the buffer pool (simulates the paper's cold OS cache)."""
-        self.pool.clear()
-        self._streams.clear()
+        with self._lock:
+            self.pool.clear()
+            self._streams.clear()
 
     def reset_stats(self) -> None:
         """Zero the I/O counters."""

@@ -8,65 +8,131 @@ simulated I/O cost, charging every buffer-pool miss a transfer cost and every
 non-sequential miss an additional seek cost.  Wall-clock time is reported by
 pytest-benchmark as well, but the cost model is the deterministic,
 machine-independent measure that reproduces the paper's *shapes*.
+
+Counters are shared state once the serving layer (:mod:`repro.service`)
+runs queries from worker threads, so every mutation and multi-field read
+goes through an internal lock.  The lock is excluded from equality, repr
+and pickling (engines persist their disks via :meth:`XRankEngine.save`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from ..config import StorageParams
 
 
 @dataclass
 class IOStats:
-    """Mutable counters for one simulated disk."""
+    """Mutable counters for one simulated disk (thread-safe)."""
 
     page_reads: int = 0          # misses that touched the "disk"
     sequential_reads: int = 0    # subset of page_reads at last_pid + 1
     random_reads: int = 0        # subset of page_reads elsewhere
     page_writes: int = 0
     cache_hits: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "page_reads": self.page_reads,
+                "sequential_reads": self.sequential_reads,
+                "random_reads": self.random_reads,
+                "page_writes": self.page_writes,
+                "cache_hits": self.cache_hits,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_read(self, sequential: bool) -> None:
+        """Account one buffer-pool miss (sequential or random)."""
+        with self._lock:
+            self.page_reads += 1
+            if sequential:
+                self.sequential_reads += 1
+            else:
+                self.random_reads += 1
+
+    def record_hit(self) -> None:
+        """Account one buffer-pool hit."""
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_writes(self, count: int = 1) -> None:
+        """Account ``count`` page writes."""
+        with self._lock:
+            self.page_writes += count
+
+    # -- reading / combining ---------------------------------------------------
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.page_reads = 0
-        self.sequential_reads = 0
-        self.random_reads = 0
-        self.page_writes = 0
-        self.cache_hits = 0
+        with self._lock:
+            self.page_reads = 0
+            self.sequential_reads = 0
+            self.random_reads = 0
+            self.page_writes = 0
+            self.cache_hits = 0
 
     def snapshot(self) -> "IOStats":
-        """An independent copy of the current counters."""
-        return IOStats(
-            page_reads=self.page_reads,
-            sequential_reads=self.sequential_reads,
-            random_reads=self.random_reads,
-            page_writes=self.page_writes,
-            cache_hits=self.cache_hits,
-        )
+        """An independent, internally consistent copy of the counters."""
+        with self._lock:
+            return IOStats(
+                page_reads=self.page_reads,
+                sequential_reads=self.sequential_reads,
+                random_reads=self.random_reads,
+                page_writes=self.page_writes,
+                cache_hits=self.cache_hits,
+            )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Counter-wise difference ``self - earlier``."""
-        return IOStats(
-            page_reads=self.page_reads - earlier.page_reads,
-            sequential_reads=self.sequential_reads - earlier.sequential_reads,
-            random_reads=self.random_reads - earlier.random_reads,
-            page_writes=self.page_writes - earlier.page_writes,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-        )
+        current = self.snapshot()
+        with earlier._lock:
+            return IOStats(
+                page_reads=current.page_reads - earlier.page_reads,
+                sequential_reads=(
+                    current.sequential_reads - earlier.sequential_reads
+                ),
+                random_reads=current.random_reads - earlier.random_reads,
+                page_writes=current.page_writes - earlier.page_writes,
+                cache_hits=current.cache_hits - earlier.cache_hits,
+            )
 
     def cost_ms(self, params: StorageParams) -> float:
         """Simulated elapsed milliseconds under the given cost model."""
-        return (
-            self.page_reads * params.transfer_cost_ms
-            + self.random_reads * params.seek_cost_ms
-        )
+        with self._lock:
+            return (
+                self.page_reads * params.transfer_cost_ms
+                + self.random_reads * params.seek_cost_ms
+            )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view of the counters (for /stats JSON)."""
+        with self._lock:
+            return {
+                "page_reads": self.page_reads,
+                "sequential_reads": self.sequential_reads,
+                "random_reads": self.random_reads,
+                "page_writes": self.page_writes,
+                "cache_hits": self.cache_hits,
+            }
 
     def __add__(self, other: "IOStats") -> "IOStats":
-        return IOStats(
-            page_reads=self.page_reads + other.page_reads,
-            sequential_reads=self.sequential_reads + other.sequential_reads,
-            random_reads=self.random_reads + other.random_reads,
-            page_writes=self.page_writes + other.page_writes,
-            cache_hits=self.cache_hits + other.cache_hits,
-        )
+        mine = self.snapshot()
+        with other._lock:
+            return IOStats(
+                page_reads=mine.page_reads + other.page_reads,
+                sequential_reads=mine.sequential_reads + other.sequential_reads,
+                random_reads=mine.random_reads + other.random_reads,
+                page_writes=mine.page_writes + other.page_writes,
+                cache_hits=mine.cache_hits + other.cache_hits,
+            )
