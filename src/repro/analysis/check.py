@@ -1,0 +1,263 @@
+"""The ``repro check`` driver: lint + (strict) invariants + lock tracing.
+
+Plain ``repro check`` lints the source tree with the project rules.
+``--strict`` — the CI gate — additionally:
+
+* builds a small deterministic corpus, materializes all three
+  Dewey-family indexes, and runs every structural invariant validator
+  against them (:mod:`repro.analysis.invariants`);
+* runs the lock tracer twice: a *self-test* seeding a deliberate ABBA
+  acquisition plus a same-thread nested read (both MUST be detected, so
+  a silently broken detector fails the build), then a *live* trace of an
+  :class:`~repro.service.core.XRankService` under concurrent searches
+  and writes, which must come back clean.
+
+Exit code 0 means every gate passed.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .invariants import check_engine
+from .linter import LintConfig, Linter, load_lint_config
+from .locktrace import LockTracer
+from .rules import ALL_RULES, default_rules
+
+#: Small nested corpus with known co-occurrences (xql+language in two
+#: documents, workshop+xml across most) — enough to exercise multi-page
+#: lists, ElemRank over hyperlinks, and cross-index agreement.
+_CHECK_CORPUS = [
+    (
+        "workshop.xml",
+        """<workshop><title>XML and Information Retrieval</title><sessions>
+<session><title>Query Languages</title>
+<paper xmlns:xlink="http://www.w3.org/1999/xlink">
+<title>XQL and Proximal Nodes</title>
+<body><section>the XQL query language extends pattern matching</section>
+<section>ranked retrieval over XML element trees</section></body>
+<cite xlink:href="survey.xml"/></paper>
+<paper><title>Keyword Search in Databases</title>
+<body><section>keyword proximity ranking for semistructured data</section>
+</body></paper></session></sessions></workshop>""",
+    ),
+    (
+        "survey.xml",
+        """<survey><title>A Survey of XML Query Languages</title>
+<chapter><title>Pattern Languages</title>
+<para>the XQL language and its pattern operators</para>
+<para>path expressions select element subtrees</para></chapter>
+<chapter><title>Ranking</title>
+<para>ranked keyword search needs inverted indexes</para></chapter></survey>""",
+    ),
+    (
+        "thesis.xml",
+        """<thesis><title>Indexing Semistructured Data</title>
+<chapter><section><para>inverted lists keyed by element identifiers</para>
+<para>tree encodings support ancestor queries</para></section></chapter>
+<chapter><section><para>query evaluation over ranked inverted lists</para>
+</section></chapter></thesis>""",
+    ),
+    (
+        "notes.xml",
+        """<notes xmlns:xlink="http://www.w3.org/1999/xlink">
+<note><title>Reading: XQL</title>
+<body>the query language workshop paper on XQL</body>
+<ref xlink:href="workshop.xml"/></note>
+<note><title>Reading: ranking</title>
+<body>proximity ranking and element retrieval</body>
+<ref xlink:href="survey.xml"/></note></notes>""",
+    ),
+    (
+        "glossary.xml",
+        """<glossary><entry><term>element</term>
+<definition>a node of an XML document tree</definition></entry>
+<entry><term>ranking</term>
+<definition>ordering query results by relevance</definition></entry>
+<entry><term>language</term>
+<definition>a formal notation such as a query language</definition></entry>
+</glossary>""",
+    ),
+    (
+        "tutorial.xml",
+        """<tutorial><title>XML Retrieval Tutorial</title>
+<part><title>Basics</title><para>documents decompose into element trees
+</para><para>keyword queries return ranked elements</para></part>
+<part><title>Advanced</title><para>the XQL language integrates structure
+and keyword search</para></part></tutorial>""",
+    ),
+]
+
+_CHECK_KINDS = ("dil", "rdil", "hdil")
+
+
+def build_check_engine():
+    """Build the deterministic strict-mode corpus (all three kinds)."""
+    from ..engine import XRankEngine
+
+    engine = XRankEngine()
+    for uri, source in _CHECK_CORPUS:
+        engine.add_xml(source, uri=uri)
+    engine.build(kinds=_CHECK_KINDS)
+    return engine
+
+
+# -- lock tracer gates -------------------------------------------------------------
+
+
+def locktrace_selftest() -> List[str]:
+    """Seed an ABBA cycle and a nested read; both MUST be detected.
+
+    Returns failure messages when the detector misses either — a lock
+    tracer that cannot see a planted deadlock is worse than none.
+    """
+    from ..errors import LockUsageError
+    from ..service.concurrency import ReadWriteLock
+
+    failures: List[str] = []
+
+    tracer = LockTracer()
+    lock_a = tracer.wrap(ReadWriteLock(), "a")
+    lock_b = tracer.wrap(ReadWriteLock(), "b")
+    with lock_a.read():
+        with lock_b.read():
+            pass
+    with lock_b.read():
+        with lock_a.read():
+            pass
+    if not tracer.report().cycles:
+        failures.append(
+            "lock tracer self-test: seeded ABBA acquisition produced no cycle"
+        )
+
+    tracer = LockTracer()
+    lock_c = tracer.wrap(ReadWriteLock(), "c")
+    lock_c.acquire_read()
+    try:
+        lock_c.acquire_read()
+    except LockUsageError:
+        pass  # expected: ReadWriteLock refuses the re-entry outright
+    else:
+        lock_c.release_read()
+        failures.append(
+            "lock self-test: nested same-thread acquire_read() did not raise"
+        )
+    finally:
+        lock_c.release_read()
+    if not tracer.report().reentrant_reads:
+        failures.append(
+            "lock tracer self-test: nested read re-entry was not recorded"
+        )
+    return failures
+
+
+def locktrace_service_smoke(engine) -> List[str]:
+    """Trace a live service under reader/writer contention; must be clean."""
+    from ..service.core import XRankService
+
+    service = XRankService(
+        engine, result_cache_size=16, list_cache_size=16, max_concurrent=4
+    )
+    tracer = LockTracer()
+    service.lock = tracer.wrap(service.lock, "service")
+
+    errors: List[str] = []
+
+    def reader() -> None:
+        try:
+            for query in ("xql language", "ranking", "element trees"):
+                service.search(query, m=5)
+                service.stats()
+                service.healthz()
+        except Exception as exc:  # surfaced below; smoke must not hang
+            errors.append(f"reader thread failed: {exc!r}")
+
+    def writer() -> None:
+        try:
+            service.add_xml(
+                "<doc><title>late arrival</title><body>the xql language "
+                "again</body></doc>",
+                uri="late.xml",
+            )
+        except Exception as exc:
+            errors.append(f"writer thread failed: {exc!r}")
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    report = tracer.report()
+    failures = list(errors)
+    for cycle in report.cycles:
+        failures.append(
+            "service lock trace: order cycle " + " -> ".join(cycle)
+        )
+    for hazard in report.reentrant_reads:
+        failures.append("service lock trace: " + hazard)
+    if report.acquisitions == 0:
+        failures.append("service lock trace: no acquisitions recorded")
+    return failures
+
+
+# -- driver ------------------------------------------------------------------------
+
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    strict: bool = False,
+    config: Optional[LintConfig] = None,
+    list_rules: bool = False,
+    out=None,
+) -> int:
+    """Run the gates; print findings; return a process exit code."""
+    out = out or sys.stdout
+    config = config if config is not None else load_lint_config()
+
+    if list_rules:
+        for rule in ALL_RULES:
+            marker = " " if config.selects(rule.rule_id) else " (disabled)"
+            print(f"{rule.rule_id}{marker}: {rule.description}", file=out)
+        return 0
+
+    failures = 0
+
+    lint_roots = [Path(p) for p in (paths or config.paths)] or [
+        Path(__file__).resolve().parent.parent
+    ]
+    linter = Linter(default_rules(config))
+    violations = linter.lint_paths(lint_roots)
+    for violation in violations:
+        print(violation.format(), file=out)
+    failures += len(violations)
+    roots_label = ", ".join(str(r) for r in lint_roots)
+    print(
+        f"lint: {len(violations)} violation(s) across "
+        f"{len(linter.rules)} rule(s) in {roots_label}",
+        file=out,
+    )
+
+    if strict:
+        engine = build_check_engine()
+        invariant_violations = check_engine(engine)
+        for violation in invariant_violations:
+            print(violation.format(), file=out)
+        failures += len(invariant_violations)
+        print(
+            f"invariants: {len(invariant_violations)} violation(s) over "
+            f"kinds {', '.join(_CHECK_KINDS)}",
+            file=out,
+        )
+
+        lock_failures = locktrace_selftest() + locktrace_service_smoke(engine)
+        for failure in lock_failures:
+            print(failure, file=out)
+        failures += len(lock_failures)
+        print(f"locktrace: {len(lock_failures)} failure(s)", file=out)
+
+    print("check: " + ("FAILED" if failures else "ok"), file=out)
+    return 1 if failures else 0

@@ -1,0 +1,384 @@
+"""Deep structural validators for the built index structures.
+
+The paper's data structures carry implicit invariants that nothing
+re-checks after construction: B+-tree keys are strictly increasing with
+a consistent leaf chain (Section 4.3.1), inverted lists are strictly
+Dewey-sorted with lossless posting encodings (Section 4.2), the three
+Dewey-family indexes answer identical queries identically (Section 4.4's
+point is that HDIL matches DIL/RDIL *results* while beating their
+costs), and ElemRank converged to finite non-negative scores (Section
+2.3).  A codec change, a bulk-load bug, or a bad incremental merge can
+silently break any of them while queries keep returning *something*.
+
+Each ``check_*`` function returns a list of
+:class:`InvariantViolation`; :func:`check_engine` runs the whole battery
+against every built index kind of one engine.  All checks are pure
+reads — they never mutate the engine — so ``repro check --strict`` can
+run them against a freshly built corpus in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..index.postings import Posting
+from ..storage.btree import BTree, _decode_internal, _decode_leaf
+from ..storage.deweycodec import CODECS
+from ..xmlmodel.dewey import DeweyId
+
+#: Rank agreement tolerance across index kinds (float32 payload rounding).
+_RANK_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed structural check."""
+
+    check: str      # which validator fired (e.g. "btree", "posting-lists")
+    location: str   # what it was looking at ("rdil btree 'xql'", ...)
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.check}] {self.location}: {self.message}"
+
+
+# -- B+-trees --------------------------------------------------------------------
+
+
+def check_btree(tree: BTree, name: str = "btree") -> List[InvariantViolation]:
+    """Key ordering, separator bounds, occupancy, and leaf-chain integrity."""
+    violations: List[InvariantViolation] = []
+
+    def bad(message: str) -> None:
+        violations.append(InvariantViolation("btree", name, message))
+
+    discovered_leaves: List[int] = []
+
+    def walk(page_id: int, level: int, low: Optional[DeweyId], high: Optional[DeweyId]) -> None:
+        if level == tree.height:
+            discovered_leaves.append(page_id)
+            for key, _ in tree._leaf_entries(page_id):
+                if low is not None and key < low:
+                    bad(f"leaf key {key} below its subtree separator {low}")
+                if high is not None and key >= high:
+                    bad(f"leaf key {key} at/above the next separator {high}")
+            return
+        children = _decode_internal(tree.disk.read(page_id))
+        if not children:
+            bad(f"empty internal node on page {page_id}")
+            return
+        keys = [key for key, _ in children]
+        for a, b in zip(keys, keys[1:]):
+            if not a < b:
+                bad(f"internal separators not strictly increasing: {a} !< {b}")
+        for position, (key, child) in enumerate(children):
+            child_low = key if position > 0 else low
+            child_high = (
+                children[position + 1][0] if position + 1 < len(children) else high
+            )
+            walk(child, level + 1, child_low, child_high)
+
+    walk(tree.root_page, 1, None, None)
+
+    if discovered_leaves != tree.leaf_pages:
+        bad(
+            f"leaf pages reachable from the root {discovered_leaves} differ "
+            f"from the recorded leaf level {tree.leaf_pages}"
+        )
+
+    # Sibling pointers (owned leaves only; external leaves are consecutive
+    # list pages with no stored chain).
+    if tree.leaf_decoder is None:
+        for position, page_id in enumerate(tree.leaf_pages):
+            prev_page, next_page, _ = _decode_leaf(tree.disk.read(page_id))
+            want_prev = tree.leaf_pages[position - 1] if position > 0 else -1
+            want_next = (
+                tree.leaf_pages[position + 1]
+                if position + 1 < len(tree.leaf_pages)
+                else -1
+            )
+            if (prev_page, next_page) != (want_prev, want_next):
+                bad(
+                    f"leaf {page_id} chain pointers ({prev_page}, {next_page}) "
+                    f"!= expected ({want_prev}, {want_next})"
+                )
+
+    # Global key order + entry accounting over the whole leaf level.
+    total = 0
+    previous: Optional[DeweyId] = None
+    for page_id in tree.leaf_pages:
+        entries = tree._leaf_entries(page_id)
+        if not entries and tree.num_entries > 0 and len(tree.leaf_pages) > 1:
+            bad(f"empty leaf page {page_id} in a non-empty tree")
+        for key, _ in entries:
+            total += 1
+            if previous is not None and not previous < key:
+                bad(f"leaf keys out of order: {previous} !< {key}")
+            previous = key
+    if total != tree.num_entries:
+        bad(f"leaf level holds {total} entries, tree claims {tree.num_entries}")
+    return violations
+
+
+# -- posting lists ----------------------------------------------------------------
+
+
+def check_posting_lists(
+    engine, sample: int = 8
+) -> List[InvariantViolation]:
+    """Dewey order, codec round-trips, rank order, and head consistency.
+
+    Checks up to ``sample`` keywords (the longest lists — they exercise
+    page boundaries) per built Dewey-family index kind.
+    """
+    violations: List[InvariantViolation] = []
+    for kind, index in sorted(engine._indexes.items()):
+        if kind == "dil" or kind == "dil-incremental":
+            keywords = _sampled(index, sample)
+            for keyword in keywords:
+                cursor = index.cursor(keyword)
+                if cursor is None:
+                    continue
+                violations.extend(
+                    _check_record_stream(
+                        _drain_raw(cursor), f"{kind} list {keyword!r}",
+                        dewey_sorted=True,
+                    )
+                )
+        elif kind == "rdil":
+            for keyword in _sampled(index, sample):
+                cursor = index.ranked_cursor(keyword)
+                if cursor is not None:
+                    violations.extend(
+                        _check_record_stream(
+                            _drain_raw(cursor), f"rdil ranked list {keyword!r}",
+                            rank_sorted=True,
+                        )
+                    )
+                tree = index.btree(keyword)
+                if tree is not None:
+                    violations.extend(check_btree(tree, f"rdil btree {keyword!r}"))
+        elif kind == "hdil":
+            for keyword in _sampled(index, sample):
+                cursor = index.full_cursor(keyword)
+                if cursor is not None:
+                    violations.extend(
+                        _check_record_stream(
+                            _drain_raw(cursor), f"hdil full list {keyword!r}",
+                            dewey_sorted=True,
+                        )
+                    )
+                head = index.ranked_cursor(keyword)
+                if head is not None:
+                    violations.extend(
+                        _check_record_stream(
+                            _drain_raw(head), f"hdil ranked head {keyword!r}",
+                            rank_sorted=True,
+                        )
+                    )
+                if index.head_length(keyword) > index.list_length(keyword):
+                    violations.append(
+                        InvariantViolation(
+                            "posting-lists",
+                            f"hdil head {keyword!r}",
+                            "ranked head is longer than the full list",
+                        )
+                    )
+                tree = index.btree(keyword)
+                if tree is not None:
+                    violations.extend(check_btree(tree, f"hdil btree {keyword!r}"))
+    return violations
+
+
+def _sampled(index, sample: int) -> List[str]:
+    keywords = sorted(index.keywords(), key=lambda k: (-index.list_length(k), k))
+    return keywords[:sample]
+
+
+def _drain_raw(cursor) -> List[bytes]:
+    records: List[bytes] = []
+    while not cursor.eof:
+        records.append(cursor.next())
+    return records
+
+
+def _check_record_stream(
+    records: Sequence[bytes],
+    location: str,
+    dewey_sorted: bool = False,
+    rank_sorted: bool = False,
+) -> List[InvariantViolation]:
+    violations: List[InvariantViolation] = []
+
+    def bad(message: str) -> None:
+        violations.append(InvariantViolation("posting-lists", location, message))
+
+    previous: Optional[Posting] = None
+    for raw in records:
+        posting = Posting.decode(raw)
+        if posting.encode() != raw:
+            bad(f"posting at {posting.dewey} does not round-trip its encoding")
+        if not math.isfinite(posting.elemrank) or posting.elemrank < 0:
+            bad(f"posting at {posting.dewey} has bad rank {posting.elemrank}")
+        if any(b <= a for a, b in zip(posting.positions, posting.positions[1:])):
+            bad(f"positions not strictly increasing at {posting.dewey}")
+        if previous is not None:
+            if dewey_sorted and not previous.dewey < posting.dewey:
+                bad(
+                    f"Dewey order violated: {previous.dewey} !< {posting.dewey}"
+                )
+            if rank_sorted and posting.elemrank > previous.elemrank + 1e-12:
+                bad(
+                    f"rank order violated at {posting.dewey}: "
+                    f"{posting.elemrank} > {previous.elemrank}"
+                )
+        previous = posting
+    return violations
+
+
+# -- Dewey codecs -----------------------------------------------------------------
+
+
+def check_dewey_codecs(ids: Sequence[DeweyId]) -> List[InvariantViolation]:
+    """Every codec must round-trip the (Dewey-ordered) ID list losslessly."""
+    violations: List[InvariantViolation] = []
+    ordered = sorted(ids)
+    for name, (encode, decode) in CODECS.items():
+        try:
+            decoded = decode(encode(ordered))
+        except Exception as exc:
+            violations.append(
+                InvariantViolation(
+                    "dewey-codec", name, f"codec raised {type(exc).__name__}: {exc}"
+                )
+            )
+            continue
+        if decoded != ordered:
+            violations.append(
+                InvariantViolation(
+                    "dewey-codec",
+                    name,
+                    f"round-trip lost data ({len(ordered)} ids in, "
+                    f"{len(decoded)} out or values changed)",
+                )
+            )
+    return violations
+
+
+# -- cross-index agreement --------------------------------------------------------
+
+
+def check_index_agreement(
+    engine,
+    queries: Optional[Sequence[Sequence[str]]] = None,
+    m: int = 10,
+) -> List[InvariantViolation]:
+    """DIL/RDIL/HDIL must produce the same ranked answer for the same query.
+
+    Ranks are compared as sorted-descending vectors within a small
+    tolerance (float32 payloads), not by result identity: evaluators may
+    break exact rank ties differently at the top-m boundary, which is
+    not an index-corruption signal.
+    """
+    kinds = [k for k in ("dil", "rdil", "hdil") if k in engine._indexes]
+    if len(kinds) < 2:
+        return []
+    if queries is None:
+        queries = _default_queries(engine)
+    violations: List[InvariantViolation] = []
+    for keywords in queries:
+        answers: Dict[str, List[float]] = {}
+        for kind in kinds:
+            results = engine._evaluators[kind].evaluate(list(keywords), m=m)
+            answers[kind] = sorted((r.rank for r in results), reverse=True)
+        reference_kind = kinds[0]
+        reference = answers[reference_kind]
+        for kind in kinds[1:]:
+            ranks = answers[kind]
+            location = f"query {' '.join(keywords)!r}: {reference_kind} vs {kind}"
+            if len(ranks) != len(reference):
+                violations.append(
+                    InvariantViolation(
+                        "index-agreement",
+                        location,
+                        f"{len(reference)} results vs {len(ranks)}",
+                    )
+                )
+                continue
+            for a, b in zip(reference, ranks):
+                if abs(a - b) > _RANK_TOLERANCE:
+                    violations.append(
+                        InvariantViolation(
+                            "index-agreement",
+                            location,
+                            f"rank vectors diverge: {a:.8f} vs {b:.8f}",
+                        )
+                    )
+                    break
+    return violations
+
+
+def _default_queries(engine) -> List[List[str]]:
+    """Sampled keyword sets: frequent singletons plus co-occurring pairs."""
+    if engine.builder is None:
+        return []
+    postings = engine.builder.direct_postings
+    frequent = sorted(postings, key=lambda k: (-len(postings[k]), k))[:4]
+    queries: List[List[str]] = [[keyword] for keyword in frequent]
+    # Pairs that co-occur in at least one document (conjunctive queries
+    # over disjoint keyword sets would just compare empty answers).
+    for i, first in enumerate(frequent):
+        docs_first = {p.dewey.doc_id for p in postings[first]}
+        for second in frequent[i + 1 :]:
+            if docs_first & {p.dewey.doc_id for p in postings[second]}:
+                queries.append([first, second])
+    return queries
+
+
+# -- ElemRank ---------------------------------------------------------------------
+
+
+def check_elemrank(engine) -> List[InvariantViolation]:
+    """Convergence sanity: converged, finite residual, sane scores."""
+    if engine.builder is None:
+        return []
+    violations: List[InvariantViolation] = []
+    result = engine.builder.elemrank_result
+
+    def bad(message: str) -> None:
+        violations.append(InvariantViolation("elemrank", result.variant.value, message))
+
+    if not result.converged:
+        bad(f"did not converge in {result.iterations} iterations")
+    if not math.isfinite(result.residual):
+        bad(f"non-finite residual {result.residual}")
+    for dewey, score in engine.builder.elemranks.items():
+        if not math.isfinite(score) or score < 0:
+            bad(f"score of {dewey} is {score}")
+            break  # one bad score implies a systemic failure; don't spam
+    return violations
+
+
+# -- orchestration ----------------------------------------------------------------
+
+
+def check_engine(
+    engine,
+    queries: Optional[Sequence[Sequence[str]]] = None,
+    sample: int = 8,
+    m: int = 10,
+) -> List[InvariantViolation]:
+    """Run the full battery against one built engine."""
+    violations: List[InvariantViolation] = []
+    violations.extend(check_posting_lists(engine, sample=sample))
+    violations.extend(check_elemrank(engine))
+    violations.extend(check_index_agreement(engine, queries=queries, m=m))
+    if engine.builder is not None and engine.builder.direct_postings:
+        postings = engine.builder.direct_postings
+        longest = max(postings, key=lambda k: len(postings[k]))
+        violations.extend(
+            check_dewey_codecs([p.dewey for p in postings[longest]])
+        )
+    return violations

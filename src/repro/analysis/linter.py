@@ -1,0 +1,208 @@
+"""The AST lint framework behind ``repro check``.
+
+A :class:`LintRule` inspects one parsed module and returns
+:class:`Violation` objects; the :class:`Linter` walks files, applies the
+rules whose *scope* matches each file's path, and filters out violations
+suppressed by an inline ``# repro: ignore[rule-id]`` comment.
+
+Rules are deliberately *lexical*: they check what the source says, not
+what it might do at runtime.  A helper that is genuinely exempt (for
+example a cache loader that must drain a whole list to keep the cache
+coherent) carries an explicit suppression comment with its
+justification, so every exception to a discipline is visible and
+reviewable at the call site it excuses.
+
+Configuration lives in ``pyproject.toml``::
+
+    [tool.repro.check]
+    disable = ["mutable-default"]   # rule ids to turn off
+    paths = ["src/repro"]           # default lint roots
+
+How to add a rule: subclass :class:`LintRule` in
+:mod:`repro.analysis.rules`, set ``rule_id`` / ``description`` /
+``scopes``, implement :meth:`LintRule.check`, and append an instance to
+``ALL_RULES`` — ``repro check`` and the test fixtures pick it up from
+there.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Inline suppression: ``# repro: ignore`` (all rules) or
+#: ``# repro: ignore[rule-a, rule-b]`` on the offending line.
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Attributes:
+        rule_id: stable kebab-case identifier (used in config and
+            suppression comments).
+        description: one-line summary for ``repro check --list-rules``.
+        scopes: path fragments this rule applies to (``("query/",)``
+            restricts it to the query package); empty means every file.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    scopes: Sequence[str] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on the file at ``path``."""
+        if not self.scopes:
+            return True
+        normalized = path.replace("\\", "/")
+        return any(scope in normalized for scope in self.scopes)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        """Return this rule's violations for one parsed module."""
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules ---------------------------------------
+
+    def violation(self, path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(self.rule_id, path, getattr(node, "lineno", 0), message)
+
+
+@dataclass
+class LintConfig:
+    """Rule selection and default lint roots (``[tool.repro.check]``)."""
+
+    disable: List[str] = field(default_factory=list)
+    enable: List[str] = field(default_factory=list)
+    paths: List[str] = field(default_factory=list)
+
+    def selects(self, rule_id: str) -> bool:
+        """Whether a rule is active under this configuration."""
+        if self.enable:
+            return rule_id in self.enable and rule_id not in self.disable
+        return rule_id not in self.disable
+
+
+def load_lint_config(start: Optional[Path] = None) -> LintConfig:
+    """Read ``[tool.repro.check]`` from the nearest ``pyproject.toml``.
+
+    Walks up from ``start`` (default: the current directory); returns the
+    defaults when no file or section is found, or when ``tomllib`` is
+    unavailable (Python < 3.11).
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10 fallback
+        return LintConfig()
+    directory = (start or Path.cwd()).resolve()
+    for candidate in [directory, *directory.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        try:
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError):
+            return LintConfig()
+        section = data.get("tool", {}).get("repro", {}).get("check", {})
+        return LintConfig(
+            disable=[str(r) for r in section.get("disable", [])],
+            enable=[str(r) for r in section.get("enable", [])],
+            paths=[str(p) for p in section.get("paths", [])],
+        )
+    return LintConfig()
+
+
+class Linter:
+    """Applies a rule set to source files and filters suppressions."""
+
+    def __init__(self, rules: Sequence[LintRule]):
+        ids = [rule.rule_id for rule in rules]
+        duplicates = {i for i in ids if ids.count(i) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate rule ids: {sorted(duplicates)}")
+        self.rules = list(rules)
+
+    # -- entry points ------------------------------------------------------------
+
+    def lint_source(self, source: str, path: str) -> List[Violation]:
+        """Lint one module given as a string (fixtures, tests)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Violation("syntax", path, exc.lineno or 0, f"syntax error: {exc.msg}")
+            ]
+        violations: List[Violation] = []
+        for rule in self.rules:
+            if rule.applies_to(path):
+                violations.extend(rule.check(tree, source, path))
+        suppressions = _suppression_map(source)
+        kept = [v for v in violations if v.rule not in suppressions.get(v.line, ())]
+        kept.sort(key=lambda v: (v.path, v.line, v.rule))
+        return kept
+
+    def lint_file(self, path: Path) -> List[Violation]:
+        """Lint one file on disk."""
+        source = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(source, str(path))
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[Violation]:
+        """Lint every ``*.py`` file under the given files/directories."""
+        violations: List[Violation] = []
+        for raw in paths:
+            root = Path(raw)
+            if root.is_dir():
+                files = sorted(root.rglob("*.py"))
+            elif root.is_file():
+                files = [root]
+            else:
+                raise FileNotFoundError(f"no such lint path: {raw}")
+            for file in files:
+                violations.extend(self.lint_file(file))
+        return violations
+
+
+def _suppression_map(source: str) -> Dict[int, frozenset]:
+    """Line number -> rule ids suppressed on that line.
+
+    An empty id set from a bare ``# repro: ignore`` is represented as a
+    frozenset containing every rule id mentioned nowhere — encoded here
+    as the wildcard handled in :func:`_suppresses`.
+    """
+    suppressions: Dict[int, frozenset] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if not match:
+            continue
+        body = match.group(1)
+        if body is None:
+            suppressions[line_number] = _WILDCARD
+        else:
+            rules = frozenset(part.strip() for part in body.split(",") if part.strip())
+            suppressions[line_number] = rules or _WILDCARD
+    return suppressions
+
+
+class _Wildcard(frozenset):
+    """Suppresses every rule (``# repro: ignore`` without a rule list)."""
+
+    def __contains__(self, item: object) -> bool:  # noqa: D105
+        return True
+
+
+_WILDCARD = _Wildcard()

@@ -1,0 +1,275 @@
+"""Opt-in runtime lock-order detection (lockdep-lite).
+
+Static lint can prove *where* the engine is touched without a lock; it
+cannot prove that two locks are always taken in the same order.  This
+module wraps locks with recording proxies: every acquisition while
+another lock is held adds an edge ``held -> acquired`` to a per-tracer
+graph.  A cycle in that graph means two code paths take the same locks
+in opposite orders — a potential ABBA deadlock, reported even when the
+interleaving never actually deadlocked during the run.
+
+Edges are recorded *thread-agnostically*: a single thread running A→B
+and later B→A is enough to prove the ordering conflict, which keeps the
+detector deterministic in single-threaded tests.
+
+The tracer also records the writer-preference hazard specific to
+:class:`~repro.service.concurrency.ReadWriteLock`: a thread re-acquiring
+a read lock it already holds (deadlocks as soon as a writer queues
+between the two acquisitions) and a read→write upgrade attempt (always
+deadlocks: the writer waits for the thread's own read to drain).  Both
+are recorded *before* delegating, so they are observed even when the
+underlying lock raises — and they are flagged as hazards even when the
+lucky interleaving let the run survive.
+
+Usage::
+
+    tracer = LockTracer()
+    service.lock = tracer.wrap(service.lock, "service")
+    ... exercise ...
+    report = tracer.report()
+    assert not report.cycles and not report.reentrant_reads
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class LockOrderReport:
+    """What a :class:`LockTracer` observed."""
+
+    #: (held_lock, acquired_lock) -> times that ordering was seen.
+    edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Lock-name cycles, each a closed path like ``["a", "b", "a"]``.
+    cycles: List[List[str]] = field(default_factory=list)
+    #: Human-readable descriptions of read re-entry / upgrade hazards.
+    reentrant_reads: List[str] = field(default_factory=list)
+    #: Total acquisitions recorded (read + write + plain).
+    acquisitions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.cycles and not self.reentrant_reads
+
+    def describe(self) -> str:
+        lines = [f"{self.acquisitions} acquisitions, {len(self.edges)} order edges"]
+        for cycle in self.cycles:
+            lines.append("lock-order cycle (potential ABBA deadlock): " + " -> ".join(cycle))
+        for hazard in self.reentrant_reads:
+            lines.append("re-entrancy hazard: " + hazard)
+        return "\n".join(lines)
+
+
+class LockTracer:
+    """Records acquisition order across all locks wrapped by this tracer."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._hazards: List[str] = []
+        self._acquisitions = 0
+
+    # -- wrapping ----------------------------------------------------------------
+
+    def wrap(self, lock: object, name: str):
+        """Wrap a lock in a recording proxy.
+
+        ``ReadWriteLock``-shaped objects (``acquire_read`` present) get a
+        :class:`TracedRWLock`; anything with ``acquire``/``release``
+        (``threading.Lock``, ``RLock``) gets a :class:`TracedLock`.
+        """
+        if hasattr(lock, "acquire_read"):
+            return TracedRWLock(self, lock, name)
+        if hasattr(lock, "acquire"):
+            return TracedLock(self, lock, name)
+        raise TypeError(f"cannot trace object without acquire methods: {lock!r}")
+
+    # -- recording (called by the proxies) ---------------------------------------
+
+    def _held_stack(self) -> List[Tuple[str, str]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record_acquire(self, name: str, mode: str) -> None:
+        """Record intent to acquire; called *before* blocking on the lock."""
+        stack = self._held_stack()
+        with self._mutex:
+            self._acquisitions += 1
+            for held_name, held_mode in stack:
+                if held_name == name:
+                    if held_mode == "read" and mode == "read":
+                        self._hazards.append(
+                            f"same-thread nested read of {name!r}: deadlocks "
+                            "whenever a writer queues between the two acquisitions"
+                        )
+                    elif held_mode == "read" and mode == "write":
+                        self._hazards.append(
+                            f"read->write upgrade on {name!r}: the writer waits "
+                            "for this thread's own read lock to drain"
+                        )
+                    continue
+                edge = (held_name, name)
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append((name, mode))
+
+    def record_release(self, name: str, mode: str) -> None:
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == (name, mode):
+                del stack[index]
+                return
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> LockOrderReport:
+        with self._mutex:
+            edges = dict(self._edges)
+            hazards = list(self._hazards)
+            acquisitions = self._acquisitions
+        return LockOrderReport(
+            edges=edges,
+            cycles=_find_cycles(edges),
+            reentrant_reads=hazards,
+            acquisitions=acquisitions,
+        )
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], int]) -> List[List[str]]:
+    """Every elementary cycle in the acquisition-order graph, as paths.
+
+    The graphs here are tiny (locks in the process, not acquisitions), so
+    a DFS from each node is plenty.  Cycles are deduplicated by their
+    rotation-normalised node set.
+    """
+    graph: Dict[str, List[str]] = {}
+    for held, acquired in edges:
+        graph.setdefault(held, []).append(acquired)
+    for successors in graph.values():
+        successors.sort()
+
+    cycles: List[List[str]] = []
+    seen_keys = set()
+
+    def dfs(start: str, node: str, path: List[str]) -> None:
+        for successor in graph.get(node, ()):
+            if successor == start:
+                cycle = path + [start]
+                smallest = min(range(len(path)), key=lambda i: path[i])
+                key = tuple(path[smallest:] + path[:smallest])
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+            elif successor not in path and successor > start:
+                # Only explore nodes ordered after `start`, so each cycle
+                # is found exactly once, from its smallest node.
+                dfs(start, successor, path + [successor])
+
+    for start in sorted(graph):
+        dfs(start, start, [start])
+    return cycles
+
+
+class TracedLock:
+    """Recording proxy for a ``threading.Lock``-shaped object."""
+
+    def __init__(self, tracer: LockTracer, lock: object, name: str):
+        self._tracer = tracer
+        self._lock = lock
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._tracer.record_acquire(self.name, "exclusive")
+        acquired = self._lock.acquire(blocking, timeout)
+        if not acquired:
+            self._tracer.record_release(self.name, "exclusive")
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._tracer.record_release(self.name, "exclusive")
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> Optional[bool]:
+        self.release()
+        return None
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+
+class TracedRWLock:
+    """Recording proxy with the :class:`ReadWriteLock` surface."""
+
+    def __init__(self, tracer: LockTracer, lock: object, name: str):
+        self._tracer = tracer
+        self._lock = lock
+        self.name = name
+
+    # Read side -------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        self._tracer.record_acquire(self.name, "read")
+        try:
+            self._lock.acquire_read()
+        except BaseException:
+            self._tracer.record_release(self.name, "read")
+            raise
+
+    def release_read(self) -> None:
+        self._lock.release_read()
+        self._tracer.record_release(self.name, "read")
+
+    def read(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _ctx():
+            self.acquire_read()
+            try:
+                yield self
+            finally:
+                self.release_read()
+
+        return _ctx()
+
+    # Write side ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        self._tracer.record_acquire(self.name, "write")
+        try:
+            self._lock.acquire_write()
+        except BaseException:
+            self._tracer.record_release(self.name, "write")
+            raise
+
+    def release_write(self) -> None:
+        self._lock.release_write()
+        self._tracer.record_release(self.name, "write")
+
+    def write(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _ctx():
+            self.acquire_write()
+            try:
+                yield self
+            finally:
+                self.release_write()
+
+        return _ctx()
+
+    # Introspection ---------------------------------------------------------------
+
+    def state(self) -> dict:
+        return self._lock.state()

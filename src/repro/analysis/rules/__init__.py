@@ -1,0 +1,45 @@
+"""The rule registry for ``repro check``.
+
+``ALL_RULES`` is the catalogue; :func:`default_rules` applies the
+``[tool.repro.check]`` enable/disable configuration.  To add a rule,
+implement it in a module here and append an instance to ``ALL_RULES`` —
+the CLI, the CI gate, and the fixture-driven tests all consume the
+registry, so one registration covers all three.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..linter import LintConfig, LintRule
+from .deadline import DeadlineDisciplineRule
+from .general import BareExceptRule, MutableDefaultRule, WallClockRule
+from .generation import CacheGenerationRule
+from .locks import LockDisciplineRule
+
+ALL_RULES: List[LintRule] = [
+    DeadlineDisciplineRule(),
+    LockDisciplineRule(),
+    CacheGenerationRule(),
+    BareExceptRule(),
+    MutableDefaultRule(),
+    WallClockRule(),
+]
+
+__all__ = [
+    "ALL_RULES",
+    "BareExceptRule",
+    "CacheGenerationRule",
+    "DeadlineDisciplineRule",
+    "LockDisciplineRule",
+    "MutableDefaultRule",
+    "WallClockRule",
+    "default_rules",
+]
+
+
+def default_rules(config: Optional[LintConfig] = None) -> List[LintRule]:
+    """The registry filtered by a :class:`LintConfig` (None = everything)."""
+    if config is None:
+        return list(ALL_RULES)
+    return [rule for rule in ALL_RULES if config.selects(rule.rule_id)]

@@ -1,0 +1,56 @@
+"""AST helpers shared by the concrete lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda,)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every function/method definition in the module, nested included."""
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTION_NODES):
+            yield node
+
+
+def walk_within(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(func: ast.AST) -> bool:
+    """Whether the function is a generator (own yields, not nested ones)."""
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in walk_within(func)
+    )
+
+
+def param_names(func: ast.FunctionDef) -> Set[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

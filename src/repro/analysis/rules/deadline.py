@@ -1,0 +1,150 @@
+"""deadline-discipline: stream-advancing loops must honour the deadline.
+
+PR 1's cooperative deadlines only work if every loop that can consume an
+unbounded amount of posting data checks (or forwards) the budget.  A
+single unpolled loop — e.g. an RDIL candidate qualification range-scan —
+reintroduces the exact hang the ``Deadline`` machinery exists to bound.
+
+A loop *advances a posting stream* when its body calls ``.next()`` on a
+cursor/stream, or when it is a ``for`` over ``conjunctive_merge`` /
+``disjunctive_merge``.  Such a loop is compliant when its enclosing
+function takes a ``deadline`` parameter and the loop either calls
+``deadline.poll()`` or forwards ``deadline`` into a callee (including the
+``for`` iterable itself, since the merge generators poll internally).
+
+Generator functions are exempt: their consumer controls the pacing, so
+the discipline applies at the consuming loop instead.  Helpers that are
+genuinely unbounded-by-design (cache loaders that must drain a full list)
+carry a ``# repro: ignore[deadline-discipline]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple, Union
+
+from ..linter import LintRule, Violation
+from .common import is_generator, iter_functions, param_names, walk_within
+
+_MERGE_NAMES = {"conjunctive_merge", "disjunctive_merge"}
+_LOOP_NODES = (ast.For, ast.While)
+
+Loop = Union[ast.For, ast.While]
+
+
+class DeadlineDisciplineRule(LintRule):
+    rule_id = "deadline-discipline"
+    description = (
+        "query/ loops that advance a posting stream must poll or forward "
+        "the cooperative deadline"
+    )
+    scopes = ("query/",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for func in iter_functions(tree):
+            if is_generator(func):
+                continue
+            has_deadline = "deadline" in param_names(func)
+            for loop in _own_loops(func):
+                if not _advances_stream(loop):
+                    continue
+                if not has_deadline:
+                    violations.append(
+                        self.violation(
+                            path,
+                            loop,
+                            f"loop in {func.name}() advances a posting stream "
+                            "but the function takes no `deadline` parameter",
+                        )
+                    )
+                elif not _polls_or_forwards(loop):
+                    violations.append(
+                        self.violation(
+                            path,
+                            loop,
+                            f"stream-advancing loop in {func.name}() never "
+                            "polls or forwards `deadline`",
+                        )
+                    )
+        return violations
+
+
+def _own_loops(func: ast.AST) -> Iterator[Loop]:
+    for node in walk_within(func):
+        if isinstance(node, _LOOP_NODES):
+            yield node
+
+
+def _advances_stream(loop: Loop) -> bool:
+    """Whether this loop *directly* consumes posting data.
+
+    ``.next()`` calls are attributed to their nearest enclosing loop, so
+    an outer loop is not blamed for an inner loop's stream advances.
+    """
+    if isinstance(loop, ast.For) and _calls_merge(loop.iter):
+        return True
+    for node in _body_without_nested_loops(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "next"
+            and not _is_deadline_receiver(node.func.value)
+        ):
+            return True
+    return False
+
+
+def _calls_merge(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _MERGE_NAMES:
+                return True
+    return False
+
+
+def _is_deadline_receiver(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Name) and node.id == "deadline") or (
+        isinstance(node, ast.Attribute) and node.attr == "deadline"
+    )
+
+
+def _body_without_nested_loops(loop: Loop) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _LOOP_NODES + (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _polls_or_forwards(loop: Loop) -> bool:
+    """poll() call or a `deadline` hand-off anywhere in the loop.
+
+    The ``for`` iterable counts: ``for r in conjunctive_merge(...,
+    deadline=deadline)`` delegates polling to the merge generator.
+    """
+    roots: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    if isinstance(loop, ast.For):
+        roots.append(loop.iter)
+    else:
+        roots.append(loop.test)
+    for root in roots:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "poll":
+                return True
+            if any(
+                isinstance(arg, ast.Name) and arg.id == "deadline"
+                for arg in node.args
+            ):
+                return True
+            if any(kw.arg == "deadline" for kw in node.keywords):
+                return True
+    return False

@@ -1,0 +1,132 @@
+"""General hygiene rules: bare except, mutable defaults, wall-clock calls.
+
+These are not project-specific disciplines but classes of bug this
+codebase has no other guard against:
+
+* ``bare-except`` swallows ``KeyboardInterrupt``/``SystemExit`` and hides
+  real failures behind degraded results;
+* ``mutable-default`` arguments alias state across calls — lethal for
+  evaluators that are constructed once and queried concurrently;
+* ``wall-clock`` calls in scoring/index/storage paths break determinism:
+  two evaluations of the same query must rank identically, and the
+  simulated-disk I/O accounting must not depend on the calendar.
+  ``time.monotonic``/``time.perf_counter`` stay allowed — they measure
+  *duration* (deadlines, diagnostics), not absolute time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+from .common import dotted_name, iter_functions
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+class BareExceptRule(LintRule):
+    rule_id = "bare-except"
+    description = "`except:` without an exception type"
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        return [
+            self.violation(
+                path,
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt; name "
+                "the exception types (or `Exception`)",
+            )
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+class MutableDefaultRule(LintRule):
+    rule_id = "mutable-default"
+    description = "mutable default argument shared across calls"
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for func in iter_functions(tree):
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    violations.append(
+                        self.violation(
+                            path,
+                            default,
+                            f"mutable default argument in {func.name}(); "
+                            "use None and create it inside the function",
+                        )
+                    )
+        return violations
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+#: Absolute-time / RNG calls that make ranking or I/O accounting
+#: non-deterministic.  Monotonic duration sources are deliberately absent.
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+}
+
+
+class WallClockRule(LintRule):
+    rule_id = "wall-clock"
+    description = (
+        "non-deterministic wall-clock/RNG call in a scoring, query, index "
+        "or storage path"
+    )
+    scopes = ("query/", "ranking/", "index/", "storage/")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _BANNED_CALLS:
+                violations.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"`{name}()` makes this path non-deterministic; use "
+                        "time.monotonic/perf_counter for durations or seed "
+                        "explicit RNG state",
+                    )
+                )
+        return violations

@@ -1,0 +1,135 @@
+"""cache-generation: engine mutations must bump the generation counter.
+
+The service's :class:`~repro.service.cache.GenerationalLRU` caches are
+invalidated solely by comparing their generation to
+``engine.generation``.  An engine method that mutates index state
+(rebuilds ``self._indexes``/``self._evaluators``, replaces
+``self.builder``, adds or removes documents) without bumping the counter
+leaves the caches serving results computed against a dead index — the
+bug is silent until a client sees pre-mutation hits.
+
+The rule runs on ``engine.py``: for every class that owns a
+``generation`` attribute, each *public* method is analysed transitively
+over its ``self.*()`` calls.  Reaching a mutation without reaching a
+bump (``self.generation += 1`` or an assignment) is a violation.
+Private helpers are exempt — they rely on their public callers to bump,
+and the transitive closure verifies exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from ..linter import LintRule, Violation
+from .common import iter_functions, walk_within
+
+#: Calls that mutate corpus/index state regardless of assignment shape.
+_MUTATING_CALLS = {
+    "add_document",
+    "add_documents",
+    "remove_document",
+    "delete_document",
+    "merge",
+}
+#: self attributes whose (re)assignment means index state changed.
+#: `_evaluators` is deliberately absent: evaluators are derived, memoized
+#: objects (e.g. the lazily created disjunctive evaluator) — rebuilding
+#: one does not invalidate any cached result.
+_MUTATED_ATTRS = {"_indexes", "builder"}
+
+
+class CacheGenerationRule(LintRule):
+    rule_id = "cache-generation"
+    description = (
+        "public engine methods that mutate index state must (transitively) "
+        "bump self.generation"
+    )
+    scopes = ("engine.py",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+            if not _owns_generation(cls):
+                continue
+            methods: Dict[str, ast.FunctionDef] = {
+                f.name: f for f in cls.body if isinstance(f, ast.FunctionDef)
+            }
+            facts = {name: _method_facts(func) for name, func in methods.items()}
+            for name, func in methods.items():
+                if name.startswith("_"):
+                    continue
+                mutates = _transitive(name, facts, "mutates")
+                bumps = _transitive(name, facts, "bumps")
+                if mutates and not bumps:
+                    violations.append(
+                        self.violation(
+                            path,
+                            func,
+                            f"{cls.name}.{name}() mutates index state but "
+                            "never bumps self.generation (caches go stale)",
+                        )
+                    )
+        return violations
+
+
+def _owns_generation(cls: ast.ClassDef) -> bool:
+    for func in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+        for node in walk_within(func):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "generation"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+    return False
+
+
+def _method_facts(func: ast.FunctionDef) -> Dict[str, object]:
+    mutates = False
+    bumps = False
+    calls: Set[str] = set()
+    for node in walk_within(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if _is_self_attr(target, {"generation"}):
+                    bumps = True
+                if _is_self_attr(target, _MUTATED_ATTRS):
+                    mutates = True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_CALLS:
+                mutates = True
+            value = node.func.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                calls.add(node.func.attr)
+    return {"mutates": mutates, "bumps": bumps, "calls": calls}
+
+
+def _is_self_attr(target: ast.AST, names: Set[str]) -> bool:
+    """``self.X`` or ``self.X[...]`` for X in names."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return (
+        isinstance(target, ast.Attribute)
+        and target.attr in names
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+def _transitive(name: str, facts: Dict[str, Dict[str, object]], key: str) -> bool:
+    seen: Set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen or current not in facts:
+            continue
+        seen.add(current)
+        if facts[current][key]:
+            return True
+        stack.extend(facts[current]["calls"])  # type: ignore[arg-type]
+    return False

@@ -9,6 +9,7 @@ Usage::
     python -m repro stats corpus.xrank
     python -m repro serve corpus.xrank --port 8712
     python -m repro serve --check
+    python -m repro check --strict
     python -m repro demo
 
 ``index`` walks the given paths, parsing ``.xml`` files with the strict XML
@@ -222,6 +223,18 @@ def _first_indexed_keyword(engine: XRankEngine) -> str:
     return ""
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the analysis gates: lint, and with --strict also the
+    structural invariants + lock tracing (see repro.analysis)."""
+    from .analysis.check import run_check
+
+    return run_check(
+        paths=args.paths or None,
+        strict=args.strict,
+        list_rules=args.list_rules,
+    )
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     """Build and query a tiny in-memory demo corpus."""
     engine = _demo_engine()
@@ -313,6 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--query", default=None, help="query used by --check"
     )
     serve_cmd.set_defaults(handler=cmd_serve)
+
+    check_cmd = commands.add_parser(
+        "check", help="run the project lint rules and correctness gates"
+    )
+    check_cmd.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.repro.check] "
+        "paths, falling back to the installed repro package)",
+    )
+    check_cmd.add_argument(
+        "--strict", action="store_true",
+        help="also validate structural invariants on a built corpus and "
+        "run the lock-order tracer (the CI gate)",
+    )
+    check_cmd.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    check_cmd.set_defaults(handler=cmd_check)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

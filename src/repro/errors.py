@@ -74,6 +74,17 @@ class ServiceError(XRankError):
     """Base class for serving-layer failures (repro.service)."""
 
 
+class LockUsageError(ServiceError):
+    """Raised on lock misuse that would otherwise deadlock.
+
+    The serving layer's :class:`~repro.service.concurrency.ReadWriteLock`
+    is not reentrant: a thread nesting ``acquire_read()`` inside its own
+    read section deadlocks the moment a writer queues between the two
+    acquisitions, and a read->write upgrade always deadlocks.  Both are
+    programming errors, so they raise immediately instead of hanging.
+    """
+
+
 class ServiceOverloadedError(ServiceError):
     """Raised when the admission controller's request queue is full.
 

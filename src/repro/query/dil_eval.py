@@ -100,12 +100,18 @@ class DILEvaluator:
 
 
 def _drain_cursor(cursor) -> List:
-    """Decode a whole inverted list (the posting-list cache's loader)."""
+    """Decode a whole inverted list (the posting-list cache's loader).
+
+    Deliberately deadline-free: a partially drained list must never land
+    in the generational cache (later queries would silently see a
+    truncated index), so the loader runs to completion and the *consumer*
+    of the cached list polls the deadline instead.
+    """
     from ..index.postings import Posting
 
     postings: List = []
     if cursor is None:
         return postings
-    while not cursor.eof:
+    while not cursor.eof:  # repro: ignore[deadline-discipline]
         postings.append(Posting.decode(cursor.next()))
     return postings

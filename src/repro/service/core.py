@@ -120,11 +120,12 @@ class XRankService:
         align both caches' generation with the engine.
 
         Called at construction and after every write, while the write
-        lock (or exclusive setup) is held.
+        lock (or exclusive setup) is held — hence the lock-discipline
+        suppressions: the caller owns the exclusive section.
         """
-        self.result_cache.bump(self.engine.generation)
-        self.list_cache.bump(self.engine.generation)
-        for evaluator in self.engine._evaluators.values():
+        self.result_cache.bump(self.engine.generation)  # repro: ignore[lock-discipline]
+        self.list_cache.bump(self.engine.generation)  # repro: ignore[lock-discipline]
+        for evaluator in self.engine._evaluators.values():  # repro: ignore[lock-discipline]
             if hasattr(evaluator, "list_cache"):
                 evaluator.list_cache = (
                     self.list_cache if self.list_cache.capacity else None
@@ -225,6 +226,7 @@ class XRankService:
                 self.engine.build(kinds=self.kinds)
             self._sync_caches()
             documents = self.engine.graph.num_documents
+            generation = self.engine.generation
         latency_ms = (time.perf_counter() - started) * 1000.0
         self.metrics.record_add(latency_ms)
         return {
@@ -232,7 +234,7 @@ class XRankService:
             "documents": documents,
             "incremental": incremental,
             "latency_ms": latency_ms,
-            "generation": self.engine.generation,
+            "generation": generation,
         }
 
     def delete(self, doc_id: int) -> Dict[str, object]:
@@ -241,10 +243,11 @@ class XRankService:
             self.engine.delete_document(doc_id)
             self._sync_caches()
             documents = self.engine.graph.num_documents
+            generation = self.engine.generation
         return {
             "deleted": doc_id,
             "documents": documents,
-            "generation": self.engine.generation,
+            "generation": generation,
         }
 
     def clear_caches(self) -> None:
@@ -256,8 +259,13 @@ class XRankService:
 
     def io_totals(self) -> IOStats:
         """Summed I/O counters across every built index's simulated disk."""
+        with self.lock.read():
+            return self._io_totals_locked()
+
+    def _io_totals_locked(self) -> IOStats:
+        # Caller holds the (non-reentrant) read lock; see io_totals/stats.
         total = IOStats()
-        for index in self.engine._indexes.values():
+        for index in self.engine._indexes.values():  # repro: ignore[lock-discipline]
             total = total + index.disk.stats
         return total
 
@@ -265,7 +273,7 @@ class XRankService:
         """One JSON-ready dict: serving metrics + caches + engine + I/O."""
         with self.lock.read():
             engine_stats = self.engine.stats()
-            io = self.io_totals().as_dict()
+            io = self._io_totals_locked().as_dict()
             generation = self.engine.generation
         payload = {
             "service": self.metrics.snapshot(queue_depth=self.admission.depth()),
@@ -281,10 +289,11 @@ class XRankService:
         return payload
 
     def healthz(self) -> Dict[str, object]:
-        """Cheap liveness probe (no locks beyond a read of counters)."""
-        return {
-            "status": "ok" if self.engine._indexes else "empty",
-            "documents": self.engine.graph.num_documents,
-            "kinds": sorted(self.engine._indexes),
-            "generation": self.engine.generation,
-        }
+        """Cheap liveness probe (read-locked: counters must be coherent)."""
+        with self.lock.read():
+            return {
+                "status": "ok" if self.engine._indexes else "empty",
+                "documents": self.engine.graph.num_documents,
+                "kinds": sorted(self.engine._indexes),
+                "generation": self.engine.generation,
+            }

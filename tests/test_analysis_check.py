@@ -1,0 +1,123 @@
+"""End-to-end tests for the ``repro check`` driver and CLI wiring."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.check import build_check_engine, locktrace_selftest, run_check
+from repro.analysis.linter import LintConfig
+from repro.cli import main
+
+CLEAN_SOURCE = '''\
+def lookup(table, key):
+    """A perfectly boring function."""
+    return table.get(key)
+'''
+
+DIRTY_SOURCE = '''\
+def risky(items=[]):
+    try:
+        return items[0]
+    except:
+        return None
+'''
+
+
+@pytest.fixture()
+def clean_dir(tmp_path: Path) -> Path:
+    (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+@pytest.fixture()
+def dirty_dir(tmp_path: Path) -> Path:
+    (tmp_path / "dirty.py").write_text(DIRTY_SOURCE)
+    return tmp_path
+
+
+def test_run_check_clean_tree_exits_zero(clean_dir):
+    out = io.StringIO()
+    code = run_check(paths=[str(clean_dir)], config=LintConfig(), out=out)
+    assert code == 0
+    assert "check: ok" in out.getvalue()
+
+
+def test_run_check_reports_violations_and_exits_one(dirty_dir):
+    out = io.StringIO()
+    code = run_check(paths=[str(dirty_dir)], config=LintConfig(), out=out)
+    assert code == 1
+    text = out.getvalue()
+    assert "[bare-except]" in text
+    assert "[mutable-default]" in text
+    assert "check: FAILED" in text
+
+
+def test_run_check_honors_config_disable(dirty_dir):
+    out = io.StringIO()
+    config = LintConfig(disable=frozenset({"bare-except", "mutable-default"}))
+    code = run_check(paths=[str(dirty_dir)], config=config, out=out)
+    assert code == 0
+    assert "check: ok" in out.getvalue()
+
+
+def test_run_check_list_rules(clean_dir):
+    out = io.StringIO()
+    config = LintConfig(disable=frozenset({"wall-clock"}))
+    code = run_check(
+        paths=[str(clean_dir)], config=config, list_rules=True, out=out
+    )
+    assert code == 0
+    text = out.getvalue()
+    for rule_id in (
+        "deadline-discipline",
+        "lock-discipline",
+        "cache-generation",
+        "bare-except",
+        "mutable-default",
+        "wall-clock",
+    ):
+        assert rule_id in text
+    assert "wall-clock (disabled)" in text
+    assert "check:" not in text  # listing does not run the gates
+
+
+def test_cli_check_subcommand_clean(clean_dir, capsys):
+    assert main(["check", str(clean_dir)]) == 0
+    assert "check: ok" in capsys.readouterr().out
+
+
+def test_cli_check_subcommand_dirty(dirty_dir, capsys):
+    assert main(["check", str(dirty_dir)]) == 1
+    assert "check: FAILED" in capsys.readouterr().out
+
+
+def test_cli_check_missing_path_is_an_error(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    assert "cache-generation" in capsys.readouterr().out
+
+
+def test_locktrace_selftest_passes():
+    assert locktrace_selftest() == []
+
+
+def test_check_engine_builds_all_kinds():
+    engine = build_check_engine()
+    for kind in ("dil", "rdil", "hdil"):
+        assert engine.index(kind) is not None
+    results = engine.search("xql language", m=5)
+    assert results
+
+
+def test_repo_tree_passes_own_gate():
+    """The shipped tree must satisfy its own lint gate (CI invariant)."""
+    package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    out = io.StringIO()
+    assert run_check(paths=[str(package_root)], out=out) == 0, out.getvalue()

@@ -1,0 +1,534 @@
+"""Per-rule positive/negative fixtures for the repro.analysis linter."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.linter import LintConfig, Linter, load_lint_config
+from repro.analysis.rules import ALL_RULES, default_rules
+
+QUERY_PATH = "src/repro/query/fixture_eval.py"
+SERVICE_PATH = "src/repro/service/fixture_core.py"
+ENGINE_PATH = "src/repro/engine.py"
+
+
+@pytest.fixture
+def linter() -> Linter:
+    return Linter(ALL_RULES)
+
+
+def lint(linter: Linter, source: str, path: str):
+    return linter.lint_source(textwrap.dedent(source), path)
+
+
+def rule_ids(violations):
+    return [v.rule for v in violations]
+
+
+# -- deadline-discipline -----------------------------------------------------------
+
+
+class TestDeadlineDiscipline:
+    def test_unpolled_stream_loop_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def evaluate(streams, m, deadline=None):
+                results = []
+                while not streams[0].eof:
+                    results.append(streams[0].next())
+                return results
+            """,
+            QUERY_PATH,
+        )
+        assert rule_ids(violations) == ["deadline-discipline"]
+        assert "never polls" in violations[0].message
+
+    def test_missing_deadline_parameter_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def qualify(stream):
+                while not stream.eof:
+                    stream.next()
+            """,
+            QUERY_PATH,
+        )
+        assert rule_ids(violations) == ["deadline-discipline"]
+        assert "no `deadline` parameter" in violations[0].message
+
+    def test_merge_iteration_without_deadline_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def qualify(streams, params):
+                for result in conjunctive_merge(streams, params):
+                    return result
+            """,
+            QUERY_PATH,
+        )
+        assert rule_ids(violations) == ["deadline-discipline"]
+
+    def test_polling_loop_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def evaluate(streams, deadline=None):
+                while not streams[0].eof:
+                    if deadline is not None and deadline.poll():
+                        break
+                    streams[0].next()
+            """,
+            QUERY_PATH,
+        )
+        assert violations == []
+
+    def test_forwarding_deadline_into_merge_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def evaluate(streams, params, deadline=None):
+                for result in conjunctive_merge(streams, params, deadline=deadline):
+                    yield_result(result)
+            """,
+            QUERY_PATH,
+        )
+        assert violations == []
+
+    def test_generators_are_exempt(self, linter):
+        violations = lint(
+            linter,
+            """
+            def merge(streams):
+                while not streams[0].eof:
+                    yield streams[0].next()
+            """,
+            QUERY_PATH,
+        )
+        assert violations == []
+
+    def test_inner_loop_blamed_not_outer(self, linter):
+        # The advancing call sits in the inner loop; the outer polling
+        # loop must not satisfy the inner loop's obligation.
+        violations = lint(
+            linter,
+            """
+            def evaluate(groups, deadline=None):
+                for group in groups:
+                    if deadline.poll():
+                        break
+                    for stream in group:
+                        stream.next()
+            """,
+            QUERY_PATH,
+        )
+        assert rule_ids(violations) == ["deadline-discipline"]
+
+    def test_rule_scoped_to_query_paths(self, linter):
+        violations = lint(
+            linter,
+            """
+            def drain(cursor):
+                while not cursor.eof:
+                    cursor.next()
+            """,
+            "src/repro/storage/listfile.py",
+        )
+        assert violations == []
+
+
+# -- lock-discipline ---------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    def test_unlocked_engine_access_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def stats(self):
+                    return self.engine.generation
+            """,
+            SERVICE_PATH,
+        )
+        assert rule_ids(violations) == ["lock-discipline"]
+        assert "self.engine.generation" in violations[0].message
+
+    def test_read_locked_access_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def stats(self):
+                    with self.lock.read():
+                        return self.engine.generation
+            """,
+            SERVICE_PATH,
+        )
+        assert violations == []
+
+    def test_write_locked_access_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def mutate(self, source):
+                    with self.lock.write():
+                        self.engine.add_xml(source)
+            """,
+            SERVICE_PATH,
+        )
+        assert violations == []
+
+    def test_access_after_lock_released_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def mutate(self, source):
+                    with self.lock.write():
+                        self.engine.add_xml(source)
+                    return self.engine.generation
+            """,
+            SERVICE_PATH,
+        )
+        assert rule_ids(violations) == ["lock-discipline"]
+
+    def test_init_is_exempt(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def __init__(self, engine):
+                    self.engine = engine
+                    self.kinds = sorted(engine._indexes)
+            """,
+            SERVICE_PATH,
+        )
+        assert violations == []
+
+    def test_bare_engine_reference_is_not_flagged(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def handoff(self):
+                    return make_helper(self.engine)
+            """,
+            SERVICE_PATH,
+        )
+        assert violations == []
+
+    def test_non_lock_context_does_not_count(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Service:
+                def stats(self):
+                    with self.timer.read():
+                        return self.engine.generation
+            """,
+            SERVICE_PATH,
+        )
+        assert rule_ids(violations) == ["lock-discipline"]
+
+    def test_rule_scoped_to_service_paths(self, linter):
+        violations = lint(
+            linter,
+            """
+            def helper(engine):
+                return engine.generation
+            """,
+            "src/repro/cli.py",
+        )
+        assert violations == []
+
+
+# -- cache-generation --------------------------------------------------------------
+
+
+class TestCacheGeneration:
+    def test_mutation_without_bump_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Engine:
+                def __init__(self):
+                    self.generation = 0
+                def rebuild(self):
+                    self._indexes = {}
+            """,
+            ENGINE_PATH,
+        )
+        assert rule_ids(violations) == ["cache-generation"]
+        assert "Engine.rebuild()" in violations[0].message
+
+    def test_mutation_with_bump_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Engine:
+                def __init__(self):
+                    self.generation = 0
+                def rebuild(self):
+                    self._indexes = {}
+                    self.generation += 1
+            """,
+            ENGINE_PATH,
+        )
+        assert violations == []
+
+    def test_transitive_bump_through_helper_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Engine:
+                def __init__(self):
+                    self.generation = 0
+                def add(self, document):
+                    self.graph.add_document(document)
+                    self._invalidate()
+                def _invalidate(self):
+                    self._indexes = {}
+                    self.generation += 1
+            """,
+            ENGINE_PATH,
+        )
+        assert violations == []
+
+    def test_mutating_call_without_bump_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Engine:
+                def __init__(self):
+                    self.generation = 0
+                def add(self, document):
+                    self.graph.add_document(document)
+            """,
+            ENGINE_PATH,
+        )
+        assert rule_ids(violations) == ["cache-generation"]
+
+    def test_private_helpers_are_exempt(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Engine:
+                def __init__(self):
+                    self.generation = 0
+                def build(self):
+                    self._build_kind()
+                    self.generation += 1
+                def _build_kind(self):
+                    self._indexes["k"] = make_index()
+            """,
+            ENGINE_PATH,
+        )
+        assert violations == []
+
+    def test_classes_without_generation_are_exempt(self, linter):
+        violations = lint(
+            linter,
+            """
+            class Helper:
+                def rebuild(self):
+                    self._indexes = {}
+            """,
+            ENGINE_PATH,
+        )
+        assert violations == []
+
+
+# -- general rules -----------------------------------------------------------------
+
+
+class TestGeneralRules:
+    def test_bare_except_fires_anywhere(self, linter):
+        violations = lint(
+            linter,
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except:
+                    return None
+            """,
+            "src/repro/anything.py",
+        )
+        assert rule_ids(violations) == ["bare-except"]
+
+    def test_typed_except_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except OSError:
+                    return None
+            """,
+            "src/repro/anything.py",
+        )
+        assert violations == []
+
+    def test_mutable_default_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def search(query, cache={}, kinds=[], names=set()):
+                return cache
+            """,
+            "src/repro/anything.py",
+        )
+        assert rule_ids(violations) == ["mutable-default"] * 3
+
+    def test_mutable_call_default_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def search(query, cache=dict()):
+                return cache
+            """,
+            "src/repro/anything.py",
+        )
+        assert rule_ids(violations) == ["mutable-default"]
+
+    def test_none_default_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def search(query, cache=None, limit=10, name=("a",)):
+                return cache
+            """,
+            "src/repro/anything.py",
+        )
+        assert violations == []
+
+    def test_wall_clock_in_query_path_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            import time
+            def score(posting):
+                return posting.rank * time.time()
+            """,
+            QUERY_PATH,
+        )
+        assert rule_ids(violations) == ["wall-clock"]
+
+    def test_random_in_ranking_path_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            import random
+            def jitter(rank):
+                return rank + random.random()
+            """,
+            "src/repro/ranking/fixture.py",
+        )
+        assert rule_ids(violations) == ["wall-clock"]
+
+    def test_monotonic_clocks_allowed(self, linter):
+        violations = lint(
+            linter,
+            """
+            import time
+            def timed(fn):
+                start = time.perf_counter()
+                fn()
+                return time.monotonic(), time.perf_counter() - start
+            """,
+            QUERY_PATH,
+        )
+        assert violations == []
+
+    def test_wall_clock_outside_scoped_paths_allowed(self, linter):
+        violations = lint(
+            linter,
+            """
+            import time
+            def timestamp():
+                return time.time()
+            """,
+            "src/repro/service/metrics_fixture.py",
+        )
+        assert violations == []
+
+
+# -- suppressions and configuration ------------------------------------------------
+
+
+class TestSuppressionAndConfig:
+    BAD = """
+    def load(path):
+        try:
+            return open(path)
+        except:{comment}
+            return None
+    """
+
+    def test_targeted_suppression(self, linter):
+        source = self.BAD.format(comment="  # repro: ignore[bare-except]")
+        assert lint(linter, source, "src/repro/x.py") == []
+
+    def test_wildcard_suppression(self, linter):
+        source = self.BAD.format(comment="  # repro: ignore")
+        assert lint(linter, source, "src/repro/x.py") == []
+
+    def test_unrelated_suppression_keeps_violation(self, linter):
+        source = self.BAD.format(comment="  # repro: ignore[wall-clock]")
+        assert rule_ids(lint(linter, source, "src/repro/x.py")) == ["bare-except"]
+
+    def test_suppression_is_line_scoped(self, linter):
+        source = """
+        # repro: ignore[bare-except]
+        def load(path):
+            try:
+                return open(path)
+            except:
+                return None
+        """
+        assert rule_ids(lint(linter, source, "src/repro/x.py")) == ["bare-except"]
+
+    def test_config_disable(self):
+        config = LintConfig(disable=["bare-except"])
+        rules = default_rules(config)
+        assert "bare-except" not in [r.rule_id for r in rules]
+        assert len(rules) == len(ALL_RULES) - 1
+
+    def test_config_enable_allowlist(self):
+        config = LintConfig(enable=["wall-clock"])
+        assert [r.rule_id for r in default_rules(config)] == ["wall-clock"]
+
+    def test_load_config_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.check]\ndisable = ['wall-clock']\npaths = ['src']\n"
+        )
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        config = load_lint_config(start=nested)
+        assert config.disable == ["wall-clock"]
+        assert config.paths == ["src"]
+
+    def test_load_config_defaults_without_pyproject(self, tmp_path):
+        config = load_lint_config(start=tmp_path)
+        assert config.disable == [] and config.paths == []
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Linter([ALL_RULES[0], ALL_RULES[0]])
+
+    def test_syntax_error_reported_not_raised(self, linter):
+        violations = linter.lint_source("def broken(:\n", "src/repro/x.py")
+        assert rule_ids(violations) == ["syntax"]
+
+    def test_repo_source_tree_is_clean(self, linter):
+        from pathlib import Path
+
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        assert linter.lint_paths([package_root]) == []

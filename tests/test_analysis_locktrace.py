@@ -1,0 +1,144 @@
+"""Runtime lock-order detector tests: seeded ABBA, hazards, clean runs."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.locktrace import LockTracer
+from repro.errors import LockUsageError
+from repro.service.concurrency import ReadWriteLock
+
+
+def test_abba_rwlock_acquisition_is_flagged():
+    tracer = LockTracer()
+    lock_a = tracer.wrap(ReadWriteLock(), "a")
+    lock_b = tracer.wrap(ReadWriteLock(), "b")
+    with lock_a.read():
+        with lock_b.read():
+            pass
+    with lock_b.read():
+        with lock_a.read():
+            pass
+    report = tracer.report()
+    assert report.cycles, "deliberate ABBA ordering must produce a cycle"
+    cycle_nodes = set(report.cycles[0])
+    assert cycle_nodes == {"a", "b"}
+    assert not report.clean
+    assert "ABBA" in report.describe()
+
+
+def test_abba_plain_locks_flagged():
+    tracer = LockTracer()
+    lock_a = tracer.wrap(threading.Lock(), "a")
+    lock_b = tracer.wrap(threading.Lock(), "b")
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass
+    assert tracer.report().cycles
+
+
+def test_consistent_ordering_is_clean():
+    tracer = LockTracer()
+    lock_a = tracer.wrap(ReadWriteLock(), "a")
+    lock_b = tracer.wrap(ReadWriteLock(), "b")
+    for _ in range(3):
+        with lock_a.read():
+            with lock_b.write():
+                pass
+    report = tracer.report()
+    assert report.clean
+    assert report.edges == {("a", "b"): 3}
+    assert report.acquisitions == 6
+
+
+def test_three_lock_cycle_detected():
+    tracer = LockTracer()
+    locks = {name: tracer.wrap(threading.Lock(), name) for name in "abc"}
+    for first, second in [("a", "b"), ("b", "c"), ("c", "a")]:
+        with locks[first]:
+            with locks[second]:
+                pass
+    report = tracer.report()
+    assert report.cycles
+    assert set(report.cycles[0]) == {"a", "b", "c"}
+
+
+def test_nested_read_hazard_recorded_even_though_lock_raises():
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    lock.acquire_read()
+    try:
+        with pytest.raises(LockUsageError):
+            lock.acquire_read()
+    finally:
+        lock.release_read()
+    report = tracer.report()
+    assert report.reentrant_reads
+    assert "nested read" in report.reentrant_reads[0]
+    # The failed inner acquisition must not corrupt the held stack: the
+    # lock is fully released now, so a writer can proceed.
+    with lock.write():
+        pass
+
+
+def test_read_write_upgrade_hazard_recorded():
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    lock.acquire_read()
+    try:
+        with pytest.raises(LockUsageError):
+            lock.acquire_write()
+    finally:
+        lock.release_read()
+    report = tracer.report()
+    assert any("upgrade" in hazard for hazard in report.reentrant_reads)
+
+
+def test_cross_thread_reads_are_not_reentrancy():
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    entered = threading.Barrier(2, timeout=10)
+
+    def reader():
+        with lock.read():
+            entered.wait()
+            entered.wait()
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    report = tracer.report()
+    assert report.clean
+    assert report.acquisitions == 2
+
+
+def test_traced_rwlock_preserves_semantics():
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    results = []
+
+    def writer():
+        with lock.write():
+            results.append("write")
+
+    with lock.read():
+        thread = threading.Thread(target=writer)
+        thread.start()
+        # Writer must wait for the read section.
+        thread.join(timeout=0.2)
+        assert results == []
+    thread.join(timeout=10)
+    assert results == ["write"]
+    assert lock.state()["active_readers"] == 0
+
+
+def test_wrap_rejects_unknown_objects():
+    with pytest.raises(TypeError):
+        LockTracer().wrap(object(), "x")

@@ -1,0 +1,139 @@
+"""ReadWriteLock re-entrancy hazard detection (PR 2 satellite fix).
+
+Writer preference makes same-thread lock nesting a deadlock, not a
+convenience; the lock now raises :class:`LockUsageError` for every such
+pattern instead of hanging the process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LockUsageError
+from repro.service.concurrency import ReadWriteLock
+
+
+def test_nested_read_same_thread_raises():
+    lock = ReadWriteLock()
+    with lock.read():
+        with pytest.raises(LockUsageError, match="nested acquire_read"):
+            lock.acquire_read()
+    assert lock.state()["active_readers"] == 0
+
+
+def test_read_write_upgrade_raises():
+    lock = ReadWriteLock()
+    with lock.read():
+        with pytest.raises(LockUsageError, match="upgrade"):
+            lock.acquire_write()
+    # The failed upgrade must not leave a phantom waiting writer.
+    assert lock.state()["writers_waiting"] == 0
+
+
+def test_write_read_downgrade_raises():
+    lock = ReadWriteLock()
+    with lock.write():
+        with pytest.raises(LockUsageError, match="write lock"):
+            lock.acquire_read()
+    assert lock.state()["writer_active"] is False
+
+
+def test_nested_write_same_thread_raises():
+    lock = ReadWriteLock()
+    with lock.write():
+        with pytest.raises(LockUsageError, match="not reentrant"):
+            lock.acquire_write()
+    assert lock.state()["writer_active"] is False
+
+
+def test_sequential_reacquisition_is_fine():
+    lock = ReadWriteLock()
+    for _ in range(3):
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+    state = lock.state()
+    assert state == {
+        "active_readers": 0,
+        "writer_active": False,
+        "writers_waiting": 0,
+    }
+
+
+def test_concurrent_readers_still_share():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(3, timeout=10)
+
+    def reader():
+        with lock.read():
+            inside.wait()  # all three readers are inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert all(not thread.is_alive() for thread in threads)
+
+
+def test_writer_exclusion_preserved():
+    lock = ReadWriteLock()
+    log = []
+
+    def writer():
+        with lock.write():
+            log.append("w")
+
+    with lock.read():
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert log == []  # writer blocked by the active reader
+    thread.join(timeout=10)
+    assert log == ["w"]
+
+
+def test_reader_on_other_thread_not_mistaken_for_reentry():
+    lock = ReadWriteLock()
+    first_in = threading.Event()
+    release = threading.Event()
+    errors = []
+
+    def holder():
+        try:
+            with lock.read():
+                first_in.set()
+                release.wait(timeout=10)
+        except LockUsageError as exc:  # would be a false positive
+            errors.append(exc)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    assert first_in.wait(timeout=10)
+    with lock.read():  # different thread: legitimately shares the lock
+        pass
+    release.set()
+    thread.join(timeout=10)
+    assert errors == []
+
+
+def test_failed_acquire_does_not_leak_hold_state():
+    lock = ReadWriteLock()
+    with lock.read():
+        with pytest.raises(LockUsageError):
+            lock.acquire_read()
+    # A writer must be able to take the lock afterwards — the refused
+    # acquisition left no phantom reader behind.
+    acquired = []
+
+    def writer():
+        with lock.write():
+            acquired.append(True)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    thread.join(timeout=10)
+    assert acquired == [True]
