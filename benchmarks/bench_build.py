@@ -1,0 +1,225 @@
+"""Parallel index-construction benchmark.
+
+Builds the same generated DBLP corpus twice — sequentially and through the
+sharded multi-process pipeline (:mod:`repro.build`) at increasing worker
+counts — and reports wall-clock, docs/sec, speedup and peak RSS, plus the
+result of the byte-identity battery (:mod:`repro.build.verify`) for every
+parallel run.  Results go to ``BENCH_build.json`` at the repository root.
+
+Honesty note: the speedup numbers are only meaningful when the machine
+actually has spare cores.  The report records ``cpus`` (the scheduler
+affinity count, not just ``os.cpu_count()``), and the speedup acceptance
+assertion is gated on it — on a single-core box the parallel runs *cannot*
+beat sequential and the benchmark only asserts identity, which must hold
+everywhere.
+
+Run standalone (as CI's bench-smoke lane does)::
+
+    PYTHONPATH=src python benchmarks/bench_build.py --tiny --out BENCH_build.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.build.verify import compare_engines, default_probe_queries
+from repro.datasets.dblp import generate_dblp
+from repro.engine import XRankEngine
+
+NUM_PAPERS = 300
+WORKER_COUNTS = (2, 4)
+TINY_PAPERS = 40
+TINY_WORKER_COUNTS = (2,)
+#: Required speedup at the highest worker count — asserted only when the
+#: box has at least that many usable cores.
+SPEEDUP_TARGET = 1.7
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_build.json"
+
+
+def usable_cpus() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _peak_rss_kb() -> int:
+    """High-water RSS of this process plus all reaped children, in KiB."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, kids))
+
+
+def _corpus_sources(num_papers: int) -> List[Tuple[str, str]]:
+    corpus = generate_dblp(num_papers=num_papers, seed=17)
+    return [
+        (source, document.uri)
+        for source, document in zip(corpus.sources, corpus.documents)
+    ]
+
+
+def _timed_build(
+    sources: Sequence[Tuple[str, str]], workers: int
+) -> Tuple[XRankEngine, Dict[str, object]]:
+    engine = XRankEngine()
+    started = time.perf_counter()
+    engine.build(kinds=["hdil"], corpus=list(sources), workers=workers)
+    elapsed = time.perf_counter() - started
+    stats = engine.last_build_stats
+    run = {
+        "workers": workers,
+        "elapsed_s": round(elapsed, 4),
+        "docs_per_s": round(len(sources) / elapsed, 2) if elapsed else None,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    if stats is not None:
+        run["shards"] = stats.shards
+        run["parse_s"] = round(stats.parse_seconds, 4)
+        run["extract_s"] = round(stats.extract_seconds, 4)
+        run["merge_s"] = round(stats.merge_seconds, 4)
+    return engine, run
+
+
+def run_benchmark(
+    num_papers: int = NUM_PAPERS,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> Dict[str, object]:
+    """Build sequentially and at each worker count; return the report."""
+    sources = _corpus_sources(num_papers)
+    cpus = usable_cpus()
+
+    sequential_engine, sequential = _timed_build(sources, workers=1)
+    queries = default_probe_queries(sequential_engine, count=3)
+
+    parallel_runs: List[Dict[str, object]] = []
+    for workers in worker_counts:
+        engine, run = _timed_build(sources, workers=workers)
+        problems = compare_engines(sequential_engine, engine, queries=queries)
+        run["identical"] = not problems
+        if problems:
+            run["identity_problems"] = problems
+        elapsed = run["elapsed_s"]
+        run["speedup"] = (
+            round(sequential["elapsed_s"] / elapsed, 2) if elapsed else None
+        )
+        parallel_runs.append(run)
+
+    best_speedup = max(
+        (run["speedup"] for run in parallel_runs if run["speedup"]),
+        default=None,
+    )
+    max_workers = max(worker_counts) if worker_counts else 1
+    return {
+        "benchmark": "parallel_build",
+        "corpus": {"kind": "dblp", "papers": num_papers, "index": "hdil"},
+        "cpus": cpus,
+        "probe_queries": queries,
+        "sequential": sequential,
+        "parallel": parallel_runs,
+        "best_speedup": best_speedup,
+        "identical": all(run["identical"] for run in parallel_runs),
+        "speedup_target": SPEEDUP_TARGET,
+        #: Speedup is a pass/fail criterion only when the cores exist.
+        "speedup_gated": cpus < max_workers,
+    }
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Acceptance failures for a report; empty means the benchmark passed."""
+    failures: List[str] = []
+    if not report["identical"]:
+        for run in report["parallel"]:
+            for problem in run.get("identity_problems", []):
+                failures.append(f"workers={run['workers']}: {problem}")
+    if not report["speedup_gated"]:
+        best = report["best_speedup"] or 0.0
+        if best < SPEEDUP_TARGET:
+            failures.append(
+                f"best speedup {best} < target {SPEEDUP_TARGET} despite "
+                f"{report['cpus']} usable cores"
+            )
+    return failures
+
+
+def _summary_line(report: Dict[str, object]) -> str:
+    sequential = report["sequential"]
+    runs = ", ".join(
+        f"w{run['workers']}: {run['docs_per_s']} docs/s "
+        f"(x{run['speedup']}, {'ok' if run['identical'] else 'DIFFERS'})"
+        for run in report["parallel"]
+    )
+    gate = " [speedup gate off: too few cores]" if report["speedup_gated"] else ""
+    return (
+        f"build bench on {report['cpus']} cpu(s): sequential "
+        f"{sequential['docs_per_s']} docs/s; {runs}{gate}"
+    )
+
+
+# -- pytest entry point ------------------------------------------------------------
+
+
+def test_parallel_build_benchmark(capsys):
+    import pytest
+
+    _ = pytest  # collected under the benchmarks suite; plain assert API
+    report = run_benchmark()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    with capsys.disabled():
+        print(f"\n{_summary_line(report)} -> {OUTPUT.name}")
+    failures = check_report(report)
+    assert not failures, failures
+
+
+# -- standalone entry point (CI bench-smoke) ---------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help=f"smoke-test scale ({TINY_PAPERS} papers, workers "
+        f"{list(TINY_WORKER_COUNTS)})",
+    )
+    parser.add_argument(
+        "--papers", type=int, default=None, help="override corpus size"
+    )
+    parser.add_argument(
+        "--workers",
+        type=str,
+        default=None,
+        help="comma-separated parallel worker counts (default: 2,4)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT, help="report destination"
+    )
+    args = parser.parse_args(argv)
+
+    papers = args.papers or (TINY_PAPERS if args.tiny else NUM_PAPERS)
+    if args.workers:
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part.strip()
+        )
+    else:
+        worker_counts = TINY_WORKER_COUNTS if args.tiny else WORKER_COUNTS
+
+    report = run_benchmark(num_papers=papers, worker_counts=worker_counts)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(_summary_line(report))
+    print(f"wrote {args.out}")
+    failures = check_report(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

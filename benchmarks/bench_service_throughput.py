@@ -20,11 +20,12 @@ than erroring.
 
 from __future__ import annotations
 
+import argparse
 import json
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import pytest
 
@@ -36,14 +37,16 @@ from repro.service.core import XRankService
 NUM_PAPERS = 150
 NUM_THREADS = 4
 REQUESTS_PER_THREAD = 40
+TINY_PAPERS = 40
+TINY_REQUESTS_PER_THREAD = 10
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
-def _build_engine() -> XRankEngine:
+def _build_engine(num_papers: int = NUM_PAPERS) -> XRankEngine:
     planted = PlantedKeywords.default()
     planted.correlated_rate = 0.5
     planted.independent_rate = 0.7
-    corpus = generate_dblp(num_papers=NUM_PAPERS, seed=11, planted=planted)
+    corpus = generate_dblp(num_papers=num_papers, seed=11, planted=planted)
     engine = XRankEngine()
     for document in corpus.documents:
         engine.add_document(document)
@@ -61,7 +64,11 @@ def _workload(planted: PlantedKeywords) -> List[str]:
     return queries
 
 
-def _drive(service: XRankService, queries: List[str]) -> Dict[str, float]:
+def _drive(
+    service: XRankService,
+    queries: List[str],
+    requests_per_thread: int = REQUESTS_PER_THREAD,
+) -> Dict[str, float]:
     """Replay the workload from NUM_THREADS client threads; return stats."""
     errors: List[BaseException] = []
     barrier = threading.Barrier(NUM_THREADS)
@@ -69,7 +76,7 @@ def _drive(service: XRankService, queries: List[str]) -> Dict[str, float]:
     def client(worker: int) -> None:
         try:
             barrier.wait(timeout=30)
-            for i in range(REQUESTS_PER_THREAD):
+            for i in range(requests_per_thread):
                 query = queries[(worker + i) % len(queries)]
                 response = service.search(query, m=10)
                 assert isinstance(response.hits, list)
@@ -87,7 +94,7 @@ def _drive(service: XRankService, queries: List[str]) -> Dict[str, float]:
     elapsed = time.perf_counter() - started
     assert not errors, errors
 
-    total = NUM_THREADS * REQUESTS_PER_THREAD
+    total = NUM_THREADS * requests_per_thread
     latency = service.metrics.latency_percentiles()
     return {
         "requests": total,
@@ -101,34 +108,30 @@ def _drive(service: XRankService, queries: List[str]) -> Dict[str, float]:
     }
 
 
-@pytest.fixture(scope="module")
-def service_engine() -> XRankEngine:
-    return _build_engine()
-
-
-def test_service_throughput(service_engine, capsys):
+def run_benchmark(
+    engine: XRankEngine,
+    num_papers: int = NUM_PAPERS,
+    requests_per_thread: int = REQUESTS_PER_THREAD,
+) -> Dict[str, object]:
+    """Cold / warm / deadline phases against ``engine``; return the report."""
     planted = PlantedKeywords.default()
     queries = _workload(planted)
 
     # Cold: no caching at all — every request hits the evaluator.
-    cold_service = XRankService(
-        service_engine, result_cache_size=0, list_cache_size=0
-    )
-    cold = _drive(cold_service, queries)
+    cold_service = XRankService(engine, result_cache_size=0, list_cache_size=0)
+    cold = _drive(cold_service, queries, requests_per_thread)
 
     # Warm: caches on, primed with one pass of the workload.
     warm_service = XRankService(
-        service_engine, result_cache_size=256, list_cache_size=256
+        engine, result_cache_size=256, list_cache_size=256
     )
     for query in queries:
         warm_service.search(query, m=10)
     warm_service.metrics = type(warm_service.metrics)()  # drop priming stats
-    warm = _drive(warm_service, queries)
+    warm = _drive(warm_service, queries, requests_per_thread)
 
     # Deadline: a zero budget must degrade, never error.
-    degraded_response = cold_service.search(
-        queries[0], m=10, deadline_ms=0.0
-    )
+    degraded_response = cold_service.search(queries[0], m=10, deadline_ms=0.0)
     deadline = {
         "query": queries[0],
         "deadline_ms": 0.0,
@@ -137,12 +140,12 @@ def test_service_throughput(service_engine, capsys):
         "errored": False,
     }
 
-    report = {
+    return {
         "benchmark": "service_throughput",
-        "corpus": {"kind": "dblp", "papers": NUM_PAPERS, "index": "hdil"},
+        "corpus": {"kind": "dblp", "papers": num_papers, "index": "hdil"},
         "load": {
             "threads": NUM_THREADS,
-            "requests_per_thread": REQUESTS_PER_THREAD,
+            "requests_per_thread": requests_per_thread,
             "distinct_queries": len(queries),
         },
         "cold": cold,
@@ -150,16 +153,81 @@ def test_service_throughput(service_engine, capsys):
         "speedup": round(warm["qps"] / cold["qps"], 2) if cold["qps"] else None,
         "deadline": deadline,
     }
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Acceptance failures for a report; empty means the benchmark passed."""
+    failures: List[str] = []
+    if not report["warm"]["qps"] > report["cold"]["qps"]:
+        failures.append(
+            f"warm qps {report['warm']['qps']} not above cold "
+            f"{report['cold']['qps']}"
+        )
+    if not report["warm"]["result_cache_hit_rate"] > 0.5:
+        failures.append(
+            "warm result-cache hit rate "
+            f"{report['warm']['result_cache_hit_rate']} <= 0.5"
+        )
+    if report["deadline"]["degraded"] is not True:
+        failures.append("zero-deadline query did not degrade")
+    return failures
+
+
+def _summary_line(report: Dict[str, object]) -> str:
+    cold, warm = report["cold"], report["warm"]
+    return (
+        f"service throughput: cold {cold['qps']} qps "
+        f"(p95 {cold['p95_ms']:.2f}ms) -> warm {warm['qps']} qps "
+        f"(p95 {warm['p95_ms']:.4f}ms, hit rate "
+        f"{warm['result_cache_hit_rate']:.0%})"
+    )
+
+
+@pytest.fixture(scope="module")
+def service_engine() -> XRankEngine:
+    return _build_engine()
+
+
+def test_service_throughput(service_engine, capsys):
+    report = run_benchmark(service_engine)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
     with capsys.disabled():
-        print(
-            f"\nservice throughput: cold {cold['qps']} qps "
-            f"(p95 {cold['p95_ms']:.2f}ms) -> warm {warm['qps']} qps "
-            f"(p95 {warm['p95_ms']:.4f}ms, hit rate "
-            f"{warm['result_cache_hit_rate']:.0%}) -> {OUTPUT.name}"
-        )
+        print(f"\n{_summary_line(report)} -> {OUTPUT.name}")
 
-    assert warm["qps"] > cold["qps"], report
-    assert warm["result_cache_hit_rate"] > 0.5
-    assert deadline["degraded"] is True
+    failures = check_report(report)
+    assert not failures, (failures, report)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point for CI's bench-smoke lane."""
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help=f"smoke-test scale ({TINY_PAPERS} papers, "
+        f"{TINY_REQUESTS_PER_THREAD} requests/thread)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT, help="report destination"
+    )
+    args = parser.parse_args(argv)
+
+    papers = TINY_PAPERS if args.tiny else NUM_PAPERS
+    requests = TINY_REQUESTS_PER_THREAD if args.tiny else REQUESTS_PER_THREAD
+    report = run_benchmark(
+        _build_engine(papers), num_papers=papers, requests_per_thread=requests
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(_summary_line(report))
+    print(f"wrote {args.out}")
+    failures = check_report(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Compare a fresh benchmark report against a checked-in baseline.
+
+CI's bench-smoke lane runs the benchmarks at ``--tiny`` scale and then
+gates the build with this script:
+
+* ``--metric PATH --max-ratio R`` fails when the fresh value exceeds the
+  baseline's by more than a factor of ``R`` (lower-is-better metrics such
+  as latencies; a generous ratio absorbs noisy shared runners);
+* ``--require-true PATH`` fails when the fresh report's value at ``PATH``
+  is not ``True`` — used for the parallel build's ``identical`` flag and
+  the service bench's ``deadline.degraded``.
+
+``PATH`` is a dotted path into the JSON report; integer segments index
+into lists (``parallel.0.speedup``).
+
+Examples::
+
+    python benchmarks/check_regression.py --report fresh.json \\
+        --baseline BENCH_service.json --metric cold.p95_ms --max-ratio 3
+    python benchmarks/check_regression.py --report fresh.json \\
+        --require-true identical
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def resolve(report: object, path: str) -> object:
+    """Walk a dotted path through nested dicts/lists."""
+    node = report
+    for segment in path.split("."):
+        if isinstance(node, list):
+            node = node[int(segment)]
+        elif isinstance(node, dict):
+            if segment not in node:
+                raise KeyError(f"no key {segment!r} while resolving {path!r}")
+            node = node[segment]
+        else:
+            raise KeyError(
+                f"cannot descend into {type(node).__name__} at "
+                f"{segment!r} while resolving {path!r}"
+            )
+    return node
+
+
+def check(
+    report: dict,
+    baseline: Optional[dict],
+    metrics: Sequence[str],
+    max_ratio: float,
+    require_true: Sequence[str],
+) -> List[str]:
+    """All gate failures; empty means the report passes."""
+    failures: List[str] = []
+    for path in require_true:
+        try:
+            value = resolve(report, path)
+        except (KeyError, IndexError, ValueError) as exc:
+            failures.append(f"{path}: unresolvable ({exc})")
+            continue
+        if value is not True:
+            failures.append(f"{path}: expected True, got {value!r}")
+    if metrics and baseline is None:
+        failures.append("--metric given but no --baseline to compare against")
+        return failures
+    for path in metrics:
+        try:
+            fresh = float(resolve(report, path))
+            base = float(resolve(baseline, path))
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            failures.append(f"{path}: unresolvable ({exc})")
+            continue
+        if base <= 0:
+            # A zero/negative baseline makes the ratio meaningless; only an
+            # actual increase from nothing counts as a regression then.
+            if fresh > 0:
+                failures.append(
+                    f"{path}: baseline {base} is non-positive but fresh "
+                    f"value is {fresh}"
+                )
+            continue
+        ratio = fresh / base
+        if ratio > max_ratio:
+            failures.append(
+                f"{path}: {fresh} is {ratio:.2f}x the baseline {base} "
+                f"(allowed {max_ratio}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", type=Path, required=True, help="fresh benchmark JSON"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, help="checked-in baseline JSON"
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="dotted path of a lower-is-better metric (repeatable)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=3.0,
+        help="allowed fresh/baseline ratio for --metric checks",
+    )
+    parser.add_argument(
+        "--require-true",
+        action="append",
+        default=[],
+        help="dotted path that must be True in the fresh report (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    baseline = (
+        json.loads(args.baseline.read_text(encoding="utf-8"))
+        if args.baseline
+        else None
+    )
+    failures = check(
+        report, baseline, args.metric, args.max_ratio, args.require_true
+    )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        checked = len(args.metric) + len(args.require_true)
+        print(f"regression gate: ok ({checked} check(s) on {args.report.name})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

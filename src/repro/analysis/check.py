@@ -22,7 +22,7 @@ import threading
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .invariants import check_engine
+from .invariants import check_engine, check_parallel_build
 from .linter import LintConfig, Linter, load_lint_config
 from .locktrace import LockTracer
 from .rules import ALL_RULES, default_rules
@@ -250,6 +250,16 @@ def run_check(
         print(
             f"invariants: {len(invariant_violations)} violation(s) over "
             f"kinds {', '.join(_CHECK_KINDS)}",
+            file=out,
+        )
+
+        parallel_violations = check_parallel_build(_CHECK_CORPUS)
+        for violation in parallel_violations:
+            print(violation.format(), file=out)
+        failures += len(parallel_violations)
+        print(
+            f"parallel-build: {len(parallel_violations)} violation(s) "
+            "(workers 2/3 vs sequential, byte-identity)",
             file=out,
         )
 

@@ -361,6 +361,49 @@ def check_elemrank(engine) -> List[InvariantViolation]:
     return violations
 
 
+# -- parallel build identity -------------------------------------------------------
+
+
+def check_parallel_build(
+    sources: Sequence[Tuple[str, str]],
+    worker_counts: Sequence[int] = (2, 3),
+    kinds: Sequence[str] = ("hdil",),
+) -> List[InvariantViolation]:
+    """The repro.build contract: ``build(workers=k)`` is byte-identical.
+
+    Builds the given ``(uri, source)`` corpus once sequentially and once
+    per worker count through the sharded pipeline, then requires identical
+    posting maps (encoded bytes and keyword order), ElemRank tables, and
+    top-10 probe-query results.  A divergence means the shard merge lost
+    its determinism — the exact regression this gate exists to catch.
+    """
+    from ..build.verify import compare_engines, default_probe_queries
+    from ..engine import XRankEngine
+
+    corpus = [(source, uri) for uri, source in sources]
+
+    def built(workers: int) -> XRankEngine:
+        engine = XRankEngine()
+        engine.build(kinds=list(kinds), corpus=corpus, workers=workers)
+        return engine
+
+    violations: List[InvariantViolation] = []
+    reference = built(1)
+    queries = default_probe_queries(reference)
+    for workers in worker_counts:
+        for problem in compare_engines(
+            reference, built(workers), queries, kind=kinds[0]
+        ):
+            violations.append(
+                InvariantViolation(
+                    "parallel-build",
+                    f"workers={workers}",
+                    problem,
+                )
+            )
+    return violations
+
+
 # -- orchestration ----------------------------------------------------------------
 
 

@@ -1,0 +1,44 @@
+"""Parallel sharded index construction (the repro.build subsystem).
+
+The sequential build is parse → tokenize → ElemRank → posting extraction →
+index bulk-load, single-threaded.  This package shards the *per-document*
+half of that pipeline across worker processes:
+
+* each worker parses its shard's documents (Dewey IDs are a pure function
+  of the pre-assigned doc id and document structure), tokenizes them, and
+  emits per-shard posting skeletons — optionally spilled to run files —
+  plus the parsed documents themselves;
+* the parent performs a deterministic k-way merge of the shard outputs in
+  ascending doc-id order, assembles the link graph, and runs ElemRank
+  *once* over the merged graph before attaching scores and bulk-loading
+  the usual DIL/RDIL/HDIL structures.
+
+Because shard outputs are order-independent and the merge is associative,
+``build(workers=k)`` is byte-identical to the sequential build for every
+``k`` — verified by :mod:`repro.build.verify` and gated in
+``repro check --strict``.
+"""
+
+from .pipeline import (
+    BuildStats,
+    CorpusBuildResult,
+    build_corpus,
+    extract_all_raw_postings,
+    specs_from_paths,
+    specs_from_sources,
+)
+from .shard import DocumentSpec, shard_specs
+from .verify import compare_engines, compare_postings
+
+__all__ = [
+    "BuildStats",
+    "CorpusBuildResult",
+    "DocumentSpec",
+    "build_corpus",
+    "compare_engines",
+    "compare_postings",
+    "extract_all_raw_postings",
+    "shard_specs",
+    "specs_from_paths",
+    "specs_from_sources",
+]

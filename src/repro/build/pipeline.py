@@ -1,0 +1,341 @@
+"""Orchestration of the parallel build: shard → workers → deterministic merge.
+
+:func:`build_corpus` is the parse-from-source pipeline (used by
+``engine.build(corpus=..., workers=N)``, the ``repro build`` CLI and the
+build benchmark); :func:`extract_all_raw_postings` is the extraction-only
+variant for documents the engine has already parsed in-process.  Both run
+the exact same per-document code the sequential build runs — ``workers=1``
+simply executes the single shard inline, with no pool — so every worker
+count folds to byte-identical output.
+
+Process management notes:
+
+* the start method prefers ``fork`` (cheap on Linux; lets extraction-only
+  workers inherit parsed documents copy-on-write instead of pickling them
+  through the task pipe) and falls back to ``spawn`` elsewhere;
+* a worker that raises surfaces as :class:`~repro.errors.BuildError` with
+  the shard attributed; a worker that *dies* (OOM-kill, segfault) breaks
+  the pool, which is also converted into a clean :class:`BuildError` —
+  the pipeline never leaves the caller hanging on a dead pool;
+* spilled run files live in a private temporary directory under the
+  caller's ``spill_dir`` and are removed once merged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import BuildError
+from ..index.postings import RawPostingMap
+from ..xmlmodel.nodes import Document
+from .merge import merge_shard_results
+from .shard import DocumentSpec, shard_specs
+from .worker import (
+    ExtractTask,
+    ShardResult,
+    ShardTask,
+    process_extract_shard,
+    process_shard,
+    set_inherited_documents,
+)
+
+_XML_SUFFIXES = {".xml"}
+_HTML_SUFFIXES = {".html", ".htm"}
+
+
+@dataclass
+class BuildStats:
+    """Timings and counters from one pipeline run (for benchmarks/CLI)."""
+
+    workers: int = 1
+    shards: int = 0
+    documents: int = 0
+    skipped: int = 0
+    parse_seconds: float = 0.0
+    extract_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    spilled_bytes: int = 0
+    keywords: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "documents": self.documents,
+            "skipped": self.skipped,
+            "parse_seconds": round(self.parse_seconds, 4),
+            "extract_seconds": round(self.extract_seconds, 4),
+            "merge_seconds": round(self.merge_seconds, 4),
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "spilled_bytes": self.spilled_bytes,
+            "keywords": self.keywords,
+        }
+
+
+@dataclass
+class CorpusBuildResult:
+    """Parsed documents plus the merged posting skeletons for the corpus."""
+
+    documents: List[Document] = field(default_factory=list)
+    raw_postings: RawPostingMap = field(default_factory=dict)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+    stats: BuildStats = field(default_factory=BuildStats)
+
+
+def specs_from_sources(
+    sources: Iterable[Union[str, Tuple[str, str], DocumentSpec]],
+    start_doc_id: int = 0,
+) -> List[DocumentSpec]:
+    """Coerce raw XML strings / (source, uri) pairs into document specs.
+
+    Doc ids are assigned in input order starting at ``start_doc_id`` —
+    before any sharding, so identifiers never depend on worker scheduling.
+    """
+    specs: List[DocumentSpec] = []
+    next_id = start_doc_id
+    for item in sources:
+        if isinstance(item, DocumentSpec):
+            specs.append(item)
+            next_id = max(next_id, item.doc_id + 1)
+            continue
+        if isinstance(item, tuple):
+            source, uri = item
+        else:
+            source, uri = item, ""
+        specs.append(DocumentSpec(doc_id=next_id, uri=uri, source=source))
+        next_id += 1
+    return specs
+
+
+def specs_from_paths(
+    files: Sequence[Union[str, Path]],
+    uris: Optional[Sequence[str]] = None,
+    start_doc_id: int = 0,
+) -> List[DocumentSpec]:
+    """Specs for on-disk files; workers read them, so I/O is parallel too."""
+    specs: List[DocumentSpec] = []
+    for offset, file_path in enumerate(files):
+        path = Path(file_path)
+        uri = uris[offset] if uris is not None else path.name
+        specs.append(
+            DocumentSpec(
+                doc_id=start_doc_id + offset,
+                uri=uri,
+                path=str(path),
+                is_html=path.suffix.lower() in _HTML_SUFFIXES,
+            )
+        )
+    return specs
+
+
+def _mp_context(name: Optional[str] = None):
+    """The preferred multiprocessing context (fork where available)."""
+    if name is None:
+        name = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+    return multiprocessing.get_context(name)
+
+
+def _run_tasks(tasks, worker_fn, workers: int, context) -> List[ShardResult]:
+    """Execute shard tasks on a process pool; fail cleanly, never hang."""
+    results: List[ShardResult] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=context
+        ) as executor:
+            futures = [executor.submit(worker_fn, task) for task in tasks]
+            for task, future in zip(tasks, futures):
+                try:
+                    results.append(future.result())
+                except BuildError:
+                    raise
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    raise BuildError(
+                        f"shard {task.shard_id} worker failed: {exc!r}"
+                    ) from exc
+    except BrokenProcessPool as exc:
+        raise BuildError(
+            "a build worker process died before returning its shard "
+            "(out-of-memory or crash); partial state was discarded"
+        ) from exc
+    return results
+
+
+def build_corpus(
+    specs: Sequence[DocumentSpec],
+    workers: int = 1,
+    spill_dir: Optional[Union[str, Path]] = None,
+    on_parse_error: str = "raise",
+    mp_start_method: Optional[str] = None,
+    _fault: Optional[Tuple[int, str]] = None,
+) -> CorpusBuildResult:
+    """Parse + tokenize + extract a corpus, sharded over worker processes.
+
+    Args:
+        specs: documents with pre-assigned doc ids (see spec helpers).
+        workers: process count; ``1`` runs the single shard inline.
+        spill_dir: when set, workers stream posting skeletons into run
+            files under a private temp dir here instead of returning them
+            through the pipe (bounded memory; see repro.storage.runfile).
+        on_parse_error: ``"raise"`` (default) or ``"skip"`` (collect the
+            failures, like ``repro index``).
+        mp_start_method: override the multiprocessing start method.
+        _fault: test hook — ``(shard_id, mode)`` injected into that shard.
+    """
+    if workers < 1:
+        raise BuildError(f"workers must be >= 1, got {workers}")
+    if on_parse_error not in ("raise", "skip"):
+        raise BuildError(f"unknown on_parse_error {on_parse_error!r}")
+    started = time.perf_counter()
+    result = CorpusBuildResult()
+    result.stats.workers = workers
+    if not specs:
+        return result
+
+    run_dir: Optional[str] = None
+    if spill_dir is not None:
+        Path(spill_dir).mkdir(parents=True, exist_ok=True)
+        run_dir = tempfile.mkdtemp(prefix="build-runs-", dir=str(spill_dir))
+    try:
+        shards = shard_specs(specs, workers)
+        result.stats.shards = len(shards)
+        tasks = [
+            ShardTask(
+                shard_id=shard_id,
+                specs=shard,
+                spill_dir=run_dir,
+                on_parse_error=on_parse_error,
+                fault=(
+                    _fault[1]
+                    if _fault is not None and _fault[0] == shard_id
+                    else None
+                ),
+            )
+            for shard_id, shard in enumerate(shards)
+        ]
+        if workers == 1:
+            shard_results = [process_shard(task) for task in tasks]
+        else:
+            shard_results = _run_tasks(
+                tasks, process_shard, workers, _mp_context(mp_start_method)
+            )
+
+        merge_started = time.perf_counter()
+        result.raw_postings = merge_shard_results(shard_results)
+        result.stats.merge_seconds = time.perf_counter() - merge_started
+        for shard_result in shard_results:
+            result.documents.extend(shard_result.documents)
+            result.skipped.extend(shard_result.skipped)
+            result.stats.parse_seconds += shard_result.parse_seconds
+            result.stats.extract_seconds += shard_result.extract_seconds
+            result.stats.spilled_bytes += shard_result.spilled_bytes
+        result.documents.sort(key=lambda document: document.doc_id)
+        result.stats.documents = len(result.documents)
+        result.stats.skipped = len(result.skipped)
+        result.stats.keywords = len(result.raw_postings)
+    finally:
+        if run_dir is not None:
+            shutil.rmtree(run_dir, ignore_errors=True)
+    result.stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def extract_all_raw_postings(
+    documents: Sequence[Document],
+    workers: int = 1,
+    spill_dir: Optional[Union[str, Path]] = None,
+    mp_start_method: Optional[str] = None,
+    _fault: Optional[Tuple[int, str]] = None,
+) -> Tuple[RawPostingMap, BuildStats]:
+    """Posting skeletons for already-parsed documents, sharded by doc id.
+
+    Under a fork start method the workers inherit the parsed trees
+    copy-on-write; under spawn each task carries its documents explicitly.
+    ``workers=1`` extracts inline (the sequential fallback).
+    """
+    if workers < 1:
+        raise BuildError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    stats = BuildStats(workers=workers)
+    ordered = sorted(documents, key=lambda document: document.doc_id)
+    if not ordered:
+        return {}, stats
+
+    run_dir: Optional[str] = None
+    if spill_dir is not None:
+        Path(spill_dir).mkdir(parents=True, exist_ok=True)
+        run_dir = tempfile.mkdtemp(prefix="build-runs-", dir=str(spill_dir))
+    try:
+        # Reuse the LPT planner with word counts as the cost proxy.
+        proxy_specs = [
+            DocumentSpec(doc_id=document.doc_id, cost=document.word_count)
+            for document in ordered
+        ]
+        plan = shard_specs(proxy_specs, workers)
+        by_id = {document.doc_id: document for document in ordered}
+        stats.shards = len(plan)
+
+        context = _mp_context(mp_start_method)
+        use_fork_table = workers > 1 and context.get_start_method() == "fork"
+        tasks = [
+            ExtractTask(
+                shard_id=shard_id,
+                doc_ids=[spec.doc_id for spec in shard],
+                documents=(
+                    None
+                    if use_fork_table or workers == 1
+                    else [by_id[spec.doc_id] for spec in shard]
+                ),
+                spill_dir=run_dir,
+                fault=(
+                    _fault[1]
+                    if _fault is not None and _fault[0] == shard_id
+                    else None
+                ),
+            )
+            for shard_id, shard in enumerate(plan)
+        ]
+        if workers == 1:
+            set_inherited_documents(by_id)
+            try:
+                shard_results = [process_extract_shard(task) for task in tasks]
+            finally:
+                set_inherited_documents(None)
+        else:
+            if use_fork_table:
+                set_inherited_documents(by_id)
+            try:
+                shard_results = _run_tasks(
+                    tasks, process_extract_shard, workers, context
+                )
+            finally:
+                if use_fork_table:
+                    set_inherited_documents(None)
+
+        merge_started = time.perf_counter()
+        merged = merge_shard_results(shard_results)
+        stats.merge_seconds = time.perf_counter() - merge_started
+        for shard_result in shard_results:
+            stats.extract_seconds += shard_result.extract_seconds
+            stats.spilled_bytes += shard_result.spilled_bytes
+        stats.documents = len(ordered)
+        stats.keywords = len(merged)
+    finally:
+        if run_dir is not None:
+            shutil.rmtree(run_dir, ignore_errors=True)
+    stats.elapsed_seconds = time.perf_counter() - started
+    return merged, stats

@@ -1,0 +1,86 @@
+"""Corpus sharding: deterministic partition of documents across workers.
+
+A shard plan must be (a) deterministic — same inputs, same plan, so
+repeated builds are reproducible down to the spill files — and (b)
+balanced, because the build's wall clock is the slowest shard.  Documents
+are assigned by longest-processing-time-first over a cheap cost proxy
+(source length / file size), which is within 4/3 of optimal makespan and
+needs nothing but the spec list.
+
+Correctness never depends on the plan: the merge keys on doc id, so *any*
+partition folds to the same result (that's the point of making shard
+outputs order-independent).  The plan only shapes load balance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """One document the build pipeline should ingest.
+
+    Exactly one of ``source`` (raw XML/HTML text) or ``path`` (a file the
+    worker reads itself, keeping file I/O inside the worker) is set.  The
+    doc id is assigned *before* sharding, which is what makes Dewey IDs —
+    and hence every downstream structure — independent of which worker
+    parses the document.
+    """
+
+    doc_id: int
+    uri: str = ""
+    source: Optional[str] = None
+    path: Optional[str] = None
+    is_html: bool = False
+    #: Optional explicit cost override (e.g. word count for extraction-only
+    #: shards, where no source text exists to measure).
+    cost: Optional[int] = None
+
+    def cost_estimate(self) -> int:
+        """Proxy for parse+tokenize cost: source bytes (1 when unknown)."""
+        if self.cost is not None:
+            return max(self.cost, 1)
+        if self.source is not None:
+            return max(len(self.source), 1)
+        if self.path is not None:
+            try:
+                return max(Path(self.path).stat().st_size, 1)
+            except OSError:
+                return 1
+        return 1
+
+
+def shard_specs(
+    specs: Sequence[DocumentSpec], num_shards: int
+) -> List[List[DocumentSpec]]:
+    """Partition specs into ``num_shards`` balanced, deterministic shards.
+
+    LPT greedy: place each document, largest first, on the currently
+    lightest shard (ties broken by shard index, sizes by doc id — both
+    total orders, so the plan is a pure function of the input).  Within a
+    shard, specs are re-sorted by doc id so every worker processes — and
+    spills — its documents in ascending doc-id order, the invariant the
+    k-way merge relies on.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    num_shards = min(num_shards, max(len(specs), 1))
+    shards: List[List[DocumentSpec]] = [[] for _ in range(num_shards)]
+    if not specs:
+        return shards
+    by_size = sorted(
+        specs, key=lambda spec: (-spec.cost_estimate(), spec.doc_id)
+    )
+    heap = [(0, shard_index) for shard_index in range(num_shards)]
+    heapq.heapify(heap)
+    for spec in by_size:
+        load, shard_index = heapq.heappop(heap)
+        shards[shard_index].append(spec)
+        heapq.heappush(heap, (load + spec.cost_estimate(), shard_index))
+    for shard in shards:
+        shard.sort(key=lambda spec: spec.doc_id)
+    return [shard for shard in shards if shard] or [[]]

@@ -1,0 +1,138 @@
+"""Parallel/sequential identity verification.
+
+The parallel build's contract is *byte identity*: for any worker count,
+the posting map (down to its encoded bytes and keyword insertion order),
+the ElemRank vector, and the top-k results of probe queries must equal the
+sequential build's.  This module is the one place that contract is
+checked; the ``repro build --verify`` CLI flag, ``repro check --strict``,
+the build benchmark, and the property tests all call into it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def compare_postings(sequential, parallel, limit: int = 5) -> List[str]:
+    """Differences between two posting maps; empty means byte-identical.
+
+    Compares keyword insertion order (index layouts depend on it), then
+    each keyword's encoded posting bytes — encoding covers Dewey ID, the
+    float32 rank and the delta-coded position list, so byte equality here
+    is byte equality of everything the indexes bulk-load.
+    """
+    problems: List[str] = []
+    seq_keys = list(sequential)
+    par_keys = list(parallel)
+    if seq_keys != par_keys:
+        missing = [k for k in seq_keys if k not in parallel]
+        extra = [k for k in par_keys if k not in sequential]
+        if missing or extra:
+            problems.append(
+                f"keyword sets differ: {len(missing)} missing "
+                f"(e.g. {missing[:3]}), {len(extra)} extra (e.g. {extra[:3]})"
+            )
+        else:
+            first = next(
+                (i for i, (a, b) in enumerate(zip(seq_keys, par_keys)) if a != b),
+                -1,
+            )
+            problems.append(
+                "keyword insertion order differs starting at position "
+                f"{first}: {seq_keys[first]!r} vs {par_keys[first]!r}"
+            )
+        return problems
+    for keyword in seq_keys:
+        seq_list = sequential[keyword]
+        par_list = parallel[keyword]
+        if len(seq_list) != len(par_list):
+            problems.append(
+                f"{keyword!r}: {len(seq_list)} vs {len(par_list)} postings"
+            )
+        else:
+            for position, (a, b) in enumerate(zip(seq_list, par_list)):
+                if a.encode() != b.encode():
+                    problems.append(
+                        f"{keyword!r}: posting {position} differs "
+                        f"({a.dewey} vs {b.dewey})"
+                    )
+                    break
+        if len(problems) >= limit:
+            problems.append("... (further differences suppressed)")
+            break
+    return problems
+
+
+def compare_elemranks(sequential_engine, parallel_engine) -> List[str]:
+    """Exact equality of the two engines' ElemRank mappings."""
+    problems: List[str] = []
+    seq = sequential_engine.builder.elemranks
+    par = parallel_engine.builder.elemranks
+    if len(seq) != len(par):
+        problems.append(f"ElemRank table sizes differ: {len(seq)} vs {len(par)}")
+        return problems
+    for dewey, score in seq.items():
+        other = par.get(dewey)
+        if other != score:
+            problems.append(
+                f"ElemRank({dewey}) differs: {score!r} vs {other!r}"
+            )
+            if len(problems) >= 5:
+                break
+    return problems
+
+
+def compare_search_results(
+    sequential_engine,
+    parallel_engine,
+    queries: Sequence[str],
+    kind: str = "hdil",
+    m: int = 10,
+) -> List[str]:
+    """Top-m agreement (dewey + rank) on probe queries."""
+    problems: List[str] = []
+    for query in queries:
+        seq_hits = sequential_engine.search(query, m=m, kind=kind)
+        par_hits = parallel_engine.search(query, m=m, kind=kind)
+        seq_view = [(hit.dewey, hit.rank) for hit in seq_hits]
+        par_view = [(hit.dewey, hit.rank) for hit in par_hits]
+        if seq_view != par_view:
+            problems.append(
+                f"top-{m} for {query!r} differs: {seq_view[:3]} vs "
+                f"{par_view[:3]}"
+            )
+    return problems
+
+
+def compare_engines(
+    sequential_engine,
+    parallel_engine,
+    queries: Sequence[str] = (),
+    kind: str = "hdil",
+    m: int = 10,
+) -> List[str]:
+    """The full identity battery; empty result means identical builds."""
+    problems = compare_postings(
+        sequential_engine.builder.direct_postings,
+        parallel_engine.builder.direct_postings,
+    )
+    problems.extend(compare_elemranks(sequential_engine, parallel_engine))
+    if queries:
+        problems.extend(
+            compare_search_results(
+                sequential_engine, parallel_engine, queries, kind=kind, m=m
+            )
+        )
+    return problems
+
+
+def default_probe_queries(engine, count: int = 3) -> List[str]:
+    """A few single-keyword probe queries drawn from the built postings."""
+    builder = engine.builder
+    if builder is None or not builder.direct_postings:
+        return []
+    by_frequency = sorted(
+        builder.direct_postings,
+        key=lambda keyword: (-len(builder.direct_postings[keyword]), keyword),
+    )
+    return by_frequency[:count]

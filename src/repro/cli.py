@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro index docs/ --out corpus.xrank
+    python -m repro build docs/ --out corpus.xrank --workers 4 --verify
     python -m repro search corpus.xrank "xql language" -m 10
     python -m repro search corpus.xrank "gray" --mode or --context
     python -m repro explain corpus.xrank "xql language"
@@ -91,6 +92,90 @@ def cmd_index(args: argparse.Namespace) -> int:
         f"({stats['elements']} elements, {stats['hyperlink_edges']} links) "
         f"-> {args.out}"
     )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Index files through the parallel build pipeline (repro.build)."""
+    import json
+    import time
+
+    from .build import specs_from_paths
+    from .build.verify import compare_engines, default_probe_queries
+
+    roots = [Path(p) for p in args.paths]
+    files = _collect_files(args.paths)
+    if not files:
+        print("no .xml/.html files found", file=sys.stderr)
+        return 1
+    uris = [_uri_for(path, roots) for path in files]
+    on_parse_error = "raise" if args.strict_parse else "skip"
+
+    def run_build(workers: int) -> XRankEngine:
+        engine = XRankEngine(scorer=args.scorer)
+        engine.build(
+            kinds=args.kinds,
+            corpus=specs_from_paths(files, uris),
+            workers=workers,
+            spill_dir=args.spill_dir,
+            on_parse_error=on_parse_error,
+        )
+        return engine
+
+    started = time.perf_counter()
+    engine = run_build(args.workers)
+    elapsed = time.perf_counter() - started
+    for uri, reason in engine.last_build_skipped:
+        print(f"skipping {uri}: {reason}", file=sys.stderr)
+    if not engine.graph.documents:
+        print("every input file failed to parse", file=sys.stderr)
+        return 1
+
+    stats = engine.stats()
+    build_stats = (
+        engine.last_build_stats.to_dict() if engine.last_build_stats else {}
+    )
+    docs_per_second = stats["documents"] / elapsed if elapsed > 0 else 0.0
+    print(
+        f"built {stats['documents']} documents "
+        f"({stats['elements']} elements, {stats['hyperlink_edges']} links) "
+        f"with {args.workers} worker(s) in {elapsed:.2f}s "
+        f"({docs_per_second:.1f} docs/s)"
+    )
+
+    verified: Optional[bool] = None
+    if args.verify:
+        reference = run_build(1)
+        kind = "hdil" if "hdil" in args.kinds else args.kinds[0]
+        problems = compare_engines(
+            reference, engine, default_probe_queries(reference), kind=kind
+        )
+        verified = not problems
+        for problem in problems:
+            print(f"verify: {problem}", file=sys.stderr)
+        print(
+            "verify: parallel build is "
+            + ("byte-identical to sequential" if verified else "NOT identical")
+        )
+
+    if args.json:
+        report = {
+            "documents": stats["documents"],
+            "elements": stats["elements"],
+            "workers": args.workers,
+            "elapsed_s": round(elapsed, 4),
+            "docs_per_s": round(docs_per_second, 2),
+            "pipeline": build_stats,
+            "verified_identical": verified,
+        }
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.out:
+        engine.save(args.out)
+        print(f"-> {args.out}")
+    if verified is False:
+        return 1
     return 0
 
 
@@ -264,6 +349,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--scorer", default="elemrank", choices=["elemrank", "tfidf"]
     )
     index_cmd.set_defaults(handler=cmd_index)
+
+    build_cmd = commands.add_parser(
+        "build",
+        help="index files with the parallel sharded build (repro.build)",
+    )
+    build_cmd.add_argument("paths", nargs="+", help="files or directories")
+    build_cmd.add_argument(
+        "--out", default=None, help="engine file to write (optional)"
+    )
+    build_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 = sequential fallback",
+    )
+    build_cmd.add_argument(
+        "--kinds", nargs="+", default=["hdil"], choices=list(INDEX_KINDS)
+    )
+    build_cmd.add_argument(
+        "--scorer", default="elemrank", choices=["elemrank", "tfidf"]
+    )
+    build_cmd.add_argument(
+        "--spill-dir", default=None,
+        help="spill partial posting runs to files under this directory",
+    )
+    build_cmd.add_argument(
+        "--verify", action="store_true",
+        help="rebuild sequentially and require byte-identical output",
+    )
+    build_cmd.add_argument(
+        "--strict-parse", action="store_true",
+        help="fail on the first unparseable file instead of skipping it",
+    )
+    build_cmd.add_argument(
+        "--json", default=None,
+        help="write a machine-readable build report to this path",
+    )
+    build_cmd.set_defaults(handler=cmd_build)
 
     search_cmd = commands.add_parser("search", help="query an engine file")
     search_cmd.add_argument("index", help="engine file from `repro index`")

@@ -43,6 +43,10 @@ class Corpus:
     graph: CollectionGraph
     documents: List[Document] = field(default_factory=list)
     planted: Optional[PlantedKeywords] = None
+    #: Raw XML text per document, aligned with ``documents`` — lets the
+    #: parallel-build pipeline (and its benchmark) re-run the full
+    #: parse + tokenize path instead of starting from parsed trees.
+    sources: List[str] = field(default_factory=list)
 
     @property
     def num_documents(self) -> int:
@@ -150,7 +154,7 @@ def generate_dblp(
         documents.append(document)
         graph.add_document(document)
     graph.finalize()
-    return Corpus("dblp", graph, documents, planted)
+    return Corpus("dblp", graph, documents, planted, sources)
 
 
 def save_corpus(corpus: Corpus, directory) -> List[str]:

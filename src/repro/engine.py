@@ -14,7 +14,7 @@ navigation (Section 2.2's UI remedy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import XRankConfig
@@ -127,6 +127,10 @@ class XRankEngine:
         #: stale entry is recognized without the caches being told what
         #: changed (generation-based invalidation).
         self.generation = 0
+        #: Stats from the most recent repro.build pipeline run (None for
+        #: purely sequential builds) and the documents it skipped.
+        self.last_build_stats = None
+        self.last_build_skipped: List[Tuple[str, str]] = []
 
     # -- corpus management -------------------------------------------------------------
 
@@ -222,14 +226,60 @@ class XRankEngine:
 
     # -- build --------------------------------------------------------------------------------
 
-    def build(self, kinds: Sequence[str] = ("hdil",)) -> None:
-        """Run ElemRank and materialize the requested index kinds."""
+    def build(
+        self,
+        kinds: Sequence[str] = ("hdil",),
+        corpus=None,
+        workers: int = 1,
+        spill_dir=None,
+        on_parse_error: str = "raise",
+    ) -> None:
+        """Run ElemRank and materialize the requested index kinds.
+
+        Args:
+            kinds: index flavours to materialize.
+            corpus: optional documents to ingest first — an iterable of XML
+                source strings, ``(source, uri)`` pairs, file paths,
+                :class:`~repro.build.DocumentSpec` objects, parsed
+                :class:`Document` objects, or a datasets ``Corpus``.
+                Sources/paths are parsed by the build pipeline, sharded
+                across ``workers`` processes.
+            workers: process count for the parallel build (repro.build).
+                ``1`` is the sequential fallback — same code path per
+                document, no pool — and any ``workers`` value produces
+                byte-identical indexes (gated by ``repro check --strict``).
+            spill_dir: when set, workers spill partial posting runs to
+                files under this directory instead of returning them
+                in-memory (bounded peak RSS for corpora larger than RAM).
+            on_parse_error: ``"raise"`` (default) or ``"skip"`` bad
+                documents when ingesting ``corpus``.
+        """
         unknown = [k for k in kinds if k not in INDEX_KINDS]
         if unknown:
             raise QueryError(f"unknown index kinds: {unknown}")
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+
+        raw_postings = None
+        self.last_build_stats = None
+        if corpus is not None:
+            raw_postings = self._ingest_corpus(
+                corpus, workers, spill_dir, on_parse_error
+            )
         if not self.graph.documents:
             raise QueryError("cannot build an index over zero documents")
         self.graph.finalize()
+        if workers > 1 and raw_postings is None:
+            # No unparsed corpus to shard: parallelize the extraction pass
+            # over the already-parsed documents instead.
+            from .build.pipeline import extract_all_raw_postings
+
+            raw_postings, stats = extract_all_raw_postings(
+                list(self.graph.documents.values()),
+                workers=workers,
+                spill_dir=spill_dir,
+            )
+            self.last_build_stats = stats
         self.builder = IndexBuilder(
             self.graph,
             elemrank_params=self.config.elemrank,
@@ -237,12 +287,92 @@ class XRankEngine:
             storage_params=self.config.storage,
             scorer=self.scorer,
             drop_stopwords=self.drop_stopwords,
+            raw_postings=raw_postings,
         )
         self._indexes = {}
         self._evaluators = {}
         for kind in kinds:
             self._build_kind(kind)
         self.generation += 1
+
+    def _ingest_corpus(self, corpus, workers, spill_dir, on_parse_error):
+        """Add a corpus through the build pipeline; returns merged raw
+        postings covering the *whole* graph, or None when they must be
+        re-extracted (pre-parsed documents with unknown coverage)."""
+        from .build.pipeline import (
+            build_corpus,
+            extract_all_raw_postings,
+        )
+        from .build.shard import DocumentSpec
+
+        items = getattr(corpus, "documents", corpus)
+        specs: List[object] = []
+        parsed: List[Document] = []
+        for item in items:
+            if isinstance(item, Document):
+                parsed.append(item)
+            else:
+                specs.append(item)
+        old_docs = list(self.graph.documents.values())
+        for document in parsed:
+            self.add_document(document)
+        if not specs:
+            return None  # pre-parsed only: extraction covers everything later
+
+        normalized = []
+        for item in specs:
+            if isinstance(item, DocumentSpec):
+                normalized.append(
+                    replace(item, doc_id=self._take_doc_id())
+                )
+            elif isinstance(item, tuple):
+                source, uri = item
+                normalized.append(
+                    DocumentSpec(
+                        doc_id=self._take_doc_id(), uri=uri, source=source
+                    )
+                )
+            elif hasattr(item, "read_text"):  # pathlib.Path
+                suffix = item.suffix.lower()
+                normalized.append(
+                    DocumentSpec(
+                        doc_id=self._take_doc_id(),
+                        uri=item.name,
+                        path=str(item),
+                        is_html=suffix in (".html", ".htm"),
+                    )
+                )
+            else:
+                normalized.append(
+                    DocumentSpec(doc_id=self._take_doc_id(), source=str(item))
+                )
+        result = build_corpus(
+            normalized,
+            workers=workers,
+            spill_dir=spill_dir,
+            on_parse_error=on_parse_error,
+        )
+        for document in result.documents:
+            self.graph.add_document(document)
+            self._next_doc_id = max(self._next_doc_id, document.doc_id + 1)
+        self.generation += 1
+        self.last_build_stats = result.stats
+        self.last_build_skipped = list(result.skipped)
+        if parsed:
+            # Mixed pre-parsed + sources: coverage bookkeeping isn't worth
+            # it; fall back to re-extracting over the final graph.
+            return None
+        if not old_docs:
+            return result.raw_postings
+        # Existing documents all precede the new ones (ids are monotone),
+        # so folding old-then-new preserves the global scan order.
+        old_raw, _stats = extract_all_raw_postings(
+            old_docs, workers=workers, spill_dir=spill_dir
+        )
+        combined = {k: list(v) for k, v in old_raw.items()}
+        for keyword, entries in result.raw_postings.items():
+            combined.setdefault(keyword, []).extend(entries)
+        return combined
 
     def _build_kind(self, kind: str) -> None:
         builder = self.builder
@@ -543,6 +673,9 @@ class XRankEngine:
             raise XRankError(f"{path} does not contain a pickled XRankEngine")
         if not hasattr(engine, "generation"):  # pre-serving-layer pickles
             engine.generation = 0
+        if not hasattr(engine, "last_build_stats"):  # pre-repro.build pickles
+            engine.last_build_stats = None
+            engine.last_build_skipped = []
         return engine
 
     # -- stats -------------------------------------------------------------------------------------

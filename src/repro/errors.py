@@ -70,6 +70,16 @@ class ConvergenceError(XRankError):
     """Raised when an iterative rank computation fails to converge."""
 
 
+class BuildError(XRankError):
+    """Raised when the parallel build pipeline (repro.build) fails.
+
+    Covers worker-process crashes (the pool is torn down and the partial
+    state discarded rather than left hanging), per-document parse failures
+    under ``on_parse_error="raise"``, and shard results that fail the
+    deterministic-merge verification.
+    """
+
+
 class ServiceError(XRankError):
     """Base class for serving-layer failures (repro.service)."""
 

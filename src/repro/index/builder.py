@@ -17,6 +17,7 @@ from ..config import ElemRankParams, HDILParams, StorageParams
 from ..ranking.elemrank import (
     ElemRankResult,
     ElemRankVariant,
+    LinkGraph,
     compute_elemrank,
 )
 from ..xmlmodel.dewey import DeweyId
@@ -24,7 +25,12 @@ from ..xmlmodel.graph import CollectionGraph
 from .dil import DILIndex
 from .hdil import HDILIndex
 from .naive import NaiveIdIndex, NaiveRankIndex
-from .postings import PostingMap, extract_direct_postings
+from .postings import (
+    PostingMap,
+    RawPostingMap,
+    attach_scores,
+    extract_direct_postings,
+)
 from .rdil import RDILIndex
 
 logger = logging.getLogger(__name__)
@@ -41,6 +47,7 @@ class IndexBuilder:
         storage_params: Optional[StorageParams] = None,
         scorer: str = "elemrank",
         drop_stopwords: bool = False,
+        raw_postings: Optional[RawPostingMap] = None,
     ):
         """Args:
             scorer: ``"elemrank"`` (the paper's link-based score, default)
@@ -52,6 +59,11 @@ class IndexBuilder:
                 the index (off by default — XRANK indexes tag names as
                 values and words like "author" must stay searchable; the
                 engine drops the same stopwords from queries when enabled).
+            raw_postings: pre-extracted posting skeletons (the parallel
+                build's merged shard output, see repro.build); when given,
+                the per-element extraction pass is skipped and only score
+                attachment runs here.  Must cover exactly the graph's
+                documents.
         """
         if scorer not in ("elemrank", "tfidf"):
             raise ValueError(f"unknown scorer {scorer!r}")
@@ -60,8 +72,11 @@ class IndexBuilder:
         self.graph = graph
         self.storage_params = storage_params
         self.scorer = scorer
+        # ElemRank consumes the flat LinkGraph arrays, not the collection
+        # graph itself: the same call works on arrays assembled by the
+        # parallel merge, keeping graph assembly decoupled from parsing.
         self.elemrank_result: ElemRankResult = compute_elemrank(
-            graph, elemrank_params, elemrank_variant
+            LinkGraph.from_collection(graph), elemrank_params, elemrank_variant
         )
         self.elemranks: Dict[DeweyId, float] = self.elemrank_result.as_mapping(
             graph
@@ -71,9 +86,14 @@ class IndexBuilder:
             from ..ranking.tfidf import compute_tfidf_weights
 
             score_overrides = compute_tfidf_weights(graph)
-        self.direct_postings: PostingMap = extract_direct_postings(
-            graph, self.elemranks, score_overrides
-        )
+        if raw_postings is not None:
+            self.direct_postings: PostingMap = attach_scores(
+                raw_postings, self.elemranks, score_overrides
+            )
+        else:
+            self.direct_postings = extract_direct_postings(
+                graph, self.elemranks, score_overrides
+            )
         self.drop_stopwords = drop_stopwords
         if drop_stopwords:
             from ..text.tokenize import STOPWORDS

@@ -66,6 +66,77 @@ class Posting:
 #: keyword -> postings sorted by Dewey ID.
 PostingMap = Dict[str, List[Posting]]
 
+#: keyword -> (dewey, positions) pairs: a posting skeleton before scores
+#: are attached.  This is the unit the parallel build pipeline ships
+#: between processes — it depends only on one document's content, never on
+#: the global link graph, which is what makes shard outputs order
+#: independent and their merge associative.
+RawPostingMap = Dict[str, List[Tuple[DeweyId, Tuple[int, ...]]]]
+
+
+def extract_document_raw_postings(document) -> RawPostingMap:
+    """Per-keyword (dewey, positions) skeletons for *one* document.
+
+    Pre-order traversal visits elements in Dewey order, so each keyword's
+    list comes out sorted by ID with no extra sort; keyword insertion order
+    is first-occurrence order within the document.  Pure per-document
+    computation: safe to run in any worker process, in any order.
+    """
+    raw: RawPostingMap = {}
+    for element in document.iter_elements():
+        by_word: Dict[str, List[int]] = {}
+        for word, position in element.direct_words():
+            by_word.setdefault(word, []).append(position)
+        if not by_word:
+            continue
+        for word, positions in by_word.items():
+            positions.sort()
+            raw.setdefault(word, []).append((element.dewey, tuple(positions)))
+    return raw
+
+
+def merge_raw_postings(
+    per_document: List[Tuple[int, RawPostingMap]]
+) -> RawPostingMap:
+    """Fold per-document skeletons into one map, in ascending doc-id order.
+
+    Concatenation in ascending doc-id order reproduces exactly what a
+    single pass over the whole collection would produce (Dewey IDs of
+    different documents never interleave), so the merge is associative:
+    any shard partition folds to the same result.
+    """
+    merged: RawPostingMap = {}
+    for _doc_id, raw in sorted(per_document, key=lambda pair: pair[0]):
+        for word, entries in raw.items():
+            merged.setdefault(word, []).extend(entries)
+    return merged
+
+
+def attach_scores(
+    raw: RawPostingMap,
+    elemranks: Dict[DeweyId, float],
+    score_overrides=None,
+) -> PostingMap:
+    """Turn posting skeletons into scored postings.
+
+    Scores need the *global* link graph (ElemRank) or corpus statistics
+    (tf-idf), so this runs once after the merge — never inside a worker.
+    ``score_overrides`` optionally maps ``(dewey components, keyword)`` to a
+    per-keyword score (e.g. tf-idf weights); where present it replaces the
+    element's ElemRank in the posting — the hook Section 4 describes for
+    "other ways of ranking XML elements".
+    """
+    postings: PostingMap = {}
+    for word, entries in raw.items():
+        scored: List[Posting] = []
+        for dewey, positions in entries:
+            score = elemranks.get(dewey, 0.0)
+            if score_overrides is not None:
+                score = score_overrides.get((dewey.components, word), score)
+            scored.append(Posting(dewey, score, positions))
+        postings[word] = scored
+    return postings
+
 
 def extract_direct_postings(
     graph: CollectionGraph,
@@ -74,35 +145,19 @@ def extract_direct_postings(
 ) -> PostingMap:
     """Build per-keyword postings for elements that *directly* contain them.
 
-    Pre-order traversal per document (ascending doc id) visits elements in
-    Dewey order, so each keyword's posting list comes out sorted by ID with
-    no extra sort.
-
-    ``score_overrides`` optionally maps ``(dewey components, keyword)`` to a
-    per-keyword score (e.g. tf-idf weights); where present it replaces the
-    element's ElemRank in the posting — the hook Section 4 describes for
-    "other ways of ranking XML elements".
+    The sequential path through the same two phases the parallel build
+    uses: per-document skeleton extraction (in ascending doc-id order, so
+    each keyword's posting list comes out Dewey-sorted with no extra sort)
+    followed by score attachment.  Keeping one code path is what lets
+    ``build(workers=k)`` promise byte-identical output for every ``k``.
     """
-    postings: PostingMap = {}
-    for document in graph.iter_documents():
-        for element in document.iter_elements():
-            by_word: Dict[str, List[int]] = {}
-            for word, position in element.direct_words():
-                by_word.setdefault(word, []).append(position)
-            if not by_word:
-                continue
-            rank = elemranks.get(element.dewey, 0.0)
-            for word, positions in by_word.items():
-                positions.sort()
-                score = rank
-                if score_overrides is not None:
-                    score = score_overrides.get(
-                        (element.dewey.components, word), rank
-                    )
-                postings.setdefault(word, []).append(
-                    Posting(element.dewey, score, tuple(positions))
-                )
-    return postings
+    per_document = [
+        (document.doc_id, extract_document_raw_postings(document))
+        for document in graph.iter_documents()
+    ]
+    return attach_scores(
+        merge_raw_postings(per_document), elemranks, score_overrides
+    )
 
 
 def expand_to_naive_postings(

@@ -4,6 +4,7 @@ proximity and the overall ranking function of paper Sections 2.3 and 3."""
 from .elemrank import (
     ElemRankResult,
     ElemRankVariant,
+    LinkGraph,
     compute_elemrank,
 )
 from .elemrank_py import PurePythonElemRank, compute_elemrank_pure
@@ -22,6 +23,7 @@ __all__ = [
     "ElemRankResult",
     "ElemRankVariant",
     "HITSResult",
+    "LinkGraph",
     "PurePythonElemRank",
     "compute_elemrank_pure",
     "RankResult",

@@ -35,9 +35,9 @@ distribution.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -82,13 +82,52 @@ class ElemRankResult:
         }
 
 
-class _Arrays:
-    """Flat edge arrays extracted once from a finalized graph."""
+@dataclass
+class LinkGraph:
+    """The flat link-graph arrays ElemRank actually iterates over.
 
-    def __init__(self, graph: CollectionGraph):
+    Decouples the power iteration from :class:`CollectionGraph` (and hence
+    from per-document parsing): the parallel build pipeline assembles one
+    of these from merged shard outputs and runs ElemRank on it directly,
+    while the sequential path converts a finalized collection graph via
+    :meth:`from_collection`.  Either way the iteration sees identical
+    arrays, which is part of the parallel build's byte-identity argument.
+    """
+
+    parent_index: List[int]
+    children_count: List[int]
+    doc_element_count: List[int]
+    hyperlink_edges: List[Tuple[int, int]]
+    num_documents: int
+    out_hyperlink_count: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.out_hyperlink_count:
+            counts = [0] * len(self.parent_index)
+            for src, _dst in self.hyperlink_edges:
+                counts[src] += 1
+            self.out_hyperlink_count = counts
+
+    @classmethod
+    def from_collection(cls, graph: CollectionGraph) -> "LinkGraph":
+        """Snapshot a finalized collection graph's edge arrays."""
         if not graph.finalized:
             graph.finalize()
-        n = len(graph.elements)
+        return cls(
+            parent_index=graph.parent_index,
+            children_count=graph.children_count,
+            doc_element_count=graph.doc_element_count,
+            hyperlink_edges=graph.hyperlink_edges,
+            num_documents=graph.num_documents,
+            out_hyperlink_count=graph.out_hyperlink_count,
+        )
+
+
+class _Arrays:
+    """Flat edge arrays extracted once from a link graph."""
+
+    def __init__(self, graph: LinkGraph):
+        n = len(graph.parent_index)
         self.n = n
         self.parent = np.asarray(graph.parent_index, dtype=np.int64)
         self.num_children = np.asarray(graph.children_count, dtype=np.float64)
@@ -136,12 +175,17 @@ def _navigation_weights(
 
 
 def compute_elemrank(
-    graph: CollectionGraph,
+    graph: Union[CollectionGraph, LinkGraph],
     params: Optional[ElemRankParams] = None,
     variant: ElemRankVariant = ElemRankVariant.E4_FINAL,
     raise_on_divergence: bool = False,
 ) -> ElemRankResult:
-    """Run the ElemRank power iteration over a finalized collection graph.
+    """Run the ElemRank power iteration over a link graph.
+
+    Accepts either a finalized :class:`CollectionGraph` (finalizing it if
+    needed) or pre-assembled :class:`LinkGraph` arrays — the latter is how
+    the parallel build pipeline runs the single global iteration over the
+    merged shard outputs.
 
     Parameter interpretation per variant: E1 and E2 use a single damping
     probability ``d = d1 + d2 + d3`` (0.85 with the defaults, matching
@@ -149,8 +193,8 @@ def compute_elemrank(
     E4 uses all three separately.
     """
     params = params or ElemRankParams()
-    if not graph.finalized:
-        graph.finalize()
+    if isinstance(graph, CollectionGraph):
+        graph = LinkGraph.from_collection(graph)
     arrays = _Arrays(graph)
     n = arrays.n
     started = time.perf_counter()

@@ -1,0 +1,157 @@
+"""Spillable partial-posting run files for the parallel build (repro.build).
+
+A worker that has extracted posting skeletons for its shard can hold them
+in memory (small corpora) or *spill* them to a run file and ship only the
+file path back to the parent — the external-sort discipline that keeps
+peak memory bounded by one shard's working set instead of the whole
+corpus, and keeps the inter-process pipes small.
+
+Format: a run file is a sequence of **document blocks**, written in
+ascending doc-id order (the order the worker processed its shard).  Each
+block is length-prefixed so a reader streams one block at a time without
+loading the file:
+
+    block  := varint(byte_length) || body
+    body   := varint(doc_id) || varint(num_keywords) || keyword_entry*
+    keyword_entry := bytes_field(utf8 keyword) || varint(num_postings)
+                     || (dewey || uint_list(positions))*
+
+Keyword entries preserve the worker's first-occurrence order and postings
+preserve Dewey order, so replaying blocks in ascending doc-id order across
+all runs reproduces exactly the sequential extraction — the byte-identity
+guarantee of the parallel build rests on this round-trip being faithful.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..xmlmodel.dewey import decode_varint, encode_varint
+from .records import RecordReader, RecordWriter
+
+def encode_document_block(doc_id: int, raw) -> bytes:
+    """Serialize one document's raw postings as a framed block."""
+    writer = RecordWriter()
+    writer.uint(doc_id)
+    writer.uint(len(raw))
+    for keyword, entries in raw.items():
+        writer.bytes_field(keyword.encode("utf-8"))
+        writer.uint(len(entries))
+        for dewey, positions in entries:
+            writer.dewey(dewey)
+            writer.uint_list(list(positions))
+    body = writer.getvalue()
+    return encode_varint(len(body)) + body
+
+
+def decode_document_block(body: bytes):
+    """Inverse of :func:`encode_document_block` (body without the frame)."""
+    reader = RecordReader(body)
+    doc_id = reader.uint()
+    num_keywords = reader.uint()
+    raw = {}
+    for _ in range(num_keywords):
+        keyword = reader.bytes_field().decode("utf-8")
+        count = reader.uint()
+        entries = []
+        for _ in range(count):
+            dewey = reader.dewey()
+            positions = tuple(reader.uint_list())
+            entries.append((dewey, positions))
+        raw[keyword] = entries
+    if not reader.exhausted:
+        raise StorageError("trailing bytes after run-file document block")
+    return doc_id, raw
+
+
+class RunWriter:
+    """Append-only writer of document blocks to one run file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle: Optional[IO[bytes]] = self.path.open("wb")
+        self.documents = 0
+        self.bytes_written = 0
+
+    def append(self, doc_id: int, raw) -> None:
+        """Append one document's raw postings."""
+        if self._handle is None:
+            raise StorageError(f"run file {self.path} already closed")
+        block = encode_document_block(doc_id, raw)
+        self._handle.write(block)
+        self.documents += 1
+        self.bytes_written += len(block)
+
+    def close(self) -> None:
+        """Flush and close the run file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class RunReader:
+    """Streams document blocks from a run file, one block in memory at a time."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[Tuple[int, dict]]:
+        with self.path.open("rb") as handle:
+            while True:
+                length = _read_varint(handle)
+                if length is None:
+                    return
+                body = handle.read(length)
+                if len(body) != length:
+                    raise StorageError(
+                        f"truncated run-file block in {self.path}"
+                    )
+                yield decode_document_block(body)
+
+
+def _read_varint(handle) -> Optional[int]:
+    """Read one LEB128 varint from a binary stream; None at clean EOF."""
+    first = handle.read(1)
+    if not first:
+        return None
+    buffer = bytearray(first)
+    while buffer[-1] & 0x80:
+        nxt = handle.read(1)
+        if not nxt:
+            raise StorageError("truncated varint in run file")
+        buffer += nxt
+    value, _offset = decode_varint(bytes(buffer), 0)
+    return value
+
+
+def merge_runs(paths: List) -> Iterator[Tuple[int, dict]]:
+    """K-way merge of run files into one ascending doc-id block stream.
+
+    Shards partition the document space, and each run is internally sorted
+    by doc id, so a heap over the head block of every run yields the global
+    document order — the deterministic merge the parallel build folds into
+    the final posting map.
+    """
+    import heapq
+
+    iterators = [iter(RunReader(path)) for path in paths]
+    heap = []
+    for index, iterator in enumerate(iterators):
+        head = next(iterator, None)
+        if head is not None:
+            heap.append((head[0], index, head[1]))
+    heapq.heapify(heap)
+    while heap:
+        doc_id, index, raw = heapq.heappop(heap)
+        yield doc_id, raw
+        head = next(iterators[index], None)
+        if head is not None:
+            heapq.heappush(heap, (head[0], index, head[1]))

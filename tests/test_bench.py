@@ -104,6 +104,7 @@ class TestDrivers:
         assert set(proximity_data) == {"proximity-on", "proximity-off"}
 
 
+@pytest.mark.slow
 class TestReportGenerator:
     def test_small_scale_report_smoke(self, capsys):
         """The markdown report generator runs end-to-end at reduced scale."""

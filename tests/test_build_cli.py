@@ -1,0 +1,116 @@
+"""End-to-end tests for the ``repro build`` CLI (parallel build + verify)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.engine import XRankEngine
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "workshop.xml").write_text(
+        "<workshop><title>XQL workshop</title>"
+        "<paper><body><sub>the xql language</sub></body></paper></workshop>"
+    )
+    (docs / "survey.xml").write_text(
+        "<survey><chapter>ranked keyword search over xml</chapter>"
+        "<chapter>the xql language survey</chapter></survey>"
+    )
+    (docs / "page.html").write_text(
+        '<html><body>xql tutorial <a href="workshop.xml">link</a></body></html>'
+    )
+    (docs / "broken.xml").write_text("<a><b></a>")
+    return docs
+
+
+class TestBuildCommand:
+    def test_parallel_build_with_verify(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "engine.xrank"
+        code = main(
+            [
+                "build",
+                str(corpus_dir),
+                "--out",
+                str(out),
+                "--workers",
+                "2",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 worker(s)" in captured.out
+        assert "byte-identical" in captured.out
+        with open(out, "rb") as handle:
+            engine = pickle.load(handle)
+        assert isinstance(engine, XRankEngine)
+        assert engine.search("xql", m=5)
+
+    def test_matches_index_command_output(self, corpus_dir, tmp_path):
+        """`repro build` and the classic `repro index` agree on the result."""
+        build_out = tmp_path / "build.xrank"
+        index_out = tmp_path / "index.xrank"
+        assert main(
+            ["build", str(corpus_dir), "--out", str(build_out), "--workers", "2"]
+        ) == 0
+        assert main(["index", str(corpus_dir), "--out", str(index_out)]) == 0
+        with open(build_out, "rb") as handle:
+            built = pickle.load(handle)
+        with open(index_out, "rb") as handle:
+            indexed = pickle.load(handle)
+        for query in ("xql", "xql language", "keyword search"):
+            assert [
+                (hit.dewey, hit.rank) for hit in built.search(query, m=5)
+            ] == [(hit.dewey, hit.rank) for hit in indexed.search(query, m=5)]
+
+    def test_json_report(self, corpus_dir, tmp_path):
+        out = tmp_path / "engine.xrank"
+        report_path = tmp_path / "build-report.json"
+        code = main(
+            [
+                "build",
+                str(corpus_dir),
+                "--out",
+                str(out),
+                "--workers",
+                "2",
+                "--verify",
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["workers"] == 2
+        assert report["documents"] == 3
+        assert report["verified_identical"] is True
+
+    def test_broken_file_skipped_by_default(self, corpus_dir, capsys, tmp_path):
+        code = main(
+            ["build", str(corpus_dir), "--out", str(tmp_path / "e.xrank")]
+        )
+        assert code == 0
+        assert "broken.xml" in capsys.readouterr().err
+
+    def test_strict_parse_fails_on_broken_file(self, corpus_dir, tmp_path):
+        code = main(
+            [
+                "build",
+                str(corpus_dir),
+                "--out",
+                str(tmp_path / "e.xrank"),
+                "--strict-parse",
+            ]
+        )
+        assert code != 0
+
+    def test_missing_path_errors(self, tmp_path):
+        code = main(
+            ["build", str(tmp_path / "nope"), "--out", str(tmp_path / "o")]
+        )
+        assert code == 2

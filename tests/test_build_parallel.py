@@ -1,0 +1,251 @@
+"""Tests for the parallel sharded build pipeline (repro.build).
+
+The contract under test is *byte identity*: for any shard count and any
+worker count, the parallel pipeline must produce exactly the posting map
+(keyword insertion order included), ElemRank vector and search results of
+the sequential build.  Alongside identity: LPT shard balancing, the spill
+path, worker-crash containment, and parse-error policy.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.build.merge import merge_shard_results
+from repro.build.pipeline import (
+    build_corpus,
+    extract_all_raw_postings,
+    specs_from_sources,
+)
+from repro.build.shard import DocumentSpec, shard_specs
+from repro.build.verify import compare_engines, default_probe_queries
+from repro.build.worker import (
+    FAULT_CRASH,
+    FAULT_RAISE,
+    ShardTask,
+    process_shard,
+)
+from repro.engine import XRankEngine
+from repro.errors import BuildError
+
+#: A small corpus with cross-document hyperlinks (ElemRank edges), shared
+#: keywords (multi-document posting lists) and varied sizes (LPT has
+#: something to balance).
+CORPUS = [
+    (
+        '<workshop xmlns:xlink="http://www.w3.org/1999/xlink">'
+        "<title>XML Retrieval Workshop</title>"
+        "<paper><title>Ranked Keyword Search</title>"
+        "<body>ranked keyword search over xml element trees needs "
+        "inverted lists and dewey identifiers</body>"
+        '<cite xlink:href="survey.xml"/></paper></workshop>',
+        "workshop.xml",
+    ),
+    (
+        "<survey><title>Query Languages Survey</title>"
+        "<chapter>the xql language and pattern matching over trees</chapter>"
+        "<chapter>ranked retrieval and keyword proximity</chapter></survey>",
+        "survey.xml",
+    ),
+    (
+        '<notes xmlns:xlink="http://www.w3.org/1999/xlink">'
+        "<note>reading the workshop paper on keyword search</note>"
+        '<ref xlink:href="workshop.xml"/></notes>',
+        "notes.xml",
+    ),
+    (
+        "<glossary><entry>dewey identifiers encode element ancestry"
+        "</entry><entry>inverted lists map keyword to element</entry>"
+        "</glossary>",
+        "glossary.xml",
+    ),
+    (
+        "<memo><line>xml search</line></memo>",
+        "memo.xml",
+    ),
+]
+
+
+def _engine(workers: int, spill_dir=None) -> XRankEngine:
+    engine = XRankEngine()
+    engine.build(
+        kinds=["hdil"], corpus=list(CORPUS), workers=workers,
+        spill_dir=spill_dir,
+    )
+    return engine
+
+
+class TestShardSpecs:
+    def _specs(self, costs):
+        return [
+            DocumentSpec(doc_id=i, uri=f"d{i}", source="x", cost=cost)
+            for i, cost in enumerate(costs)
+        ]
+
+    def test_deterministic_and_complete(self):
+        specs = self._specs([50, 10, 40, 10, 30, 20])
+        first = shard_specs(specs, 3)
+        second = shard_specs(specs, 3)
+        assert first == second
+        covered = sorted(spec.doc_id for shard in first for spec in shard)
+        assert covered == [0, 1, 2, 3, 4, 5]
+
+    def test_shards_sorted_by_doc_id_internally(self):
+        specs = self._specs([50, 10, 40, 10, 30, 20])
+        for shard in shard_specs(specs, 3):
+            doc_ids = [spec.doc_id for spec in shard]
+            assert doc_ids == sorted(doc_ids)
+
+    def test_lpt_balances_by_cost(self):
+        # One huge document must not drag neighbours onto its shard.
+        specs = self._specs([1000, 10, 10, 10])
+        shards = shard_specs(specs, 2)
+        loads = sorted(
+            sum(spec.cost_estimate() for spec in shard) for shard in shards
+        )
+        assert loads == [30, 1000]
+
+    def test_more_shards_than_specs_drops_empties(self):
+        shards = shard_specs(self._specs([5, 5]), 8)
+        assert len(shards) == 2
+        assert all(shard for shard in shards)
+
+
+class TestParallelIdentity:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return _engine(workers=1)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_workers_match_sequential(self, sequential, workers):
+        parallel = _engine(workers=workers)
+        queries = default_probe_queries(sequential, count=3)
+        assert compare_engines(sequential, parallel, queries=queries) == []
+
+    def test_ci_matrix_worker_count(self, sequential):
+        """Honors the CI matrix's worker-count dimension when present."""
+        workers = int(os.environ.get("REPRO_BUILD_WORKERS", "2"))
+        parallel = _engine(workers=max(workers, 1))
+        queries = default_probe_queries(sequential, count=3)
+        assert compare_engines(sequential, parallel, queries=queries) == []
+
+    def test_spill_path_matches_in_memory(self, sequential, tmp_path):
+        spilled = _engine(workers=2, spill_dir=str(tmp_path))
+        queries = default_probe_queries(sequential, count=3)
+        assert compare_engines(sequential, spilled, queries=queries) == []
+        # The private run directory is cleaned up after the merge.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_build_stats_recorded(self):
+        engine = _engine(workers=2)
+        stats = engine.last_build_stats
+        assert stats is not None
+        assert stats.workers == 2
+        assert stats.documents == len(CORPUS)
+        assert stats.shards >= 2
+
+    def test_extraction_only_path_matches(self, sequential):
+        documents = list(sequential.graph.documents.values())
+        reference, _ = extract_all_raw_postings(documents, workers=1)
+        parallel, stats = extract_all_raw_postings(documents, workers=2)
+        assert list(reference) == list(parallel)
+        assert reference == parallel
+        assert stats.workers == 2
+
+
+class TestFaults:
+    def _specs(self):
+        return specs_from_sources(list(CORPUS))
+
+    def test_worker_crash_surfaces_build_error(self):
+        # A worker dying mid-shard (os._exit) breaks the pool; the parent
+        # must convert that into BuildError instead of hanging.
+        with pytest.raises(BuildError, match="worker process died"):
+            build_corpus(self._specs(), workers=2, _fault=(0, FAULT_CRASH))
+
+    def test_worker_exception_surfaces_build_error(self):
+        with pytest.raises(BuildError, match="injected failure"):
+            build_corpus(self._specs(), workers=2, _fault=(0, FAULT_RAISE))
+
+    def test_parse_error_raise_policy(self):
+        specs = specs_from_sources(["<broken", *[s for s, _ in CORPUS]])
+        with pytest.raises(BuildError, match="cannot parse"):
+            build_corpus(specs, workers=2)
+
+    def test_parse_error_skip_policy(self):
+        sources = [CORPUS[0], ("<broken", "broken.xml"), CORPUS[1]]
+        result = build_corpus(
+            specs_from_sources(sources), workers=2, on_parse_error="skip"
+        )
+        assert [doc.uri for doc in result.documents] == [
+            "workshop.xml",
+            "survey.xml",
+        ]
+        assert len(result.skipped) == 1
+        assert result.skipped[0][0] == "broken.xml"
+
+
+# -- property-based determinism ----------------------------------------------------
+
+_WORDS = st.sampled_from(
+    "ranked keyword search xml element tree dewey list query language "
+    "proximity index workshop survey".split()
+)
+_DOC = st.lists(_WORDS, min_size=1, max_size=12)
+_CORPUS_STRATEGY = st.lists(_DOC, min_size=1, max_size=8)
+
+
+def _to_sources(word_lists):
+    return [
+        (
+            "<doc><body>" + " ".join(words) + "</body></doc>",
+            f"doc{i}.xml",
+        )
+        for i, words in enumerate(word_lists)
+    ]
+
+
+class TestShardMergeProperty:
+    @given(word_lists=_CORPUS_STRATEGY, num_shards=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_any_sharding_merges_to_sequential_order(
+        self, word_lists, num_shards
+    ):
+        """Shard+merge is a pure function of the corpus, not the sharding.
+
+        Runs the real worker entry point in-process per shard (no pool —
+        that keeps hypothesis fast) and checks the merged posting map is
+        exactly the one-shard result: same keywords, same insertion order,
+        same skeletons.
+        """
+        specs = specs_from_sources(_to_sources(word_lists))
+        reference = merge_shard_results(
+            [process_shard(ShardTask(shard_id=0, specs=list(specs)))]
+        )
+        shards = shard_specs(list(specs), num_shards)
+        results = [
+            process_shard(ShardTask(shard_id=i, specs=shard))
+            for i, shard in enumerate(shards)
+        ]
+        merged = merge_shard_results(results)
+        assert list(merged) == list(reference)
+        assert merged == reference
+
+    @pytest.mark.slow
+    @given(word_lists=_CORPUS_STRATEGY, workers=st.integers(2, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_full_engine_identity_with_real_processes(
+        self, word_lists, workers
+    ):
+        """End-to-end identity with actual worker processes (slow lane)."""
+        sources = _to_sources(word_lists)
+        sequential = XRankEngine()
+        sequential.build(kinds=["hdil"], corpus=list(sources), workers=1)
+        parallel = XRankEngine()
+        parallel.build(kinds=["hdil"], corpus=list(sources), workers=workers)
+        queries = default_probe_queries(sequential, count=3)
+        assert compare_engines(sequential, parallel, queries=queries) == []

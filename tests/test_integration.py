@@ -23,6 +23,7 @@ def dblp_indexed():
     ), plan
 
 
+@pytest.mark.slow
 class TestCrossIndexAgreement:
     def test_dewey_family_agrees_on_real_corpus(self, dblp_indexed):
         indexed, plan = dblp_indexed

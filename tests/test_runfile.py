@@ -1,0 +1,119 @@
+"""Tests for the spillable run-file format (repro.storage.runfile).
+
+The parallel build's byte-identity guarantee rests on this round-trip
+being faithful: what a worker spills must come back with the same keyword
+insertion order, Dewey IDs and position lists, and ``merge_runs`` must
+replay blocks from many runs in global ascending doc-id order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.index.postings import extract_document_raw_postings
+from repro.storage.runfile import (
+    RunReader,
+    RunWriter,
+    decode_document_block,
+    encode_document_block,
+    merge_runs,
+)
+from repro.xmlmodel.dewey import DeweyId, decode_varint
+from repro.xmlmodel.parser import parse_xml
+
+
+def _unframe(block: bytes) -> bytes:
+    """Strip the varint length prefix from an encoded document block."""
+    length, offset = decode_varint(block, 0)
+    body = block[offset:]
+    assert len(body) == length
+    return body
+
+
+def _raw(doc_id: int):
+    document = parse_xml(
+        f"<doc><title>paper {doc_id}</title><body>ranked keyword search "
+        f"over xml number{doc_id}</body></doc>",
+        doc_id=doc_id,
+        uri=f"doc{doc_id}.xml",
+    )
+    return extract_document_raw_postings(document)
+
+
+class TestBlockCodec:
+    def test_roundtrip_preserves_everything(self):
+        raw = _raw(7)
+        doc_id, decoded = decode_document_block(
+            _unframe(encode_document_block(7, raw))
+        )
+        assert doc_id == 7
+        assert list(decoded) == list(raw)  # keyword insertion order
+        for keyword in raw:
+            assert decoded[keyword] == raw[keyword]
+
+    def test_empty_postings_roundtrip(self):
+        doc_id, decoded = decode_document_block(
+            _unframe(encode_document_block(3, {}))
+        )
+        assert (doc_id, decoded) == (3, {})
+
+    def test_trailing_bytes_rejected(self):
+        raw = {"word": [(DeweyId((0, 1)), (0, 2))]}
+        body = _unframe(encode_document_block(1, raw))
+        with pytest.raises(StorageError):
+            decode_document_block(body + b"\x00")
+
+
+class TestRunFiles:
+    def test_writer_reader_roundtrip(self, tmp_path):
+        path = tmp_path / "shard.run"
+        raws = {doc_id: _raw(doc_id) for doc_id in (0, 1, 2)}
+        with RunWriter(path) as writer:
+            for doc_id in sorted(raws):
+                writer.append(doc_id, raws[doc_id])
+        assert writer.documents == 3
+        assert writer.bytes_written == path.stat().st_size
+
+        replayed = list(RunReader(path))
+        assert [doc_id for doc_id, _ in replayed] == [0, 1, 2]
+        for doc_id, decoded in replayed:
+            assert list(decoded) == list(raws[doc_id])
+            assert decoded == raws[doc_id]
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = RunWriter(tmp_path / "x.run")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(StorageError):
+            writer.append(0, {})
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "shard.run"
+        with RunWriter(path) as writer:
+            writer.append(0, _raw(0))
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(StorageError):
+            list(RunReader(path))
+
+    def test_merge_runs_global_doc_order(self, tmp_path):
+        # Shards partition the doc space non-contiguously (LPT does that);
+        # the merge must still produce global ascending doc-id order.
+        shards = {"a.run": (0, 3, 5), "b.run": (1, 4), "c.run": (2,)}
+        for name, doc_ids in shards.items():
+            with RunWriter(tmp_path / name) as writer:
+                for doc_id in doc_ids:
+                    writer.append(doc_id, _raw(doc_id))
+        merged = list(merge_runs([tmp_path / name for name in shards]))
+        assert [doc_id for doc_id, _ in merged] == [0, 1, 2, 3, 4, 5]
+        for doc_id, decoded in merged:
+            assert decoded == _raw(doc_id)
+
+    def test_merge_runs_handles_empty_run(self, tmp_path):
+        RunWriter(tmp_path / "empty.run").close()
+        with RunWriter(tmp_path / "full.run") as writer:
+            writer.append(2, _raw(2))
+        merged = list(
+            merge_runs([tmp_path / "empty.run", tmp_path / "full.run"])
+        )
+        assert [doc_id for doc_id, _ in merged] == [2]
