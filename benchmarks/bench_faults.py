@@ -1,0 +1,221 @@
+"""Fault-injection overhead and resilience benchmark.
+
+Drives the hardened serving stack — checksummed storage, in-place read
+retries, circuit breaker, degraded fallbacks — over the same seeded DBLP
+workload at increasing storage fault rates (0%, 1%, 5%) and measures
+what hardening costs and what it buys:
+
+* **cost** — at a 0% fault rate, the fault machinery must be nearly
+  free.  The gate compares *simulated I/O cost* (a pure function of the
+  I/O counters, so deterministic) between a hardened engine and a
+  checksums-off baseline: overhead must stay under 3% and the retry
+  counter must be exactly zero.
+* **benefit** — at 1% and 5% rates, the success rate (answers returned,
+  whether full-fidelity or flagged degraded) is recorded alongside the
+  typed-error rate; every failure must be a typed error, never an
+  untyped exception.
+
+Wall-clock p95 latency is recorded per rate for context but is *not*
+gated — only deterministic quantities gate CI.  Results go to
+``BENCH_faults.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.config import StorageParams, XRankConfig
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.workloads import random_queries
+from repro.engine import XRankEngine
+from repro.errors import ReproError
+from repro.faults import READ_SITES, SITE_READ_SLOW, FaultPlan
+from repro.service.core import XRankService
+
+SEED = 1337
+NUM_PAPERS = 80
+NUM_QUERIES = 60
+TINY_PAPERS = 24
+TINY_QUERIES = 12
+FAULT_RATES = (0.0, 0.01, 0.05)
+KIND = "hdil"
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+#: Maximum simulated-I/O overhead of the fault machinery at a 0% rate.
+MAX_ZERO_RATE_OVERHEAD = 0.03
+
+
+def _build_engine(num_papers: int, hardened: bool) -> XRankEngine:
+    """A fresh engine per rate — bit flips persist, so no sharing."""
+    corpus = generate_dblp(num_papers=num_papers, seed=SEED % 101)
+    config = XRankConfig(storage=StorageParams(checksums=hardened))
+    engine = XRankEngine(config=config)
+    engine.build(kinds=[KIND, "dil"], corpus=list(corpus.sources))
+    return engine
+
+
+def _drive(
+    engine: XRankEngine,
+    num_queries: int,
+    fault_rate: float,
+) -> Dict[str, object]:
+    """Replay the seeded workload at one fault rate; return one row."""
+    plan = FaultPlan.uniform(
+        SEED, fault_rate, sites=READ_SITES + (SITE_READ_SLOW,)
+    )
+    engine.set_fault_plan(plan)
+    service = XRankService(
+        engine,
+        kinds=[KIND, "dil"],
+        default_kind=KIND,
+        result_cache_size=0,
+        list_cache_size=0,
+    )
+    workload = random_queries(
+        engine.graph,
+        num_keywords=2,
+        num_queries=num_queries,
+        seed=SEED ^ 0x5EED,
+    )
+    answered = degraded = typed_errors = 0
+    for keywords in workload:
+        try:
+            response = service.search(" ".join(keywords), m=10, kind=KIND)
+        except ReproError:
+            typed_errors += 1
+            continue
+        answered += 1
+        if response.degraded:
+            degraded += 1
+
+    total = len(workload)
+    io = service.io_totals()
+    latency = service.metrics.latency_percentiles()
+    return {
+        "fault_rate": fault_rate,
+        "queries": total,
+        "answered": answered,
+        "degraded": degraded,
+        "typed_errors": typed_errors,
+        "success_rate": round(answered / total, 4) if total else None,
+        "sim_cost_ms": round(io.cost_ms(engine.config.storage), 4),
+        "io": io.as_dict(),
+        "fault_fires": {
+            site: counts["fires"] for site, counts in plan.counters().items()
+        },
+        "breaker_trips": service.breaker.trips,
+        # Informational only — wall clock is not deterministic.
+        "p95_ms": round(latency["p95_ms"], 4),
+    }
+
+
+def run_benchmark(
+    num_papers: int = NUM_PAPERS, num_queries: int = NUM_QUERIES
+) -> Dict[str, object]:
+    """All fault rates plus the checksums-off baseline; return the report."""
+    baseline = _drive(
+        _build_engine(num_papers, hardened=False), num_queries, 0.0
+    )
+    rates = [
+        _drive(_build_engine(num_papers, hardened=True), num_queries, rate)
+        for rate in FAULT_RATES
+    ]
+    zero = rates[0]
+    base_cost = baseline["sim_cost_ms"]
+    overhead = (
+        (zero["sim_cost_ms"] - base_cost) / base_cost if base_cost else 0.0
+    )
+    return {
+        "benchmark": "faults",
+        "seed": SEED,
+        "corpus": {"kind": "dblp", "papers": num_papers, "index": KIND},
+        "queries_per_rate": num_queries,
+        "baseline_unhardened": baseline,
+        "rates": rates,
+        "zero_rate_overhead": round(overhead, 6),
+        "gates": {
+            "max_zero_rate_overhead": MAX_ZERO_RATE_OVERHEAD,
+            "overhead_ok": overhead < MAX_ZERO_RATE_OVERHEAD,
+            "no_retries_at_zero_rate": zero["io"]["retries"] == 0,
+        },
+    }
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Acceptance failures for a report; empty means the benchmark passed."""
+    failures: List[str] = []
+    if not report["gates"]["overhead_ok"]:
+        failures.append(
+            f"fault machinery costs {report['zero_rate_overhead']:.2%} "
+            f"simulated I/O at 0% faults (max {MAX_ZERO_RATE_OVERHEAD:.0%})"
+        )
+    if not report["gates"]["no_retries_at_zero_rate"]:
+        failures.append("retries charged with no faults injected")
+    for row in report["rates"]:
+        if row["answered"] + row["typed_errors"] != row["queries"]:
+            failures.append(
+                f"rate {row['fault_rate']}: "
+                f"{row['queries'] - row['answered'] - row['typed_errors']} "
+                "queries ended in untyped errors"
+            )
+    return failures
+
+
+def _summary_line(report: Dict[str, object]) -> str:
+    parts = [
+        f"{row['fault_rate']:.0%}: {row['success_rate']:.0%} ok "
+        f"(p95 {row['p95_ms']:.2f}ms)"
+        for row in report["rates"]
+    ]
+    return (
+        f"faults: overhead {report['zero_rate_overhead']:.2%} at 0% | "
+        + " | ".join(parts)
+    )
+
+
+def test_fault_overhead_and_resilience(capsys):
+    report = run_benchmark(num_papers=TINY_PAPERS, num_queries=TINY_QUERIES)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    with capsys.disabled():
+        print(f"\n{_summary_line(report)} -> {OUTPUT.name}")
+
+    failures = check_report(report)
+    assert not failures, (failures, report)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point for CI's bench-smoke lane."""
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help=f"smoke-test scale ({TINY_PAPERS} papers, "
+        f"{TINY_QUERIES} queries/rate)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT, help="report destination"
+    )
+    args = parser.parse_args(argv)
+
+    papers = TINY_PAPERS if args.tiny else NUM_PAPERS
+    queries = TINY_QUERIES if args.tiny else NUM_QUERIES
+    report = run_benchmark(num_papers=papers, num_queries=queries)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(_summary_line(report))
+    print(f"wrote {args.out}")
+    failures = check_report(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from ..linter import LintConfig, LintRule
 from .deadline import DeadlineDisciplineRule
+from .faults import FaultTypedErrorsRule
 from .general import BareExceptRule, MutableDefaultRule, WallClockRule
 from .generation import CacheGenerationRule
 from .locks import LockDisciplineRule
@@ -24,6 +25,7 @@ ALL_RULES: List[LintRule] = [
     BareExceptRule(),
     MutableDefaultRule(),
     WallClockRule(),
+    FaultTypedErrorsRule(),
 ]
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "BareExceptRule",
     "CacheGenerationRule",
     "DeadlineDisciplineRule",
+    "FaultTypedErrorsRule",
     "LockDisciplineRule",
     "MutableDefaultRule",
     "WallClockRule",

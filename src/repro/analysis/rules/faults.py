@@ -1,0 +1,77 @@
+"""Fault-discipline rule: fault sites must raise typed errors.
+
+The chaos harness's invariant — every faulted query matches the oracle,
+is flagged degraded, or fails with a typed :class:`~repro.errors.
+ReproError` subclass — only holds if the layers that *raise* under fault
+injection raise something a hardened caller can catch by type.  A
+``raise RuntimeError(...)`` in the storage read path would sail past
+``except FaultError`` in the circuit breaker and surface to clients as
+an untyped 500, silently reclassifying an injected fault as a bug.
+
+``fault-typed-errors`` therefore bans raising builtin exception types in
+the fault-bearing packages (storage, service, build, faults, chaos).
+Re-raising a caught builtin (``raise exc``) is out of scope — the rule
+targets exceptions *originated* by this codebase.  Deliberate
+exceptions (e.g. argument validation in dataclass ``__post_init__``)
+carry a ``# repro: ignore[fault-typed-errors]`` suppression with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+
+#: Builtin exception types a fault-bearing layer must not originate.
+_BANNED_TYPES = {
+    "Exception",
+    "BaseException",
+    "RuntimeError",
+    "OSError",
+    "IOError",
+    "ValueError",
+    "KeyError",
+    "TypeError",
+    "ArithmeticError",
+    "SystemError",
+}
+
+
+class FaultTypedErrorsRule(LintRule):
+    rule_id = "fault-typed-errors"
+    description = (
+        "fault site raises a builtin exception instead of a typed "
+        "ReproError subclass"
+    )
+    scopes = ("storage/", "service/", "build/", "faults", "chaos")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_type(node.exc)
+            if name in _BANNED_TYPES:
+                violations.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"raises builtin {name}; fault-bearing layers must "
+                        "raise a typed ReproError subclass (see "
+                        "repro.errors) so hardened callers can catch it",
+                    )
+                )
+        return violations
+
+
+def _raised_type(exc: ast.expr) -> str:
+    """The name of the exception type being raised, if statically known."""
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return ""

@@ -13,12 +13,21 @@ Process management notes:
 * the start method prefers ``fork`` (cheap on Linux; lets extraction-only
   workers inherit parsed documents copy-on-write instead of pickling them
   through the task pipe) and falls back to ``spawn`` elsewhere;
-* a worker that raises surfaces as :class:`~repro.errors.BuildError` with
-  the shard attributed; a worker that *dies* (OOM-kill, segfault) breaks
-  the pool, which is also converted into a clean :class:`BuildError` —
-  the pipeline never leaves the caller hanging on a dead pool;
+* a worker that raises, a worker that *dies* (OOM-kill, segfault — breaks
+  the pool), and a spilled run file that fails its checksum scan are all
+  handled per shard: the shard is retried up to :data:`MAX_SHARD_ATTEMPTS`
+  times (recreating the pool after a crash) before the pipeline gives up
+  with a clean :class:`~repro.errors.BuildError` — transient faults cost
+  retries (counted in ``BuildStats.retries``), not whole builds, and the
+  pipeline never leaves the caller hanging on a dead pool;
+* injected faults (:mod:`repro.faults`) are decided in the *parent* —
+  plan state is not shared with worker processes — and delivered through
+  the tasks' ``fault`` hook; spilled run files are corrupted parent-side
+  after the worker returns;
 * spilled run files live in a private temporary directory under the
-  caller's ``spill_dir`` and are removed once merged.
+  caller's ``spill_dir`` and are removed once merged; each is checksum-
+  validated (:func:`~repro.storage.runfile.verify_run`) before the merge
+  consumes it.
 """
 
 from __future__ import annotations
@@ -33,12 +42,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..errors import BuildError
+from ..errors import BuildError, CorruptRunError
+from ..faults import SITE_RUNFILE_CORRUPT, SITE_WORKER_CRASH, FaultPlan
 from ..index.postings import RawPostingMap
+from ..storage.runfile import verify_run
 from ..xmlmodel.nodes import Document
 from .merge import merge_shard_results
 from .shard import DocumentSpec, shard_specs
 from .worker import (
+    FAULT_CRASH,
+    FAULT_RAISE,
     ExtractTask,
     ShardResult,
     ShardTask,
@@ -49,6 +62,9 @@ from .worker import (
 
 _XML_SUFFIXES = {".xml"}
 _HTML_SUFFIXES = {".html", ".htm"}
+
+#: Attempts per shard (initial + retries) before the build gives up.
+MAX_SHARD_ATTEMPTS = 3
 
 
 @dataclass
@@ -65,6 +81,8 @@ class BuildStats:
     elapsed_seconds: float = 0.0
     spilled_bytes: int = 0
     keywords: int = 0
+    #: Shard attempts beyond the first (worker crash / raise / corrupt run).
+    retries: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -78,6 +96,7 @@ class BuildStats:
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "spilled_bytes": self.spilled_bytes,
             "keywords": self.keywords,
+            "retries": self.retries,
         }
 
 
@@ -148,31 +167,113 @@ def _mp_context(name: Optional[str] = None):
     return multiprocessing.get_context(name)
 
 
-def _run_tasks(tasks, worker_fn, workers: int, context) -> List[ShardResult]:
-    """Execute shard tasks on a process pool; fail cleanly, never hang."""
-    results: List[ShardResult] = []
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)), mp_context=context
-        ) as executor:
-            futures = [executor.submit(worker_fn, task) for task in tasks]
-            for task, future in zip(tasks, futures):
+def _corrupt_run_file(path: str, plan: FaultPlan) -> None:
+    """Parent-side fault injection: flip one byte of a spilled run file."""
+    file_path = Path(path)
+    data = bytearray(file_path.read_bytes())
+    if not data:
+        return
+    position = plan.choose(SITE_RUNFILE_CORRUPT, len(data))
+    data[position] ^= 0xFF
+    file_path.write_bytes(bytes(data))
+
+
+def _post_process_shard(
+    result: ShardResult, fault_plan: Optional[FaultPlan]
+) -> None:
+    """Inject run-file corruption (if armed), then checksum-scan the run.
+
+    Raises :class:`CorruptRunError` when the spilled run fails validation —
+    the caller treats that exactly like a worker failure and retries the
+    shard (the rewrite truncates, so a retried shard starts clean).
+    """
+    if result.run_path is None:
+        return
+    if fault_plan is not None and fault_plan.should_fire(SITE_RUNFILE_CORRUPT):
+        _corrupt_run_file(result.run_path, fault_plan)
+    verify_run(result.run_path)
+
+
+def _execute_shards(
+    tasks,
+    worker_fn,
+    workers: int,
+    context,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Tuple[List[ShardResult], int]:
+    """Run shard tasks with per-shard retries; fail cleanly, never hang.
+
+    Worker raises, worker deaths (broken pool — recreated before the next
+    round), and corrupt spilled run files each cost the affected shard one
+    attempt, up to :data:`MAX_SHARD_ATTEMPTS`; only shards that failed are
+    resubmitted.  Injected crash decisions are made here, in the parent,
+    because plan state is not shared with worker processes.  Returns the
+    results ordered by shard id plus the number of retries spent.
+    """
+    inline = workers == 1
+    original_fault = {task.shard_id: task.fault for task in tasks}
+    pending = {task.shard_id: task for task in tasks}
+    attempts = {task.shard_id: 0 for task in tasks}
+    results: Dict[int, ShardResult] = {}
+    retries = 0
+    while pending:
+        for shard_id in sorted(pending):
+            task = pending[shard_id]
+            task.fault = original_fault[shard_id]
+            if (
+                task.fault is None
+                and fault_plan is not None
+                and fault_plan.should_fire(SITE_WORKER_CRASH)
+            ):
+                # Inline shards must not os._exit the caller's process, so
+                # the injected "crash" degrades to a raise there.
+                task.fault = FAULT_RAISE if inline else FAULT_CRASH
+        failures: Dict[int, str] = {}
+        if inline:
+            for shard_id in sorted(pending):
                 try:
-                    results.append(future.result())
-                except BuildError:
-                    raise
-                except BrokenProcessPool:
-                    raise
-                except Exception as exc:
-                    raise BuildError(
-                        f"shard {task.shard_id} worker failed: {exc!r}"
-                    ) from exc
-    except BrokenProcessPool as exc:
-        raise BuildError(
-            "a build worker process died before returning its shard "
-            "(out-of-memory or crash); partial state was discarded"
-        ) from exc
-    return results
+                    result = worker_fn(pending[shard_id])
+                    _post_process_shard(result, fault_plan)
+                except (BuildError, CorruptRunError) as exc:
+                    failures[shard_id] = str(exc)
+                else:
+                    results[shard_id] = result
+        else:
+            ordered = [pending[shard_id] for shard_id in sorted(pending)]
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(ordered)), mp_context=context
+            ) as executor:
+                futures = [
+                    (task, executor.submit(worker_fn, task))
+                    for task in ordered
+                ]
+                for task, future in futures:
+                    try:
+                        result = future.result()
+                        _post_process_shard(result, fault_plan)
+                    except BrokenProcessPool:
+                        failures[task.shard_id] = (
+                            "worker process died before returning its shard "
+                            "(out-of-memory or crash)"
+                        )
+                    except (BuildError, CorruptRunError) as exc:
+                        failures[task.shard_id] = str(exc)
+                    except Exception as exc:
+                        failures[task.shard_id] = f"worker failed: {exc!r}"
+                    else:
+                        results[task.shard_id] = result
+        for shard_id, message in sorted(failures.items()):
+            attempts[shard_id] += 1
+            if attempts[shard_id] >= MAX_SHARD_ATTEMPTS:
+                raise BuildError(
+                    f"shard {shard_id} failed after {MAX_SHARD_ATTEMPTS} "
+                    f"attempts: {message}"
+                )
+            retries += 1
+        for shard_id in list(pending):
+            if shard_id in results:
+                del pending[shard_id]
+    return [results[shard_id] for shard_id in sorted(results)], retries
 
 
 def build_corpus(
@@ -182,6 +283,7 @@ def build_corpus(
     on_parse_error: str = "raise",
     mp_start_method: Optional[str] = None,
     _fault: Optional[Tuple[int, str]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CorpusBuildResult:
     """Parse + tokenize + extract a corpus, sharded over worker processes.
 
@@ -195,6 +297,8 @@ def build_corpus(
             failures, like ``repro index``).
         mp_start_method: override the multiprocessing start method.
         _fault: test hook — ``(shard_id, mode)`` injected into that shard.
+        fault_plan: seeded :class:`~repro.faults.FaultPlan` driving worker
+            crashes and run-file corruption (chaos harness / tests).
     """
     if workers < 1:
         raise BuildError(f"workers must be >= 1, got {workers}")
@@ -227,12 +331,13 @@ def build_corpus(
             )
             for shard_id, shard in enumerate(shards)
         ]
-        if workers == 1:
-            shard_results = [process_shard(task) for task in tasks]
-        else:
-            shard_results = _run_tasks(
-                tasks, process_shard, workers, _mp_context(mp_start_method)
-            )
+        shard_results, result.stats.retries = _execute_shards(
+            tasks,
+            process_shard,
+            workers,
+            None if workers == 1 else _mp_context(mp_start_method),
+            fault_plan,
+        )
 
         merge_started = time.perf_counter()
         result.raw_postings = merge_shard_results(shard_results)
@@ -260,12 +365,14 @@ def extract_all_raw_postings(
     spill_dir: Optional[Union[str, Path]] = None,
     mp_start_method: Optional[str] = None,
     _fault: Optional[Tuple[int, str]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[RawPostingMap, BuildStats]:
     """Posting skeletons for already-parsed documents, sharded by doc id.
 
     Under a fork start method the workers inherit the parsed trees
     copy-on-write; under spawn each task carries its documents explicitly.
-    ``workers=1`` extracts inline (the sequential fallback).
+    ``workers=1`` extracts inline (the sequential fallback).  ``fault_plan``
+    injects worker crashes / run corruption exactly as in ``build_corpus``.
     """
     if workers < 1:
         raise BuildError(f"workers must be >= 1, got {workers}")
@@ -309,22 +416,16 @@ def extract_all_raw_postings(
             )
             for shard_id, shard in enumerate(plan)
         ]
-        if workers == 1:
+        share_table = workers == 1 or use_fork_table
+        if share_table:
             set_inherited_documents(by_id)
-            try:
-                shard_results = [process_extract_shard(task) for task in tasks]
-            finally:
+        try:
+            shard_results, stats.retries = _execute_shards(
+                tasks, process_extract_shard, workers, context, fault_plan
+            )
+        finally:
+            if share_table:
                 set_inherited_documents(None)
-        else:
-            if use_fork_table:
-                set_inherited_documents(by_id)
-            try:
-                shard_results = _run_tasks(
-                    tasks, process_extract_shard, workers, context
-                )
-            finally:
-                if use_fork_table:
-                    set_inherited_documents(None)
 
         merge_started = time.perf_counter()
         merged = merge_shard_results(shard_results)

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..errors import BuildError
+
 
 @dataclass(frozen=True)
 class DocumentSpec:
@@ -67,7 +69,7 @@ def shard_specs(
     k-way merge relies on.
     """
     if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        raise BuildError(f"num_shards must be >= 1, got {num_shards}")
     num_shards = min(num_shards, max(len(specs), 1))
     shards: List[List[DocumentSpec]] = [[] for _ in range(num_shards)]
     if not specs:

@@ -1,0 +1,216 @@
+"""The chaos harness: seeded fault storms over build → index → serve.
+
+``run_chaos`` builds the same corpus twice — once fault-free (the
+**oracle**) and once through the full hardened path: parallel build with
+injected worker crashes and run-file corruption, checksummed storage
+with injected read errors / torn reads / bit rot / stalls, and the
+serving layer's retry + circuit-breaker machinery.  Every query is then
+classified against the oracle:
+
+* ``match`` — answer identical to the fault-free engine's;
+* ``degraded`` — flagged degraded (deadline, fallback kind, fault note);
+* ``typed_error`` — a :class:`~repro.errors.ReproError` subclass escaped;
+* ``mismatch`` — **silent wrong answer** (undegraded, unflagged, wrong);
+* ``untyped_error`` — a non-repro exception escaped.
+
+The harness's invariant — the acceptance bar of the fault subsystem —
+is that the last two buckets stay at zero under any seed and rate.
+
+Determinism: everything that reaches the report is a pure function of
+``(seed, fault_rate, scale)``.  Queries run sequentially, caches are
+disabled, fault decisions come from per-site seeded streams, the
+breaker's cooldown is query-counted, and the report carries **no wall
+clock data** — two invocations with the same arguments must serialize
+bit-for-bit identically (the CI ``chaos-smoke`` job diffs them).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import StorageParams, XRankConfig
+from .datasets import generate_dblp, random_queries
+from .engine import XRankEngine
+from .errors import ReproError
+from .faults import (
+    READ_SITES,
+    SITE_READ_SLOW,
+    SITE_RUNFILE_CORRUPT,
+    SITE_WORKER_CRASH,
+    FaultPlan,
+    FaultSpec,
+)
+from .service.core import XRankService
+
+#: Outcome labels, in report order.
+OUTCOMES = ("match", "degraded", "typed_error", "mismatch", "untyped_error")
+
+
+@dataclass
+class ChaosReport:
+    """Deterministic result of one chaos run (no wall-clock data)."""
+
+    seed: int = 0
+    fault_rate: float = 0.0
+    kind: str = "hdil"
+    documents: int = 0
+    queries: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    #: Queries whose outcome broke the invariant, with diagnostics.
+    violations: List[Dict[str, object]] = field(default_factory=list)
+    build_retries: int = 0
+    build_faults: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    query_faults: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    io: Dict[str, object] = field(default_factory=dict)
+    breaker_trips: int = 0
+    ok: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (CLI output, CI gate)."""
+        return {
+            "seed": self.seed,
+            "fault_rate": self.fault_rate,
+            "kind": self.kind,
+            "documents": self.documents,
+            "queries": self.queries,
+            "outcomes": dict(self.outcomes),
+            "violations": list(self.violations),
+            "build_retries": self.build_retries,
+            "build_faults": self.build_faults,
+            "query_faults": self.query_faults,
+            "io": self.io,
+            "breaker_trips": self.breaker_trips,
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (the bit-for-bit comparison format)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+def _signature(hits) -> List[List[object]]:
+    """Order-sensitive answer fingerprint for oracle comparison."""
+    return [[hit.dewey, round(hit.rank, 9)] for hit in hits]
+
+
+def run_chaos(
+    seed: int = 1337,
+    fault_rate: float = 0.05,
+    num_queries: int = 40,
+    num_papers: int = 60,
+    kind: str = "hdil",
+    workers: int = 2,
+    spill_dir: Optional[str] = None,
+) -> ChaosReport:
+    """One seeded fault storm; see the module docstring for semantics.
+
+    Args:
+        seed: drives corpus choice of queries and every fault decision.
+        fault_rate: per-read probability for each storage fault site.
+        num_queries / num_papers: storm scale (``--tiny`` in the CLI).
+        kind: the index kind queries request (its breaker fallback is
+            also built so degraded answering has somewhere to go).
+        workers: parallel-build worker processes for the faulted build.
+        spill_dir: where the faulted build spills run files (a temp dir
+            by default) — spilling must be on for run-corruption faults
+            to have a target.
+    """
+    report = ChaosReport(seed=seed, fault_rate=fault_rate, kind=kind)
+    corpus = generate_dblp(num_papers=num_papers, seed=(seed % 997) + 3)
+    kinds = tuple(dict.fromkeys([kind, "dil"]))
+
+    # Oracle: sequential build, no checksums, no faults.
+    oracle = XRankEngine()
+    oracle.build(kinds=kinds, corpus=list(corpus.sources))
+    report.documents = oracle.graph.num_documents
+
+    # Faulted twin: parallel spilling build under crash/corruption faults,
+    # checksummed storage under a read-fault storm.
+    build_plan = FaultPlan(
+        seed,
+        [
+            FaultSpec(SITE_WORKER_CRASH, probability=1.0, times=1),
+            FaultSpec(SITE_RUNFILE_CORRUPT, probability=1.0, times=1),
+        ],
+    )
+    config = XRankConfig(storage=StorageParams(checksums=True))
+    faulted = XRankEngine(config=config)
+    with tempfile.TemporaryDirectory(dir=spill_dir) as spill:
+        faulted.build(
+            kinds=kinds,
+            corpus=list(corpus.sources),
+            workers=workers,
+            spill_dir=spill,
+            fault_plan=build_plan,
+        )
+    if faulted.last_build_stats is not None:
+        report.build_retries = faulted.last_build_stats.retries
+    report.build_faults = build_plan.counters()
+
+    query_plan = FaultPlan.uniform(
+        seed, fault_rate, sites=READ_SITES + (SITE_READ_SLOW,)
+    )
+    faulted.set_fault_plan(query_plan)
+    service = XRankService(
+        faulted,
+        kinds=kinds,
+        default_kind=kind,
+        result_cache_size=0,
+        list_cache_size=0,
+        max_concurrent=1,
+        max_queue=1,
+    )
+
+    workload = random_queries(
+        oracle.graph,
+        num_keywords=2,
+        num_queries=num_queries,
+        seed=seed ^ 0x5EED,
+    )
+    outcomes = {name: 0 for name in OUTCOMES}
+    for keywords in workload:
+        query = " ".join(keywords)
+        expected = _signature(oracle.search(query, m=10, kind=kind))
+        try:
+            response = service.search(query, m=10, kind=kind)
+        except ReproError:
+            outcomes["typed_error"] += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 — the invariant check
+            outcomes["untyped_error"] += 1
+            report.violations.append(
+                {
+                    "query": query,
+                    "outcome": "untyped_error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            continue
+        if response.degraded:
+            outcomes["degraded"] += 1
+        elif _signature(response.hits) == expected:
+            outcomes["match"] += 1
+        else:
+            outcomes["mismatch"] += 1
+            report.violations.append(
+                {
+                    "query": query,
+                    "outcome": "mismatch",
+                    "expected": expected,
+                    "got": _signature(response.hits),
+                }
+            )
+    report.queries = len(workload)
+    report.outcomes = outcomes
+    report.query_faults = query_plan.counters()
+    report.io = service.io_totals().as_dict()
+    report.breaker_trips = service.breaker.trips
+    report.ok = (
+        outcomes["mismatch"] == 0
+        and outcomes["untyped_error"] == 0
+        and report.queries > 0
+    )
+    return report

@@ -320,6 +320,41 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one seeded fault storm and report outcomes vs. the oracle."""
+    from .chaos import run_chaos
+
+    num_queries = args.queries
+    num_papers = args.papers
+    if args.tiny:
+        num_queries = min(num_queries, 12)
+        num_papers = min(num_papers, 24)
+    report = run_chaos(
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        num_queries=num_queries,
+        num_papers=num_papers,
+        kind=args.kind,
+        workers=args.workers,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(
+            f"chaos seed={report.seed} rate={report.fault_rate} "
+            f"kind={report.kind}: {report.queries} queries over "
+            f"{report.documents} documents"
+        )
+        for name, count in sorted(report.outcomes.items()):
+            print(f"  {name:>14}: {count}")
+        print(f"  build retries: {report.build_retries}")
+        print(f"  breaker trips: {report.breaker_trips}")
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        print("ok" if report.ok else "FAILED: silent wrong answers detected")
+    return 0 if report.ok else 1
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     """Build and query a tiny in-memory demo corpus."""
     engine = _demo_engine()
@@ -465,6 +500,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     check_cmd.set_defaults(handler=cmd_check)
+
+    chaos_cmd = commands.add_parser(
+        "chaos",
+        help="seeded fault storm over build+serve, checked against a "
+        "fault-free oracle (exit 1 on any silent wrong answer)",
+    )
+    chaos_cmd.add_argument(
+        "--seed", type=int, default=1337,
+        help="drives the corpus, the queries and every fault decision",
+    )
+    chaos_cmd.add_argument(
+        "--fault-rate", type=float, default=0.05,
+        help="per-read probability for each storage fault site",
+    )
+    chaos_cmd.add_argument(
+        "--queries", type=int, default=40, help="queries in the storm"
+    )
+    chaos_cmd.add_argument(
+        "--papers", type=int, default=60, help="synthetic corpus size"
+    )
+    chaos_cmd.add_argument(
+        "--kind", default="hdil", choices=sorted(INDEX_KINDS),
+        help="index kind the queries request",
+    )
+    chaos_cmd.add_argument(
+        "--workers", type=int, default=2,
+        help="parallel-build workers for the faulted build",
+    )
+    chaos_cmd.add_argument(
+        "--tiny", action="store_true",
+        help="clamp the storm to CI-smoke scale (<=24 docs, <=12 queries)",
+    )
+    chaos_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON report (bit-for-bit comparable)",
+    )
+    chaos_cmd.set_defaults(handler=cmd_chaos)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

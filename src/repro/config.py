@@ -110,18 +110,36 @@ class StorageParams:
         buffer_pool_pages: LRU buffer pool capacity, in pages.
         seek_cost_ms: charged for each non-sequential page read.
         transfer_cost_ms: charged for every page read.
+        checksums: store a CRC32C per page and verify it on every
+            buffer-pool miss; mismatches raise
+            :class:`~repro.errors.CorruptPageError` instead of returning
+            torn or bit-rotted data.  Off by default (the paper's
+            experiments model a trusted disk).
+        read_retries: how many times a failed or corrupt page read is
+            retried in place before the error escapes — transient faults
+            (I/O errors, torn reads) usually clear on re-read, persistent
+            corruption (bit rot) does not and escalates.
+        slow_read_penalty_ms: simulated stall charged per slow read
+            injected by a fault plan (rotational retry / remapped sector).
     """
 
     page_size: int = 4096
     buffer_pool_pages: int = 256
     seek_cost_ms: float = 8.0
     transfer_cost_ms: float = 0.05
+    checksums: bool = False
+    read_retries: int = 1
+    slow_read_penalty_ms: float = 40.0
 
     def __post_init__(self) -> None:
         if self.page_size < 64:
             raise QueryError("page_size must be at least 64 bytes")
         if self.buffer_pool_pages < 1:
             raise QueryError("buffer_pool_pages must be positive")
+        if self.read_retries < 0:
+            raise QueryError("read_retries cannot be negative")
+        if self.slow_read_penalty_ms < 0:
+            raise QueryError("slow_read_penalty_ms cannot be negative")
 
 
 @dataclass(frozen=True)

@@ -131,6 +131,19 @@ class XRankEngine:
         #: purely sequential builds) and the documents it skipped.
         self.last_build_stats = None
         self.last_build_skipped: List[Tuple[str, str]] = []
+        #: Fault plan applied to every index's simulated disk (chaos
+        #: harness / fault tests); None disables injection.
+        self._fault_plan = None
+
+    def set_fault_plan(self, plan) -> None:
+        """Attach a :class:`~repro.faults.FaultPlan` to every index disk.
+
+        Applies to already-built indexes immediately and to every index
+        built afterwards; pass ``None`` to stop injecting.
+        """
+        self._fault_plan = plan
+        for index in self._indexes.values():
+            index.disk.fault_plan = plan
 
     # -- corpus management -------------------------------------------------------------
 
@@ -233,6 +246,7 @@ class XRankEngine:
         workers: int = 1,
         spill_dir=None,
         on_parse_error: str = "raise",
+        fault_plan=None,
     ) -> None:
         """Run ElemRank and materialize the requested index kinds.
 
@@ -253,6 +267,9 @@ class XRankEngine:
                 in-memory (bounded peak RSS for corpora larger than RAM).
             on_parse_error: ``"raise"`` (default) or ``"skip"`` bad
                 documents when ingesting ``corpus``.
+            fault_plan: :class:`~repro.faults.FaultPlan` driving injected
+                worker crashes / run-file corruption during this build
+                (the pipeline retries per shard; see repro.build).
         """
         unknown = [k for k in kinds if k not in INDEX_KINDS]
         if unknown:
@@ -264,7 +281,7 @@ class XRankEngine:
         self.last_build_stats = None
         if corpus is not None:
             raw_postings = self._ingest_corpus(
-                corpus, workers, spill_dir, on_parse_error
+                corpus, workers, spill_dir, on_parse_error, fault_plan
             )
         if not self.graph.documents:
             raise QueryError("cannot build an index over zero documents")
@@ -278,6 +295,7 @@ class XRankEngine:
                 list(self.graph.documents.values()),
                 workers=workers,
                 spill_dir=spill_dir,
+                fault_plan=fault_plan,
             )
             self.last_build_stats = stats
         self.builder = IndexBuilder(
@@ -295,7 +313,9 @@ class XRankEngine:
             self._build_kind(kind)
         self.generation += 1
 
-    def _ingest_corpus(self, corpus, workers, spill_dir, on_parse_error):
+    def _ingest_corpus(
+        self, corpus, workers, spill_dir, on_parse_error, fault_plan=None
+    ):
         """Add a corpus through the build pipeline; returns merged raw
         postings covering the *whole* graph, or None when they must be
         re-extracted (pre-parsed documents with unknown coverage)."""
@@ -351,6 +371,7 @@ class XRankEngine:
             workers=workers,
             spill_dir=spill_dir,
             on_parse_error=on_parse_error,
+            fault_plan=fault_plan,
         )
         for document in result.documents:
             self.graph.add_document(document)
@@ -367,7 +388,10 @@ class XRankEngine:
         # Existing documents all precede the new ones (ids are monotone),
         # so folding old-then-new preserves the global scan order.
         old_raw, _stats = extract_all_raw_postings(
-            old_docs, workers=workers, spill_dir=spill_dir
+            old_docs,
+            workers=workers,
+            spill_dir=spill_dir,
+            fault_plan=fault_plan,
         )
         combined = {k: list(v) for k, v in old_raw.items()}
         for keyword, entries in result.raw_postings.items():
@@ -397,6 +421,8 @@ class XRankEngine:
         else:
             index = builder.build_naive_rank()
             evaluator = NaiveRankEvaluator(index, self.config.ranking)
+        if self._fault_plan is not None:
+            index.disk.fault_plan = self._fault_plan
         self._indexes[kind] = index
         self._evaluators[kind] = evaluator
 

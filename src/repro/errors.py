@@ -42,6 +42,55 @@ class PageError(StorageError):
     """Raised when a page id is out of range or a page overflows."""
 
 
+class FaultError(StorageError):
+    """Base class for storage faults — injected or detected.
+
+    Everything the fault-injection subsystem (:mod:`repro.faults`) makes
+    a layer raise derives from here, so hardened callers (the serving
+    layer's circuit breaker, the build pipeline's per-shard retry) can
+    catch exactly the failures that model hardware misbehaviour without
+    also swallowing programming errors.
+    """
+
+
+class ReadFaultError(FaultError):
+    """Raised when a simulated page read fails outright (I/O error).
+
+    Transient by construction: the disk retries the read internally
+    (``StorageParams.read_retries``) before letting this escape.
+    """
+
+    def __init__(self, page_id: int, message: str = ""):
+        self.page_id = page_id
+        super().__init__(
+            message or f"injected read error on page {page_id}"
+        )
+
+
+class CorruptPageError(FaultError):
+    """Raised when a page's checksum does not match its contents.
+
+    Detection, not injection: with ``StorageParams.checksums`` enabled
+    every buffer-pool miss verifies the page's CRC32C, so torn writes and
+    bit rot surface here instead of flowing into query results.  Carries
+    the page id and the owning structure (e.g. ``"dil:xql"``) so
+    operators can tell *which* inverted list is rotten.
+    """
+
+    def __init__(self, page_id: int, owner: str = ""):
+        self.page_id = page_id
+        self.owner = owner
+        suffix = f" (owned by {owner})" if owner else ""
+        super().__init__(
+            f"checksum mismatch on page {page_id}{suffix}: "
+            "page is torn or bit-rotted"
+        )
+
+
+class CorruptRunError(FaultError):
+    """Raised when a build run file fails its per-block CRC32C check."""
+
+
 class BTreeError(StorageError):
     """Raised on B+-tree invariant violations (bad fanout, key order)."""
 
@@ -114,3 +163,19 @@ class ServiceHTTPError(ServiceError):
         self.status = status
         self.payload = payload
         super().__init__(f"HTTP {status}: {payload}")
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """Raised when the service client's error budget runs out.
+
+    The client retries transient failures with exponential backoff, but
+    only while its per-client error budget lasts; once spent, failures
+    surface immediately so a broken backend degrades fast instead of
+    multiplying latency across every caller.
+    """
+
+
+#: Alias for the package-level error base, so callers hardened against
+#: "any typed repro failure" can write ``except ReproError`` regardless of
+#: which historical name they learned first.
+ReproError = XRankError

@@ -1,0 +1,216 @@
+"""Deterministic, seedable fault injection (``repro.faults``).
+
+A :class:`FaultPlan` decides, per *fault site*, whether each opportunity
+to fail actually fails.  Sites are string labels naming one place a layer
+consults the plan — the simulated disk's read path, the build pipeline's
+worker dispatch, the run-file merge.  Decisions are driven entirely by a
+seeded RNG (one independent stream per site, so consulting one site never
+perturbs another) plus per-site trigger counts; no wall clock, no global
+state.  Two runs with the same seed and the same sequence of
+``should_fire`` calls make identical decisions — the property the chaos
+harness (:mod:`repro.chaos`) relies on for bit-for-bit reproducibility.
+
+Layers that accept a plan:
+
+* :class:`~repro.storage.disk.SimulatedDisk` — ``disk.fault_plan``
+  injects read errors, torn reads, persistent bit flips and slow reads;
+* :mod:`repro.build.pipeline` — ``fault_plan=`` crashes workers and
+  corrupts spilled run files (both retried per shard);
+* :class:`~repro.engine.XRankEngine` — :meth:`~repro.engine.XRankEngine.
+  set_fault_plan` attaches one plan to every built index's disk.
+
+Every fault a plan injects surfaces as a typed
+:class:`~repro.errors.ReproError` subclass (enforced by the
+``fault-typed-errors`` lint rule): silent failure modes exist only as the
+*corruptions* checksums are there to catch.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .storage.checksum import crc32c
+
+# -- fault sites ---------------------------------------------------------------------
+
+#: One simulated page read fails outright (I/O error; transient).
+SITE_READ_ERROR = "disk.read.error"
+#: One read returns a truncated page (torn read; transient).
+SITE_READ_TORN = "disk.read.torn"
+#: One stored page gets a bit flipped in place (bit rot; persistent).
+SITE_READ_BITFLIP = "disk.read.bitflip"
+#: One read is charged a rotational-stall penalty (slow read; benign).
+SITE_READ_SLOW = "disk.read.slow"
+#: One build worker process dies without returning its shard.
+SITE_WORKER_CRASH = "build.worker.crash"
+#: One spilled run file gets a byte flipped before the merge reads it.
+SITE_RUNFILE_CORRUPT = "build.runfile.corrupt"
+
+#: The storage-layer sites (what a "read-fault rate" applies to).
+READ_SITES = (SITE_READ_ERROR, SITE_READ_TORN, SITE_READ_BITFLIP)
+
+#: Every site any layer consults.
+ALL_SITES = READ_SITES + (
+    SITE_READ_SLOW,
+    SITE_WORKER_CRASH,
+    SITE_RUNFILE_CORRUPT,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one site misbehaves.
+
+    Attributes:
+        site: the fault-site label this spec applies to.
+        probability: chance in [0, 1] that each eligible call fires.
+        times: cap on total fires (None = unlimited) — ``times=1`` with
+            ``probability=1.0`` is a deterministic "fail exactly once,
+            then recover" trigger, the shape retry tests want.
+        skip: number of initial calls that can never fire (lets a plan
+            target steady state rather than the first touch).
+    """
+
+    site: str
+    probability: float = 0.0
+    times: Optional[int] = None
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(  # repro: ignore[fault-typed-errors] — config validation, not a fault site
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.times is not None and self.times < 0:
+            raise ValueError(  # repro: ignore[fault-typed-errors] — config validation, not a fault site
+                f"times cannot be negative, got {self.times}"
+            )
+
+
+class FaultPlan:
+    """Seeded, thread-safe fault decisions over a set of sites.
+
+    Each site draws from its own :class:`random.Random` stream seeded
+    from ``(seed, crc32c(site))``, so the interleaving of calls across
+    sites cannot change any single site's decision sequence — build
+    faults consulted before query faults do not shift the query faults.
+    """
+
+    def __init__(self, seed: int = 0, specs: Iterable[FaultSpec] = ()):
+        self.seed = seed
+        self._specs: Dict[str, FaultSpec] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self._calls: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        for spec in specs:
+            self._specs[spec.site] = spec
+            self._rngs[spec.site] = self._stream(spec.site)
+            self._calls[spec.site] = 0
+            self._fires[spec.site] = 0
+
+    @classmethod
+    def uniform(
+        cls,
+        seed: int,
+        rate: float,
+        sites: Iterable[str] = READ_SITES,
+        times: Optional[int] = None,
+    ) -> "FaultPlan":
+        """One plan firing every listed site at the same probability."""
+        return cls(
+            seed,
+            [FaultSpec(site, probability=rate, times=times) for site in sites],
+        )
+
+    def _stream(self, site: str) -> random.Random:
+        return random.Random((self.seed << 32) ^ crc32c(site.encode("utf-8")))
+
+    # -- decisions -------------------------------------------------------------
+
+    def should_fire(self, site: str) -> bool:
+        """One eligible call at ``site``: does it fail?"""
+        with self._lock:
+            spec = self._specs.get(site)
+            if spec is None:
+                return False
+            calls = self._calls[site]
+            self._calls[site] = calls + 1
+            if calls < spec.skip:
+                return False
+            if spec.times is not None and self._fires[site] >= spec.times:
+                return False
+            if spec.probability <= 0.0:
+                return False
+            if (
+                spec.probability < 1.0
+                and self._rngs[site].random() >= spec.probability
+            ):
+                return False
+            self._fires[site] += 1
+            return True
+
+    def choose(self, site: str, bound: int) -> int:
+        """A deterministic value in [0, bound) parameterizing a fired fault
+        (which byte to flip, where to tear)."""
+        with self._lock:
+            rng = self._rngs.get(site)
+            if rng is None or bound <= 0:
+                return 0
+            return rng.randrange(bound)
+
+    # -- introspection ----------------------------------------------------------
+
+    def fires(self, site: str) -> int:
+        """How many times the site has fired so far."""
+        with self._lock:
+            return self._fires.get(site, 0)
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"calls": n, "fires": m}`` (chaos-report material)."""
+        with self._lock:
+            return {
+                site: {"calls": self._calls[site], "fires": self._fires[site]}
+                for site in sorted(self._specs)
+            }
+
+    def sites(self) -> List[str]:
+        """The sites this plan covers, sorted."""
+        with self._lock:
+            return sorted(self._specs)
+
+    # -- pickling (engines persist disks; plans ride along) ---------------------
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+#: A plan with no specs: never fires, shared as a cheap default.
+NO_FAULTS = FaultPlan(0, ())
+
+
+@dataclass
+class FaultReport:
+    """What actually fired during one faulted run (for chaos output)."""
+
+    seed: int = 0
+    sites: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan) -> "FaultReport":
+        """Snapshot a plan's per-site call/fire counters."""
+        return cls(seed=plan.seed, sites=plan.counters())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (chaos report material)."""
+        return {"seed": self.seed, "sites": self.sites}

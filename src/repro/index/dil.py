@@ -30,7 +30,9 @@ class DILIndex(KeywordIndex):
         self.lists = {}
         for keyword in sorted(postings):
             records = [posting.encode() for posting in postings[keyword]]
-            self.lists[keyword] = ListFile.write(self.disk, records)
+            self.lists[keyword] = ListFile.write(
+                self.disk, records, owner=f"dil:{keyword}"
+            )
         self._mark_built(postings)
 
     # -- keyword surface -----------------------------------------------------------

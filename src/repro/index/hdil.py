@@ -70,7 +70,9 @@ class HDILIndex(KeywordIndex):
         for keyword in sorted(postings):
             ordered = postings[keyword]
             records = [posting.encode() for posting in ordered]
-            self.full_lists[keyword] = ListFile.write(self.disk, records)
+            self.full_lists[keyword] = ListFile.write(
+                self.disk, records, owner=f"hdil:{keyword}"
+            )
         for keyword in sorted(postings):
             ordered = postings[keyword]
             head_size = max(
@@ -79,7 +81,9 @@ class HDILIndex(KeywordIndex):
             )
             head = rank_order(ordered)[:head_size]
             self.ranked_heads[keyword] = ListFile.write(
-                self.disk, [posting.encode() for posting in head]
+                self.disk,
+                [posting.encode() for posting in head],
+                owner=f"hdil-head:{keyword}",
             )
         for keyword in sorted(postings):
             list_file = self.full_lists[keyword]

@@ -130,7 +130,9 @@ class _NaiveBase(KeywordIndex):
                     entries, key=lambda p: (-p.elemrank, p.elem_id)
                 )
             self.lists[keyword] = ListFile.write(
-                self.disk, [entry.encode() for entry in entries]
+                self.disk,
+                [entry.encode() for entry in entries],
+                owner=f"{self.kind}:{keyword}",
             )
 
     def keywords(self) -> Iterable[str]:

@@ -37,7 +37,9 @@ class RDILIndex(KeywordIndex):
         for keyword in sorted(postings):
             ranked = rank_order(postings[keyword])
             records = [posting.encode() for posting in ranked]
-            self.lists[keyword] = ListFile.write(self.disk, records)
+            self.lists[keyword] = ListFile.write(
+                self.disk, records, owner=f"rdil:{keyword}"
+            )
         # B+-trees are loaded after all lists so list pages stay consecutive.
         for keyword in sorted(postings):
             entries = [

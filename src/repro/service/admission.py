@@ -19,7 +19,7 @@ import time
 from contextlib import contextmanager
 from typing import Optional
 
-from ..errors import ServiceOverloadedError
+from ..errors import ServiceError, ServiceOverloadedError
 
 
 class Deadline:
@@ -77,9 +77,9 @@ class AdmissionController:
         queue_timeout_s: Optional[float] = 10.0,
     ):
         if max_concurrent < 1:
-            raise ValueError("max_concurrent must be at least 1")
+            raise ServiceError("max_concurrent must be at least 1")
         if max_queue < 0:
-            raise ValueError("max_queue cannot be negative")
+            raise ServiceError("max_queue cannot be negative")
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.queue_timeout_s = queue_timeout_s

@@ -1,0 +1,129 @@
+"""Per-index-kind circuit breaker for the serving layer.
+
+When an index kind's reads keep failing — checksum mismatches, injected
+read errors — continuing to hammer it buys nothing: every query pays the
+failure latency and the answer is still wrong or absent.  The breaker
+trips after ``threshold`` *consecutive* failures on a kind and, while
+open, the service routes queries for that kind to its fallback
+(RDIL/HDIL fall back to DIL, whose plain sequential lists make it the
+most corruption-tolerant evaluator; DIL itself has no fallback).
+
+Determinism: the cooldown is counted in **queries observed**, not wall
+clock — a chaos run with a fixed seed must trip and recover the breaker
+at exactly the same points every time, so time-based cooldowns are out.
+After ``cooldown`` queries the breaker moves to half-open and lets one
+probe through; a success closes it, a failure re-opens it for another
+cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..errors import ServiceError
+
+#: Where a broken ranked index sends its queries.  DIL is the terminal
+#: fallback: no auxiliary structures, sequential scans only.
+FALLBACK_KIND: Dict[str, str] = {
+    "hdil": "dil",
+    "rdil": "dil",
+    "naive-rank": "naive-id",
+}
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure breaker, one state per index kind."""
+
+    def __init__(self, threshold: int = 3, cooldown: int = 32):
+        """Args:
+            threshold: consecutive failures on one kind that trip it open.
+            cooldown: queries (on that kind) to wait before half-opening.
+        """
+        if threshold < 1:
+            raise ServiceError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ServiceError(f"cooldown must be >= 1, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+        self._open_remaining: Dict[str, int] = {}
+        self._half_open: Dict[str, bool] = {}
+        self.trips = 0
+
+    def allow(self, kind: str) -> bool:
+        """May a query be served from ``kind`` right now?
+
+        While open, each call counts down the cooldown; the call that
+        exhausts it half-opens the breaker and is itself allowed through
+        as the probe.
+        """
+        with self._lock:
+            remaining = self._open_remaining.get(kind)
+            if remaining is None:
+                return True
+            if remaining > 1:
+                self._open_remaining[kind] = remaining - 1
+                return False
+            del self._open_remaining[kind]
+            self._half_open[kind] = True
+            return True
+
+    def record_success(self, kind: str) -> None:
+        """A query on ``kind`` succeeded: reset failures, close if probing."""
+        with self._lock:
+            self._failures.pop(kind, None)
+            self._half_open.pop(kind, None)
+
+    def record_failure(self, kind: str) -> None:
+        """A query on ``kind`` hit a fault; trip when the streak is long
+        enough (a failed half-open probe re-opens immediately)."""
+        with self._lock:
+            if self._half_open.pop(kind, False):
+                self._open_remaining[kind] = self.cooldown
+                self.trips += 1
+                return
+            streak = self._failures.get(kind, 0) + 1
+            self._failures[kind] = streak
+            if streak >= self.threshold and kind not in self._open_remaining:
+                self._open_remaining[kind] = self.cooldown
+                self._failures.pop(kind, None)
+                self.trips += 1
+
+    def is_open(self, kind: Optional[str] = None) -> bool:
+        """Is this kind (or, with no argument, any kind) currently open?"""
+        with self._lock:
+            if kind is not None:
+                return kind in self._open_remaining
+            return bool(self._open_remaining)
+
+    def state(self) -> Dict[str, object]:
+        """JSON-ready snapshot for /stats and /healthz."""
+        with self._lock:
+            kinds = {}
+            for kind in set(self._failures) | set(self._open_remaining) | set(
+                self._half_open
+            ):
+                if kind in self._open_remaining:
+                    kinds[kind] = {
+                        "state": _OPEN,
+                        "cooldown_remaining": self._open_remaining[kind],
+                    }
+                elif self._half_open.get(kind):
+                    kinds[kind] = {"state": _HALF_OPEN}
+                else:
+                    kinds[kind] = {
+                        "state": _CLOSED,
+                        "failures": self._failures.get(kind, 0),
+                    }
+            return {
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "trips": self.trips,
+                "kinds": kinds,
+            }

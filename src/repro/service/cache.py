@@ -19,6 +19,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+from ..errors import ServiceError
+
 #: Unique sentinel distinguishing "miss" from a cached None.
 MISS = object()
 
@@ -33,7 +35,7 @@ class GenerationalLRU:
 
     def __init__(self, capacity: int, name: str = ""):
         if capacity < 0:
-            raise ValueError("cache capacity cannot be negative")
+            raise ServiceError("cache capacity cannot be negative")
         self.capacity = capacity
         self.name = name
         self.generation = 0

@@ -11,26 +11,70 @@ smoke test; also convenient interactively::
 Each call opens its own :class:`http.client.HTTPConnection`, so one
 client instance may be shared freely across load-generator threads.
 Non-2xx responses raise :class:`repro.errors.ServiceHTTPError` carrying
-the status code and decoded error payload.
+the status code and decoded error payload — the body is *always* read
+and surfaced, so a degraded or fault response stays inspectable.
+
+Transient failures — dropped connections, timeouts, 503 overload, 500s
+the server marks ``retryable`` — are retried with exponential backoff
+and jitter, but only while the client's **error budget** lasts: every
+retry spends one unit (successes slowly earn it back), and once the
+budget is gone retries stop with
+:class:`~repro.errors.RetryBudgetExhaustedError` so a broken backend
+fails fast instead of multiplying latency across every caller.
 """
 
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+import random
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
 from typing import Dict, Optional
 from urllib.parse import urlencode
 
-from ..errors import ServiceHTTPError
+from ..errors import RetryBudgetExhaustedError, ServiceHTTPError
 
 
 class ServiceClient:
     """Thread-safe client for one service endpoint."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8712, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8712,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        error_budget: int = 32,
+        retry_seed: int = 0,
+        sleep=time.sleep,
+    ):
+        """Args:
+            max_retries: retry attempts per request for transient failures.
+            backoff_base_s / backoff_cap_s: exponential backoff envelope;
+                each delay is jittered to half-to-full of the envelope so
+                synchronized clients do not stampede the recovering server.
+            error_budget: shared pool of retries across the client's
+                lifetime; each retry spends one, each success earns one
+                back (capped at the initial budget).
+            retry_seed: seeds the jitter RNG (determinism for tests).
+            sleep: injectable clock for tests (defaults to time.sleep).
+        """
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.error_budget = error_budget
+        self._budget = error_budget
+        self._budget_lock = threading.Lock()
+        self._rng = random.Random(retry_seed)
+        self._sleep = sleep
+        #: Retries performed over the client's lifetime (diagnostics).
+        self.retries = 0
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -76,6 +120,35 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, object]] = None
     ) -> Dict[str, object]:
+        attempt = 0
+        while True:
+            try:
+                payload = self._request_once(method, path, body)
+            except ServiceHTTPError as exc:
+                if attempt >= self.max_retries or not _retryable(exc):
+                    raise
+            except (HTTPException, OSError) as exc:
+                # Connection refused/reset, timeout, server died mid-
+                # response: transport-level and worth retrying — but never
+                # allowed to escape untyped.
+                if attempt >= self.max_retries:
+                    raise ServiceHTTPError(
+                        0,
+                        {
+                            "error": str(exc) or type(exc).__name__,
+                            "type": type(exc).__name__,
+                        },
+                    ) from exc
+            else:
+                self._earn_budget()
+                return payload
+            self._spend_budget()
+            self._sleep(self._backoff_s(attempt))
+            attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Dict[str, object]]
+    ) -> Dict[str, object]:
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = {}
@@ -95,3 +168,34 @@ class ServiceClient:
             return payload
         finally:
             connection.close()
+
+    # -- retry machinery -----------------------------------------------------------
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Jittered exponential delay before retry number ``attempt + 1``."""
+        envelope = min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+        return envelope * (0.5 + 0.5 * self._rng.random())
+
+    def _spend_budget(self) -> None:
+        with self._budget_lock:
+            if self._budget <= 0:
+                raise RetryBudgetExhaustedError(
+                    f"client retry budget ({self.error_budget}) exhausted; "
+                    "backend is persistently failing"
+                )
+            self._budget -= 1
+            self.retries += 1
+
+    def _earn_budget(self) -> None:
+        with self._budget_lock:
+            if self._budget < self.error_budget:
+                self._budget += 1
+
+
+def _retryable(exc: ServiceHTTPError) -> bool:
+    """503 always; 500 only when the server marked the fault retryable."""
+    if exc.status == 503:
+        return True
+    if exc.status == 500 and isinstance(exc.payload, dict):
+        return bool(exc.payload.get("retryable"))
+    return False

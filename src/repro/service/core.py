@@ -7,6 +7,10 @@ needs:
 
 * ``search()`` — admission-controlled, read-locked, result-cached,
   deadline-bounded ranked search returning a :class:`SearchResponse`;
+  storage faults (:class:`~repro.errors.FaultError`) are retried once and
+  then routed through the per-kind circuit breaker to a fallback index
+  (RDIL/HDIL → DIL), producing a *degraded-with-flag* answer rather than
+  a silent wrong one — and a typed error when even the fallback fails;
 * ``add_xml()`` — write-locked corpus growth, incremental when the
   engine has a ``dil-incremental`` index built, full rebuild otherwise,
   followed by generation-based cache invalidation;
@@ -25,8 +29,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..engine import SearchHit, XRankEngine
+from ..errors import FaultError
 from ..storage.iostats import IOStats
 from .admission import AdmissionController, Deadline
+from .breaker import FALLBACK_KIND, CircuitBreaker
 from .cache import MISS, GenerationalLRU
 from .concurrency import ReadWriteLock
 from .metrics import ServiceMetrics
@@ -76,6 +82,8 @@ class XRankService:
         max_queue: int = 64,
         queue_timeout_s: Optional[float] = 10.0,
         default_deadline_ms: Optional[float] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 32,
     ):
         """Args:
             engine: the engine to serve; built here if it has documents
@@ -88,10 +96,16 @@ class XRankService:
             max_concurrent / max_queue / queue_timeout_s: admission gate.
             default_deadline_ms: per-query budget applied when a request
                 does not carry its own (None = unlimited).
+            breaker_threshold / breaker_cooldown: consecutive storage
+                faults that open a kind's circuit, and the number of
+                queries it stays open (query-counted for determinism).
         """
         self.engine = engine
         self.lock = ReadWriteLock()
         self.metrics = ServiceMetrics()
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
         self.admission = AdmissionController(
             max_concurrent=max_concurrent,
             max_queue=max_queue,
@@ -146,10 +160,17 @@ class XRankService:
     ) -> SearchResponse:
         """Admission-controlled, cached, deadline-bounded ranked search.
 
+        Storage faults degrade instead of failing where possible: one
+        retry on the requested kind, then the circuit breaker's fallback
+        kind (flagged ``degraded`` with ``served_kind``/``fault`` extras).
+        Fault-degraded answers are never cached.
+
         Raises:
             ServiceOverloadedError: the admission queue is full.
             QueryError / IndexNotBuiltError: malformed request or the
                 requested index kind is not built.
+            FaultError: the requested kind and its fallback both failed
+                (or there is no fallback) — loud, typed, never silent.
         """
         kind = kind or self.default_kind
         started = time.perf_counter()
@@ -158,10 +179,14 @@ class XRankService:
         except Exception:
             self.metrics.record_rejection()
             raise
+        extras: Dict[str, object] = {}
         try:
             with self.lock.read():
                 generation = self.engine.generation
-                key = (kind, mode, query, m, offset, highlight, with_context)
+                serve_kind, fault_note = self._route_kind(kind)
+                key = (
+                    serve_kind, mode, query, m, offset, highlight, with_context
+                )
                 value = self.result_cache.get(key)
                 if value is not MISS:
                     hits, degraded, cached = value, False, True
@@ -173,21 +198,29 @@ class XRankService:
                         else self.default_deadline_ms
                     )
                     deadline = Deadline.after_ms(budget)
-                    hits = self.engine.search(
+                    hits, serve_kind, fault_note = self._search_hardened(
                         query,
+                        serve_kind,
+                        fault_note,
+                        deadline,
                         m=m,
-                        kind=kind,
                         mode=mode,
                         offset=offset,
                         highlight=highlight,
                         with_context=with_context,
-                        deadline=deadline,
                     )
-                    degraded = deadline.expired
+                    degraded = deadline.expired or serve_kind != kind
                     if not degraded:
                         # Partial answers must not be replayed to clients
-                        # that did not ask for a tight deadline.
+                        # that did not ask for a tight deadline, and
+                        # fault-degraded answers must not be replayed at
+                        # all.
                         self.result_cache.put(key, hits)
+                if serve_kind != kind:
+                    extras["served_kind"] = serve_kind
+                    degraded = True
+                if fault_note is not None:
+                    extras["fault"] = fault_note
         except Exception:
             self.metrics.record_error()
             raise
@@ -204,7 +237,65 @@ class XRankService:
             kind=kind,
             query=query,
             m=m,
+            extras=extras,
         )
+
+    def _route_kind(self, kind: str):
+        """Pick the serving kind: the breaker may redirect to a fallback.
+
+        Caller holds the read lock.  Returns ``(serve_kind, fault_note)``
+        where a non-None note means the response must be flagged degraded.
+        """
+        if self.breaker.allow(kind):
+            return kind, None
+        fallback = FALLBACK_KIND.get(kind)
+        if fallback is None or fallback not in self.engine._indexes:  # repro: ignore[lock-discipline]
+            # Nowhere to go: let the query try the quarantined kind and
+            # surface its typed error if the fault persists.
+            return kind, None
+        self.metrics.record_fault_fallback()
+        return fallback, f"circuit open for {kind!r}"
+
+    def _search_hardened(
+        self, query: str, serve_kind: str, fault_note, deadline, **options
+    ):
+        """One engine search with fault retry + breaker-mediated fallback.
+
+        Caller holds the read lock.  Returns ``(hits, served_kind,
+        fault_note)``; raises the second :class:`FaultError` unchanged
+        when no healthy fallback exists.
+        """
+        try:
+            hits = self.engine.search(  # repro: ignore[lock-discipline]
+                query, kind=serve_kind, deadline=deadline, **options
+            )
+        except FaultError as exc:
+            self.metrics.record_storage_fault()
+            self.breaker.record_failure(serve_kind)
+            fallback = FALLBACK_KIND.get(serve_kind)
+            try:
+                # Transient faults (injected read errors) often clear on a
+                # retry; persistent corruption will fail again immediately.
+                hits = self.engine.search(  # repro: ignore[lock-discipline]
+                    query, kind=serve_kind, deadline=deadline, **options
+                )
+            except FaultError as retry_exc:
+                self.breaker.record_failure(serve_kind)
+                if (
+                    fallback is None
+                    or fallback not in self.engine._indexes  # repro: ignore[lock-discipline]
+                ):
+                    raise
+                self.metrics.record_fault_fallback()
+                hits = self.engine.search(  # repro: ignore[lock-discipline]
+                    query, kind=fallback, deadline=deadline, **options
+                )
+                return hits, fallback, str(retry_exc)
+            self.breaker.record_success(serve_kind)
+            return hits, serve_kind, fault_note
+        else:
+            self.breaker.record_success(serve_kind)
+            return hits, serve_kind, fault_note
 
     # -- mutation -------------------------------------------------------------------
 
@@ -282,6 +373,7 @@ class XRankService:
                 "posting_lists": self.list_cache.stats(),
             },
             "lock": self.lock.state(),
+            "breaker": self.breaker.state(),
             "io": io,
             "engine": engine_stats,
             "generation": generation,
@@ -289,11 +381,24 @@ class XRankService:
         return payload
 
     def healthz(self) -> Dict[str, object]:
-        """Cheap liveness probe (read-locked: counters must be coherent)."""
+        """Cheap liveness probe (read-locked: counters must be coherent).
+
+        ``degraded`` is true while any kind's circuit is open — load
+        balancers can drain a replica that is quarantining indexes.
+        ``faults`` surfaces the storage-level detection counters so a
+        rotting disk shows up here before queries start failing.
+        """
         with self.lock.read():
+            io = self._io_totals_locked()
             return {
                 "status": "ok" if self.engine._indexes else "empty",
+                "degraded": self.breaker.is_open(),
                 "documents": self.engine.graph.num_documents,
                 "kinds": sorted(self.engine._indexes),
                 "generation": self.engine.generation,
+                "faults": {
+                    "read_errors": io.read_errors,
+                    "corrupt_pages": io.corrupt_pages,
+                    "retries": io.retries,
+                },
             }

@@ -48,6 +48,8 @@ class ServiceMetrics:
         self.degraded = 0
         self.rejected = 0
         self.errors = 0
+        self.storage_faults = 0
+        self.fault_fallbacks = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -81,6 +83,16 @@ class ServiceMetrics:
         """Account one failed request (500-class)."""
         with self._lock:
             self.errors += 1
+
+    def record_storage_fault(self) -> None:
+        """Account one storage fault observed while serving a query."""
+        with self._lock:
+            self.storage_faults += 1
+
+    def record_fault_fallback(self) -> None:
+        """Account one query rerouted to a fallback index kind."""
+        with self._lock:
+            self.fault_fallbacks += 1
 
     # -- derived figures --------------------------------------------------------
 
@@ -120,6 +132,8 @@ class ServiceMetrics:
                 "degraded": self.degraded,
                 "rejected": self.rejected,
                 "errors": self.errors,
+                "storage_faults": self.storage_faults,
+                "fault_fallbacks": self.fault_fallbacks,
                 "uptime_s": uptime,
             }
         counters.update(self.latency_percentiles())

@@ -14,10 +14,15 @@ Endpoints:
 * ``GET /healthz`` — cheap liveness probe.
 
 Error mapping: malformed requests → 400, unknown paths → 404, admission
-overflow → 503 (clients should back off), anything else → 500.  Each
-request runs on its own thread (``ThreadingHTTPServer``); actual
-concurrency control happens in the service's reader-writer lock and
-admission gate, not in the HTTP layer.
+overflow → 503 (clients should back off), storage faults that exhausted
+the service's retry/fallback machinery → 500 with ``retryable: true``,
+anything else → 500.  Every error path returns a JSON body naming the
+error and its type — the handler never lets an exception escape to
+``BaseHTTPRequestHandler``, which would close the connection without a
+response and leave clients with an untyped socket error instead of the
+server's diagnosis.  Each request runs on its own thread
+(``ThreadingHTTPServer``); actual concurrency control happens in the
+service's reader-writer lock and admission gate, not in the HTTP layer.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import ServiceOverloadedError, XRankError
+from ..errors import FaultError, ServiceOverloadedError, XRankError
 from .core import XRankService
 
 logger = logging.getLogger(__name__)
@@ -61,9 +66,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         parsed = urlparse(self.path)
         if parsed.path == "/healthz":
-            self._send_json(200, self.service.healthz())
+            self._introspect(self.service.healthz)
         elif parsed.path == "/stats":
-            self._send_json(200, self.service.stats())
+            self._introspect(self.service.stats)
         elif parsed.path == "/search":
             params = {
                 key: values[0]
@@ -106,8 +111,16 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceOverloadedError as exc:
             self._send_json(503, {"error": str(exc)})
             return
+        except FaultError as exc:
+            # Storage fault that survived retry + fallback: the server is
+            # unhealthy, not the request.
+            self._send_json(500, _error_payload(exc, retryable=True))
+            return
         except (ValueError, XRankError) as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
             return
         self._send_json(200, response.to_dict())
 
@@ -120,10 +133,24 @@ class _Handler(BaseHTTPRequestHandler):
             outcome = self.service.add_xml(
                 str(source), uri=str(body.get("uri", ""))
             )
+        except FaultError as exc:
+            self._send_json(500, _error_payload(exc, retryable=True))
+            return
         except XRankError as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
+            return
         self._send_json(200, outcome)
+
+    def _introspect(self, probe) -> None:
+        try:
+            payload = probe()
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
+            return
+        self._send_json(200, payload)
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -181,6 +208,17 @@ def run(service: XRankService, host: str = "127.0.0.1", port: int = 8712) -> Non
     finally:
         server.shutdown()
         server.server_close()
+
+
+def _error_payload(exc: BaseException, retryable: bool = False) -> Dict[str, object]:
+    """JSON body for a 500: message + exception type (+ retry hint)."""
+    payload: Dict[str, object] = {
+        "error": str(exc) or type(exc).__name__,
+        "type": type(exc).__name__,
+    }
+    if retryable:
+        payload["retryable"] = True
+    return payload
 
 
 def _truthy(value) -> bool:

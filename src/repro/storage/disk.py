@@ -24,10 +24,11 @@ from __future__ import annotations
 import bisect
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from ..config import StorageParams
-from ..errors import PageError
+from ..errors import CorruptPageError, PageError, ReadFaultError
+from .checksum import crc32c
 from .iostats import IOStats
 
 
@@ -80,6 +81,13 @@ class SimulatedDisk:
         self._streams: "OrderedDict[int, None]" = OrderedDict()
         # Free page ids, kept sorted for consecutive-run search.
         self._free: list = []
+        # CRC32C per page, parallel to ``pages`` (checksummed mode only).
+        self._checksums: Optional[list] = [] if self.params.checksums else None
+        # page id -> owning structure label ("dil:xql"), best effort.
+        self._owners: Dict[int, str] = {}
+        #: Optional :class:`repro.faults.FaultPlan` consulted on every
+        #: buffer-pool miss; None (the default) injects nothing.
+        self.fault_plan = None
         # Guards the buffer pool / stream-tracking bookkeeping, which is
         # mutated by every read — concurrent queries share one disk.
         self._lock = threading.Lock()
@@ -90,6 +98,9 @@ class SimulatedDisk:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("_checksums", None)  # pre-checksum pickles
+        state.setdefault("_owners", {})
+        state.setdefault("fault_plan", None)
         self.__dict__.update(state)
         self._lock = threading.Lock()
 
@@ -103,10 +114,12 @@ class SimulatedDisk:
     def num_pages(self) -> int:
         return len(self.pages)
 
-    def allocate(self, data: bytes = b"") -> int:
+    def allocate(self, data: bytes = b"", owner: str = "") -> int:
         """Allocate a new page initialized with ``data``; returns its id.
 
         Freed pages are reused (smallest id first) before the file grows.
+        ``owner`` labels the page's owning structure so corruption errors
+        can name the inverted list or tree they hit.
         """
         self._check_size(data)
         if self._free:
@@ -115,10 +128,13 @@ class SimulatedDisk:
         else:
             page_id = len(self.pages)
             self.pages.append(bytes(data))
+            if self._checksums is not None:
+                self._checksums.append(0)
+        self._record_write(page_id, data, owner)
         self.stats.record_writes()
         return page_id
 
-    def allocate_run(self, pages: list) -> list:
+    def allocate_run(self, pages: list, owner: str = "") -> list:
         """Allocate consecutive page ids for a list of page buffers.
 
         Inverted-list files need consecutive ids so scans stay sequential;
@@ -134,14 +150,30 @@ class SimulatedDisk:
         if run_start is None:
             first = len(self.pages)
             self.pages.extend(bytes(p) for p in pages)
-            self.stats.record_writes(count)
-            return list(range(first, first + count))
-        ids = list(range(run_start, run_start + count))
+            if self._checksums is not None:
+                self._checksums.extend(0 for _ in range(count))
+            ids = list(range(first, first + count))
+        else:
+            ids = list(range(run_start, run_start + count))
+            for page_id in ids:
+                self._free.remove(page_id)
+            for page_id, data in zip(ids, pages):
+                self.pages[page_id] = bytes(data)
         for page_id, data in zip(ids, pages):
-            self.pages[page_id] = bytes(data)
-            self._free.remove(page_id)
+            self._record_write(page_id, data, owner)
         self.stats.record_writes(count)
         return ids
+
+    def _record_write(self, page_id: int, data: bytes, owner: str = "") -> None:
+        """Maintain the checksum and owner tables for one written page."""
+        if self._checksums is not None:
+            self._checksums[page_id] = crc32c(bytes(data))
+        if owner:
+            self._owners[page_id] = owner
+
+    def owner_of(self, page_id: int) -> str:
+        """The owning structure label for a page ("" when unlabeled)."""
+        return self._owners.get(page_id, "")
 
     def _find_free_run(self, count: int):
         """Smallest start of ``count`` consecutive free page ids, or None."""
@@ -165,6 +197,9 @@ class SimulatedDisk:
         if page_id in self._free:
             raise PageError(f"page {page_id} is already free")
         self.pages[page_id] = b""
+        if self._checksums is not None:
+            self._checksums[page_id] = crc32c(b"")
+        self._owners.pop(page_id, None)
         self.pool.evict(page_id)
         bisect.insort(self._free, page_id)
 
@@ -172,11 +207,12 @@ class SimulatedDisk:
     def num_free_pages(self) -> int:
         return len(self._free)
 
-    def write(self, page_id: int, data: bytes) -> None:
+    def write(self, page_id: int, data: bytes, owner: str = "") -> None:
         """Overwrite an existing page."""
         self._check_page_id(page_id)
         self._check_size(data)
         self.pages[page_id] = bytes(data)
+        self._record_write(page_id, data, owner)
         self.stats.record_writes()
         self.pool.touch(page_id)
 
@@ -194,7 +230,17 @@ class SimulatedDisk:
     # -- reading --------------------------------------------------------------------
 
     def read(self, page_id: int) -> bytes:
-        """Read a page through the buffer pool, charging I/O on a miss."""
+        """Read a page through the buffer pool, charging I/O on a miss.
+
+        A buffer-pool hit returns the cached page unchecked (the pool
+        models trusted RAM).  A miss models the actual disk fetch: the
+        fault plan (if any) may fail or corrupt it, and in checksummed
+        mode the page's CRC32C is verified.  Transient failures are
+        retried in place up to ``StorageParams.read_retries`` times;
+        what survives escapes as :class:`~repro.errors.ReadFaultError`
+        or :class:`~repro.errors.CorruptPageError`, with the failing
+        page evicted from the pool so a later retry re-fetches it.
+        """
         self._check_page_id(page_id)
         with self._lock:
             if self.pool.touch(page_id):
@@ -209,7 +255,57 @@ class SimulatedDisk:
             self._streams[page_id] = None
             while len(self._streams) > self.MAX_STREAMS:
                 self._streams.popitem(last=False)
-            return self.pages[page_id]
+            attempts = 0
+            while True:
+                try:
+                    return self._fetch(page_id)
+                except (ReadFaultError, CorruptPageError):
+                    self.pool.evict(page_id)
+                    if attempts >= self.params.read_retries:
+                        raise
+                    attempts += 1
+                    self.stats.record_retry()
+
+    def _fetch(self, page_id: int) -> bytes:
+        """One simulated disk fetch: fault injection + checksum verify.
+
+        Caller holds ``_lock`` and has already charged the miss.
+        """
+        data = self.pages[page_id]
+        plan = self.fault_plan
+        if plan is not None:
+            from ..faults import (
+                SITE_READ_BITFLIP,
+                SITE_READ_ERROR,
+                SITE_READ_SLOW,
+                SITE_READ_TORN,
+            )
+
+            if plan.should_fire(SITE_READ_SLOW):
+                self.stats.record_slow_read()
+            if plan.should_fire(SITE_READ_ERROR):
+                self.stats.record_read_error()
+                raise ReadFaultError(page_id)
+            if plan.should_fire(SITE_READ_BITFLIP) and data:
+                # Bit rot: the *stored* page is damaged, persistently.
+                position = plan.choose(SITE_READ_BITFLIP, len(data) * 8)
+                mutated = bytearray(data)
+                mutated[position // 8] ^= 1 << (position % 8)
+                self.pages[page_id] = bytes(mutated)
+                data = self.pages[page_id]
+            if plan.should_fire(SITE_READ_TORN) and data:
+                # Torn read: this fetch returns a truncated copy; the
+                # stored page is intact, so a retry sees the real bytes.
+                data = data[: plan.choose(SITE_READ_TORN, len(data))]
+        if self._checksums is not None and data is self.pages[page_id]:
+            if crc32c(data) != self._checksums[page_id]:
+                self.stats.record_corrupt_page()
+                raise CorruptPageError(page_id, self.owner_of(page_id))
+        elif self._checksums is not None:
+            # Torn copy: always a mismatch against the stored checksum.
+            self.stats.record_corrupt_page()
+            raise CorruptPageError(page_id, self.owner_of(page_id))
+        return data
 
     # -- cache control ---------------------------------------------------------------
 

@@ -32,6 +32,10 @@ class IOStats:
     random_reads: int = 0        # subset of page_reads elsewhere
     page_writes: int = 0
     cache_hits: int = 0
+    read_errors: int = 0         # injected/observed failed page reads
+    corrupt_pages: int = 0       # checksum mismatches detected at read time
+    retries: int = 0             # in-place page re-reads after a fault
+    slow_reads: int = 0          # reads charged a simulated stall penalty
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -44,9 +48,15 @@ class IOStats:
                 "random_reads": self.random_reads,
                 "page_writes": self.page_writes,
                 "cache_hits": self.cache_hits,
+                "read_errors": self.read_errors,
+                "corrupt_pages": self.corrupt_pages,
+                "retries": self.retries,
+                "slow_reads": self.slow_reads,
             }
 
     def __setstate__(self, state: dict) -> None:
+        for name in ("read_errors", "corrupt_pages", "retries", "slow_reads"):
+            state.setdefault(name, 0)  # pre-fault-injection pickles
         self.__dict__.update(state)
         self._lock = threading.Lock()
 
@@ -71,6 +81,26 @@ class IOStats:
         with self._lock:
             self.page_writes += count
 
+    def record_read_error(self) -> None:
+        """Account one failed page read (injected I/O error)."""
+        with self._lock:
+            self.read_errors += 1
+
+    def record_corrupt_page(self) -> None:
+        """Account one checksum mismatch detected at read time."""
+        with self._lock:
+            self.corrupt_pages += 1
+
+    def record_retry(self) -> None:
+        """Account one in-place page re-read after a fault."""
+        with self._lock:
+            self.retries += 1
+
+    def record_slow_read(self) -> None:
+        """Account one read that hit a simulated stall."""
+        with self._lock:
+            self.slow_reads += 1
+
     # -- reading / combining ---------------------------------------------------
 
     def reset(self) -> None:
@@ -81,6 +111,10 @@ class IOStats:
             self.random_reads = 0
             self.page_writes = 0
             self.cache_hits = 0
+            self.read_errors = 0
+            self.corrupt_pages = 0
+            self.retries = 0
+            self.slow_reads = 0
 
     def snapshot(self) -> "IOStats":
         """An independent, internally consistent copy of the counters."""
@@ -91,6 +125,10 @@ class IOStats:
                 random_reads=self.random_reads,
                 page_writes=self.page_writes,
                 cache_hits=self.cache_hits,
+                read_errors=self.read_errors,
+                corrupt_pages=self.corrupt_pages,
+                retries=self.retries,
+                slow_reads=self.slow_reads,
             )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -105,6 +143,10 @@ class IOStats:
                 random_reads=current.random_reads - earlier.random_reads,
                 page_writes=current.page_writes - earlier.page_writes,
                 cache_hits=current.cache_hits - earlier.cache_hits,
+                read_errors=current.read_errors - earlier.read_errors,
+                corrupt_pages=current.corrupt_pages - earlier.corrupt_pages,
+                retries=current.retries - earlier.retries,
+                slow_reads=current.slow_reads - earlier.slow_reads,
             )
 
     def cost_ms(self, params: StorageParams) -> float:
@@ -113,6 +155,8 @@ class IOStats:
             return (
                 self.page_reads * params.transfer_cost_ms
                 + self.random_reads * params.seek_cost_ms
+                + self.retries * params.transfer_cost_ms
+                + self.slow_reads * params.slow_read_penalty_ms
             )
 
     def as_dict(self) -> dict:
@@ -124,6 +168,10 @@ class IOStats:
                 "random_reads": self.random_reads,
                 "page_writes": self.page_writes,
                 "cache_hits": self.cache_hits,
+                "read_errors": self.read_errors,
+                "corrupt_pages": self.corrupt_pages,
+                "retries": self.retries,
+                "slow_reads": self.slow_reads,
             }
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -135,4 +183,8 @@ class IOStats:
                 random_reads=mine.random_reads + other.random_reads,
                 page_writes=mine.page_writes + other.page_writes,
                 cache_hits=mine.cache_hits + other.cache_hits,
+                read_errors=mine.read_errors + other.read_errors,
+                corrupt_pages=mine.corrupt_pages + other.corrupt_pages,
+                retries=mine.retries + other.retries,
+                slow_reads=mine.slow_reads + other.slow_reads,
             )

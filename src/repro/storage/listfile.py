@@ -42,11 +42,18 @@ class ListFile:
         self.page_boundaries = page_boundaries or []
 
     @classmethod
-    def write(cls, disk: SimulatedDisk, records: List[bytes]) -> "ListFile":
-        """Persist ``records`` onto freshly allocated consecutive pages."""
+    def write(
+        cls, disk: SimulatedDisk, records: List[bytes], owner: str = ""
+    ) -> "ListFile":
+        """Persist ``records`` onto freshly allocated consecutive pages.
+
+        ``owner`` labels the pages with their owning structure (e.g.
+        ``"dil:xql"``) so a :class:`~repro.errors.CorruptPageError` can
+        name the inverted list it hit.
+        """
         framed = [frame_record(record) for record in records]
         pages, boundaries = pack_into_pages(framed, disk.page_size)
-        page_ids = disk.allocate_run(pages)
+        page_ids = disk.allocate_run(pages, owner=owner)
         for first, second in zip(page_ids, page_ids[1:]):
             if second != first + 1:
                 raise StorageError("list pages were not allocated consecutively")

@@ -1,0 +1,88 @@
+"""End-to-end chaos-harness tests (repro.chaos).
+
+A tiny seeded fault storm over the full build → index → serve path.  The
+subsystem's acceptance invariant is asserted directly: under injected
+faults every answer is oracle-identical, flagged degraded, or a typed
+error — never silently wrong — and the whole report is bit-for-bit
+reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import OUTCOMES, ChaosReport, run_chaos
+
+#: One storm shared across the assertions below (building twice is the
+#: expensive part; reproducibility gets its own second run).
+_SCALE = dict(num_queries=10, num_papers=20, workers=2)
+
+
+@pytest.fixture(scope="module")
+def storm():
+    return run_chaos(seed=1337, fault_rate=0.05, **_SCALE)
+
+
+class TestChaosInvariant:
+    def test_no_silent_wrong_answers(self, storm):
+        assert storm.outcomes["mismatch"] == 0
+        assert storm.outcomes["untyped_error"] == 0
+        assert storm.violations == []
+        assert storm.ok
+
+    def test_every_query_classified(self, storm):
+        assert set(storm.outcomes) == set(OUTCOMES)
+        assert sum(storm.outcomes.values()) == storm.queries == 10
+
+    def test_build_survived_injected_crash_and_corruption(self, storm):
+        # The build plan fires one worker crash and one run-file
+        # corruption; both must have been absorbed by per-shard retries.
+        assert storm.build_faults["build.worker.crash"]["fires"] == 1
+        assert storm.build_faults["build.runfile.corrupt"]["fires"] == 1
+        assert storm.build_retries >= 2
+        assert storm.documents == 20
+
+    def test_storm_actually_fired_read_faults(self, storm):
+        fired = sum(c["fires"] for c in storm.query_faults.values())
+        assert fired > 0, "5% storm over 10 queries should fire something"
+
+    def test_report_carries_io_accounting(self, storm):
+        assert storm.io["page_reads"] > 0
+        assert "read_errors" in storm.io
+        assert "corrupt_pages" in storm.io
+
+
+class TestChaosReproducibility:
+    def test_same_seed_bit_identical_report(self, storm):
+        again = run_chaos(seed=1337, fault_rate=0.05, **_SCALE)
+        assert again.to_json() == storm.to_json()
+
+    def test_different_seed_diverges(self, storm):
+        other = run_chaos(seed=7, fault_rate=0.05, **_SCALE)
+        assert other.ok
+        assert other.to_json() != storm.to_json()
+
+    def test_report_json_round_trips(self, storm):
+        decoded = json.loads(storm.to_json())
+        assert decoded["seed"] == 1337
+        assert decoded["ok"] is True
+        assert decoded["fault_rate"] == 0.05
+
+
+class TestFaultFreeStorm:
+    def test_zero_rate_matches_oracle_exactly(self):
+        calm = run_chaos(seed=1337, fault_rate=0.0, **_SCALE)
+        assert calm.ok
+        assert calm.outcomes["match"] == calm.queries
+        assert calm.outcomes["degraded"] == 0
+        assert calm.outcomes["typed_error"] == 0
+
+
+class TestChaosReportShape:
+    def test_default_report_is_ok_and_serializable(self):
+        report = ChaosReport(seed=1)
+        decoded = json.loads(report.to_json())
+        assert decoded["queries"] == 0
+        assert decoded["violations"] == []

@@ -10,24 +10,27 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import CorruptRunError, StorageError
 from repro.index.postings import extract_document_raw_postings
+from repro.storage.checksum import checksum_frame
 from repro.storage.runfile import (
     RunReader,
     RunWriter,
     decode_document_block,
     encode_document_block,
     merge_runs,
+    verify_run,
 )
 from repro.xmlmodel.dewey import DeweyId, decode_varint
 from repro.xmlmodel.parser import parse_xml
 
 
 def _unframe(block: bytes) -> bytes:
-    """Strip the varint length prefix from an encoded document block."""
+    """Strip the varint length prefix and CRC trailer from a block."""
     length, offset = decode_varint(block, 0)
-    body = block[offset:]
+    body = block[offset:-4]
     assert len(body) == length
+    assert checksum_frame(body) == block[-4:]
     return body
 
 
@@ -108,6 +111,31 @@ class TestRunFiles:
         assert [doc_id for doc_id, _ in merged] == [0, 1, 2, 3, 4, 5]
         for doc_id, decoded in merged:
             assert decoded == _raw(doc_id)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "shard.run"
+        with RunWriter(path) as writer:
+            writer.append(0, _raw(0))
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptRunError):
+            list(RunReader(path))
+
+    def test_missing_trailer_detected(self, tmp_path):
+        path = tmp_path / "shard.run"
+        with RunWriter(path) as writer:
+            writer.append(0, _raw(0))
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(CorruptRunError):
+            list(RunReader(path))
+
+    def test_verify_run_counts_documents(self, tmp_path):
+        path = tmp_path / "shard.run"
+        with RunWriter(path) as writer:
+            for doc_id in (0, 1, 2):
+                writer.append(doc_id, _raw(doc_id))
+        assert verify_run(path) == 3
 
     def test_merge_runs_handles_empty_run(self, tmp_path):
         RunWriter(tmp_path / "empty.run").close()

@@ -1,0 +1,162 @@
+"""Fault tolerance of the serving layer's reader-writer lock.
+
+The fault subsystem makes exceptions mid-critical-section routine: a
+writer applying an index update can hit a :class:`CorruptPageError`, a
+reader can see a :class:`ReadFaultError` escape the hardened search
+path.  These tests pin the contract that an exception inside ``read()``
+or ``write()`` always releases the lock — no stuck writers, no reader
+starvation, no leaked hold state — so a faulted operation never wedges
+the whole service.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CorruptPageError, ReadFaultError
+from repro.service.concurrency import ReadWriteLock
+
+#: Generous bound for "the other thread definitely got the lock".
+WAIT_S = 5.0
+
+
+class TestWriterFaults:
+    def test_writer_raising_releases_lock(self):
+        lock = ReadWriteLock()
+        with pytest.raises(CorruptPageError):
+            with lock.write():
+                raise CorruptPageError(3, "dil:xql")
+        # A subsequent writer on the same thread proceeds immediately.
+        with lock.write():
+            pass
+
+    def test_readers_proceed_after_writer_fault(self):
+        lock = ReadWriteLock()
+        with pytest.raises(CorruptPageError):
+            with lock.write():
+                raise CorruptPageError(1)
+
+        entered = threading.Event()
+
+        def reader():
+            with lock.read():
+                entered.set()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert entered.wait(WAIT_S), "reader starved after writer fault"
+        thread.join(WAIT_S)
+
+    def test_waiting_writer_unblocked_by_faulting_writer(self):
+        lock = ReadWriteLock()
+        first_holds = threading.Event()
+        release_first = threading.Event()
+        second_done = threading.Event()
+
+        def faulting_writer():
+            try:
+                with lock.write():
+                    first_holds.set()
+                    release_first.wait(WAIT_S)
+                    raise ReadFaultError(7)
+            except ReadFaultError:
+                pass
+
+        def second_writer():
+            with lock.write():
+                second_done.set()
+
+        one = threading.Thread(target=faulting_writer)
+        one.start()
+        assert first_holds.wait(WAIT_S)
+        two = threading.Thread(target=second_writer)
+        two.start()
+        release_first.set()
+        assert second_done.wait(WAIT_S), "writer stuck behind faulted writer"
+        one.join(WAIT_S)
+        two.join(WAIT_S)
+
+
+class TestReaderFaults:
+    def test_reader_raising_releases_lock(self):
+        lock = ReadWriteLock()
+        with pytest.raises(ReadFaultError):
+            with lock.read():
+                raise ReadFaultError(2)
+        # A writer must not wait on the faulted reader's hold.
+        with lock.write():
+            pass
+
+    def test_writer_unblocked_when_reader_faults(self):
+        lock = ReadWriteLock()
+        reader_holds = threading.Event()
+        release_reader = threading.Event()
+        writer_done = threading.Event()
+
+        def faulting_reader():
+            try:
+                with lock.read():
+                    reader_holds.set()
+                    release_reader.wait(WAIT_S)
+                    raise CorruptPageError(9, "hdil:tree")
+            except CorruptPageError:
+                pass
+
+        def writer():
+            with lock.write():
+                writer_done.set()
+
+        reader = threading.Thread(target=faulting_reader)
+        reader.start()
+        assert reader_holds.wait(WAIT_S)
+        thread = threading.Thread(target=writer)
+        thread.start()
+        release_reader.set()
+        assert writer_done.wait(WAIT_S), "writer starved by faulted reader"
+        reader.join(WAIT_S)
+        thread.join(WAIT_S)
+
+    def test_no_leaked_hold_state_after_fault(self):
+        # A faulted read section must not be mistaken for re-entrancy on
+        # the next acquisition by the same thread.
+        lock = ReadWriteLock()
+        for _ in range(3):
+            with pytest.raises(ReadFaultError):
+                with lock.read():
+                    raise ReadFaultError(4)
+        with lock.read():
+            pass
+
+
+class TestRepeatedFaultStorm:
+    def test_alternating_faulting_readers_and_writers(self):
+        """Many threads faulting mid-section leave the lock fully usable."""
+        lock = ReadWriteLock()
+        errors = []
+
+        def faulty(i):
+            try:
+                if i % 2:
+                    with lock.write():
+                        raise ReadFaultError(i)
+                else:
+                    with lock.read():
+                        raise CorruptPageError(i)
+            except (ReadFaultError, CorruptPageError):
+                pass
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=faulty, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(WAIT_S)
+        assert not errors
+        assert not any(thread.is_alive() for thread in threads)
+        with lock.write():
+            pass
+        with lock.read():
+            pass
