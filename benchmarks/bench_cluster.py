@@ -1,0 +1,238 @@
+"""Scatter-gather cluster benchmark: latency, identity, failover.
+
+Serves a seeded DBLP corpus from a :class:`repro.cluster.local.
+LocalCluster` at several shard counts and replays a fixed workload
+through the real HTTP scatter-gather path, comparing every answer
+against an in-process single-node oracle:
+
+* **shard sweep** — per shard count: QPS, p50/p95 coordinator latency,
+  and an ``identical`` flag (every response bit-for-bit equal to the
+  oracle's);
+* **failover** phase — kill one replica of a 2-shard × 2-replica
+  cluster mid-workload; answers must stay identical (served by the
+  surviving replica) and at least one failover must be recorded;
+* **degraded** phase — kill a whole shard; the response must flag
+  ``degraded`` with the missing shard listed instead of erroring.
+
+Results go to ``BENCH_cluster.json`` at the repository root.  CI's
+bench-smoke lane re-runs this at ``--tiny`` scale and gates on the
+``identical`` flags via ``check_regression.py --require-true``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.cluster.local import LocalCluster
+from repro.cluster.verify import default_cluster_corpus, single_node_oracle
+
+NUM_PAPERS = 30
+NUM_QUERIES = 6
+ROUNDS = 3
+SHARD_COUNTS = (1, 2, 4)
+TINY_PAPERS = 12
+TINY_QUERIES = 4
+TINY_SHARD_COUNTS = (1, 2)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _sweep_one(
+    specs, queries, oracle, num_shards: int, rounds: int
+) -> Dict[str, object]:
+    """Replay the workload against one shard count; compare to oracle."""
+    latencies: List[float] = []
+    identical = True
+    with LocalCluster(specs, num_shards=num_shards) as cluster:
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                begin = time.perf_counter()
+                actual = cluster.search(query, m=10).to_dict()
+                latencies.append((time.perf_counter() - begin) * 1000.0)
+                expected = oracle.search(query, m=10).to_dict()
+                if actual["results"] != expected["results"]:
+                    identical = False
+        elapsed = time.perf_counter() - started
+    requests = rounds * len(queries)
+    return {
+        "shards": num_shards,
+        "requests": requests,
+        "qps": round(requests / elapsed, 2) if elapsed else None,
+        "p50_ms": round(_percentile(latencies, 0.50), 4),
+        "p95_ms": round(_percentile(latencies, 0.95), 4),
+        "identical": identical,
+    }
+
+
+def _failover_phase(specs, queries, oracle) -> Dict[str, object]:
+    """Kill one replica mid-workload; answers must not change."""
+    identical = True
+    with LocalCluster(specs, num_shards=2, replicas=2) as cluster:
+        half = max(1, len(queries) // 2)
+        for query in queries[:half]:
+            if (
+                cluster.search(query, m=10).to_dict()["results"]
+                != oracle.search(query, m=10).to_dict()["results"]
+            ):
+                identical = False
+        cluster.kill(0, 0)
+        degraded_after_kill = False
+        for query in queries[half:] or queries[:1]:
+            response = cluster.search(query, m=10)
+            degraded_after_kill = degraded_after_kill or response.degraded
+            if (
+                response.to_dict()["results"]
+                != oracle.search(query, m=10).to_dict()["results"]
+            ):
+                identical = False
+        failovers = cluster.coordinator.failovers
+    return {
+        "identical": identical,
+        "failovers": failovers,
+        "failover_exercised": failovers >= 1,
+        "degraded_after_single_replica_kill": degraded_after_kill,
+    }
+
+
+def _degraded_phase(specs, queries) -> Dict[str, object]:
+    """Kill a whole shard; the cluster must degrade honestly, not error."""
+    with LocalCluster(specs, num_shards=2, replicas=1) as cluster:
+        cluster.kill(1, 0)
+        response = cluster.search(queries[0], m=10)
+        return {
+            "degraded": response.degraded,
+            "missing_shards": response.missing_shards,
+            "surviving_results": len(response.hits),
+            "errored": False,
+        }
+
+
+def run_benchmark(
+    num_papers: int = NUM_PAPERS,
+    num_queries: int = NUM_QUERIES,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    rounds: int = ROUNDS,
+) -> Dict[str, object]:
+    specs, queries = default_cluster_corpus(
+        num_papers=num_papers, num_queries=num_queries
+    )
+    oracle = single_node_oracle(specs)
+    sweep = [
+        _sweep_one(specs, queries, oracle, num_shards, rounds)
+        for num_shards in shard_counts
+    ]
+    failover = _failover_phase(specs, queries, oracle)
+    degraded = _degraded_phase(specs, queries)
+    return {
+        "benchmark": "cluster",
+        "corpus": {
+            "kind": "dblp",
+            "papers": num_papers,
+            "queries": len(queries),
+            "index": "hdil",
+        },
+        "sweep": sweep,
+        "failover": failover,
+        "degraded": degraded,
+        "identical": all(entry["identical"] for entry in sweep)
+        and failover["identical"],
+    }
+
+
+def check_report(report: Dict[str, object]) -> List[str]:
+    """Acceptance failures for a report; empty means the benchmark passed."""
+    failures: List[str] = []
+    for entry in report["sweep"]:
+        if entry["identical"] is not True:
+            failures.append(
+                f"{entry['shards']}-shard answers diverge from single-node"
+            )
+    if report["failover"]["identical"] is not True:
+        failures.append("answers changed after a replica kill")
+    if not report["failover"]["failover_exercised"]:
+        failures.append("replica kill never exercised a failover")
+    if report["failover"]["degraded_after_single_replica_kill"]:
+        failures.append("single replica kill degraded a replicated shard")
+    if report["degraded"]["degraded"] is not True:
+        failures.append("whole-shard outage did not flag degraded")
+    if report["degraded"]["missing_shards"] != [1]:
+        failures.append(
+            f"missing shards {report['degraded']['missing_shards']} != [1]"
+        )
+    return failures
+
+
+def _summary_line(report: Dict[str, object]) -> str:
+    parts = ", ".join(
+        f"{entry['shards']}sh {entry['qps']} qps "
+        f"(p95 {entry['p95_ms']:.1f}ms)"
+        for entry in report["sweep"]
+    )
+    return (
+        f"cluster: {parts}; identical={report['identical']} "
+        f"failovers={report['failover']['failovers']}"
+    )
+
+
+@pytest.mark.slow
+def test_cluster_benchmark(capsys):
+    report = run_benchmark(
+        num_papers=TINY_PAPERS,
+        num_queries=TINY_QUERIES,
+        shard_counts=TINY_SHARD_COUNTS,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print(f"\n{_summary_line(report)}")
+    failures = check_report(report)
+    assert not failures, (failures, report)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point for CI's cluster-smoke lane."""
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help=f"smoke-test scale ({TINY_PAPERS} papers, shard counts "
+        f"{list(TINY_SHARD_COUNTS)}, 1 round)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUTPUT, help="report destination"
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        report = run_benchmark(
+            num_papers=TINY_PAPERS,
+            num_queries=TINY_QUERIES,
+            shard_counts=TINY_SHARD_COUNTS,
+            rounds=1,
+        )
+    else:
+        report = run_benchmark()
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(_summary_line(report))
+    print(f"wrote {args.out}")
+    failures = check_report(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,11 @@ Plain ``repro check`` lints the source tree with the project rules.
   acquisition plus a same-thread nested read (both MUST be detected, so
   a silently broken detector fails the build), then a *live* trace of an
   :class:`~repro.service.core.XRankService` under concurrent searches
-  and writes, which must come back clean.
+  and writes, which must come back clean;
+* runs the cluster identity battery
+  (:func:`repro.cluster.verify.verify_cluster_identity`): sharded
+  serving at shard counts 1/2/4 must return bit-for-bit the single-node
+  engine's ranked answers.
 
 Exit code 0 means every gate passed.
 """
@@ -268,6 +272,23 @@ def run_check(
             print(failure, file=out)
         failures += len(lock_failures)
         print(f"locktrace: {len(lock_failures)} failure(s)", file=out)
+
+        from ..cluster.verify import verify_cluster_identity
+
+        # Smaller than the CLI battery's defaults: the strict gate runs
+        # on every CI push, so one replica and a compact corpus — the
+        # shard-count sweep is what carries the correctness argument.
+        cluster_violations = verify_cluster_identity(
+            shard_counts=(1, 2, 4), num_papers=18, m=8
+        )
+        for violation in cluster_violations:
+            print(f"cluster identity: {violation}", file=out)
+        failures += len(cluster_violations)
+        print(
+            f"cluster-identity: {len(cluster_violations)} violation(s) "
+            "(shards 1/2/4 vs single-node, bit-for-bit)",
+            file=out,
+        )
 
     print("check: " + ("FAILED" if failures else "ok"), file=out)
     return 1 if failures else 0

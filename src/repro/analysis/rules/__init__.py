@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..linter import LintConfig, LintRule
+from .cluster import ClusterDeadlineRPCRule
 from .deadline import DeadlineDisciplineRule
 from .faults import FaultTypedErrorsRule
 from .general import BareExceptRule, MutableDefaultRule, WallClockRule
@@ -26,12 +27,14 @@ ALL_RULES: List[LintRule] = [
     MutableDefaultRule(),
     WallClockRule(),
     FaultTypedErrorsRule(),
+    ClusterDeadlineRPCRule(),
 ]
 
 __all__ = [
     "ALL_RULES",
     "BareExceptRule",
     "CacheGenerationRule",
+    "ClusterDeadlineRPCRule",
     "DeadlineDisciplineRule",
     "FaultTypedErrorsRule",
     "LockDisciplineRule",

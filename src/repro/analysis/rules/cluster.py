@@ -1,0 +1,80 @@
+"""cluster-deadline-rpc: scatter RPCs must carry the query's deadline.
+
+The cluster's deadline story is *propagation*: the coordinator turns the
+caller's budget into one :class:`~repro.service.admission.Deadline` and
+every shard RPC ships the remaining milliseconds, so workers stop
+spending effort on answers nobody will wait for and a slow replica
+shrinks what its failover successor may spend.  The chain is only as
+strong as its laziest call site — one ``client.search(query, m=m)``
+without ``deadline_ms`` silently re-grants that worker an unbounded
+budget, which no test notices until a deadline-bearing workload hangs.
+
+The rule flags any ``.search(...)`` call in ``repro/cluster/`` whose
+receiver looks like an RPC client (a name or attribute containing
+``client``, or a direct ``client_for(...)`` chain) and whose arguments
+do not include ``deadline_ms``.  Local calls — ``engine.search``,
+``oracle.search``, ``cluster.search`` in tests and verification — have
+non-client receivers and are not the RPC boundary this rule guards.
+Forwarding ``**options`` that provably contain the deadline is rare
+enough that such a site should pass ``deadline_ms`` explicitly or carry
+a ``# repro: ignore[cluster-deadline-rpc]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+
+
+class ClusterDeadlineRPCRule(LintRule):
+    rule_id = "cluster-deadline-rpc"
+    description = (
+        "cluster RPC .search() call drops the query deadline "
+        "(no deadline_ms argument)"
+    )
+    scopes = ("cluster/",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "search"):
+                continue
+            if not _is_rpc_client(func.value):
+                continue
+            if any(keyword.arg == "deadline_ms" for keyword in node.keywords):
+                continue
+            violations.append(
+                self.violation(
+                    path,
+                    node,
+                    "RPC search() without deadline_ms: the coordinator's "
+                    "deadline must propagate to the worker (pass "
+                    "deadline_ms=deadline.remaining_ms() or forward the "
+                    "caller's value)",
+                )
+            )
+        return violations
+
+
+def _is_rpc_client(receiver: ast.expr) -> bool:
+    """Whether the expression a ``.search`` hangs off is an RPC client."""
+    if isinstance(receiver, ast.Call):
+        func = receiver.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return "client" in name.lower()
+    name = (
+        receiver.id
+        if isinstance(receiver, ast.Name)
+        else receiver.attr if isinstance(receiver, ast.Attribute) else ""
+    )
+    lowered = name.lower()
+    return "client" in lowered or lowered == "_inner"

@@ -45,7 +45,7 @@ class FaultTypedErrorsRule(LintRule):
         "fault site raises a builtin exception instead of a typed "
         "ReproError subclass"
     )
-    scopes = ("storage/", "service/", "build/", "faults", "chaos")
+    scopes = ("storage/", "service/", "build/", "cluster/", "faults", "chaos")
 
     def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
         violations: List[Violation] = []

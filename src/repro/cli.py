@@ -322,13 +322,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run one seeded fault storm and report outcomes vs. the oracle."""
-    from .chaos import run_chaos
-
     num_queries = args.queries
     num_papers = args.papers
     if args.tiny:
         num_queries = min(num_queries, 12)
         num_papers = min(num_papers, 24)
+    if args.cluster:
+        return _cluster_chaos(args, num_queries, num_papers)
+    from .chaos import run_chaos
     report = run_chaos(
         seed=args.seed,
         fault_rate=args.fault_rate,
@@ -353,6 +354,128 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  VIOLATION: {violation}")
         print("ok" if report.ok else "FAILED: silent wrong answers detected")
     return 0 if report.ok else 1
+
+
+def _cluster_chaos(
+    args: argparse.Namespace, num_queries: int, num_papers: int
+) -> int:
+    """The ``repro chaos --cluster`` arm: replica kills + RPC faults."""
+    from .cluster.chaos import run_cluster_chaos
+
+    report = run_cluster_chaos(
+        seed=args.seed,
+        num_queries=num_queries,
+        num_papers=num_papers,
+        shards=args.shards,
+        replicas=args.replicas,
+        kind=args.kind,
+        kill_rate=args.kill_rate,
+        rpc_fault_rate=args.rpc_fault_rate,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(
+            f"cluster chaos seed={report.seed} shards={report.shards} "
+            f"replicas={report.replicas}: {report.queries} queries over "
+            f"{report.documents} documents"
+        )
+        for name, count in sorted(report.outcomes.items()):
+            print(f"  {name:>14}: {count}")
+        print(
+            f"  kills: {report.kills}  restarts: {report.restarts}  "
+            f"rpc faults: {report.rpc_faults_injected}"
+        )
+        print(
+            f"  failovers: {report.failovers}  "
+            f"breaker trips: {report.breaker_trips}"
+        )
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        print("ok" if report.ok else "FAILED: silent wrong answers detected")
+    return 0 if report.ok else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run or verify a sharded serving cluster (see repro.cluster)."""
+    from .cluster.verify import (
+        default_cluster_corpus,
+        verify_cluster_identity,
+    )
+
+    if args.check:
+        shard_counts = tuple(args.shard_counts or (1, 2, 4))
+        problems = verify_cluster_identity(
+            shard_counts=shard_counts,
+            replicas=args.replicas,
+            num_papers=args.papers,
+            seed=args.seed,
+        )
+        for problem in problems:
+            print(f"cluster identity: {problem}")
+        print(
+            f"cluster check over shard counts {list(shard_counts)}: "
+            + ("FAILED" if problems else "ok (bit-for-bit identical)")
+        )
+        return 1 if problems else 0
+
+    from .cluster.local import LocalCluster
+    from .service.server import make_server
+
+    specs, queries = default_cluster_corpus(args.papers, seed=args.seed)
+    print(
+        f"building {args.shards}-shard x {args.replicas}-replica cluster "
+        f"over {len(specs)} seeded documents..."
+    )
+    with LocalCluster(
+        specs, num_shards=args.shards, replicas=args.replicas
+    ) as cluster:
+        described = cluster.describe()
+        print(
+            f"shard sizes: {described['shard_sizes']}  "
+            f"elements: {described['elements']}"
+        )
+        server = make_server(
+            cluster.coordinator, host=args.host, port=args.port
+        )
+        bound_host, bound_port = server.server_address[:2]
+        if args.smoke:
+            # CI mode: one real scatter-gather query through the HTTP
+            # front end, then shut down.
+            import threading
+
+            from .service.client import ServiceClient
+
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                client = ServiceClient(bound_host, bound_port)
+                response = client.search(queries[0], m=5)
+                answered = response["cluster"]["shards_answered"]
+                print(
+                    f"cluster smoke ok: query {queries[0]!r} -> "
+                    f"{len(response['results'])} results from "
+                    f"{answered}/{args.shards} shards on port {bound_port}"
+                )
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+            return 0
+        print(
+            f"cluster coordinator on http://{bound_host}:{bound_port} "
+            f"(try /search?q={queries[0].split()[0]})"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -536,7 +659,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the canonical JSON report (bit-for-bit comparable)",
     )
+    chaos_cmd.add_argument(
+        "--cluster", action="store_true",
+        help="storm a sharded cluster instead: replica kills + in-flight "
+        "RPC faults, classified against the single-node oracle",
+    )
+    chaos_cmd.add_argument(
+        "--shards", type=int, default=2, help="cluster shards (--cluster)"
+    )
+    chaos_cmd.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard (--cluster)",
+    )
+    chaos_cmd.add_argument(
+        "--kill-rate", type=float, default=0.15,
+        help="per-query probability of killing a replica (--cluster)",
+    )
+    chaos_cmd.add_argument(
+        "--rpc-fault-rate", type=float, default=0.05,
+        help="per-RPC probability of an injected in-flight fault "
+        "(--cluster)",
+    )
     chaos_cmd.set_defaults(handler=cmd_chaos)
+
+    cluster_cmd = commands.add_parser(
+        "cluster",
+        help="serve a sharded cluster with scatter-gather top-k, or "
+        "verify its single-node identity (--check)",
+    )
+    cluster_cmd.add_argument(
+        "--shards", type=int, default=2, help="number of corpus shards"
+    )
+    cluster_cmd.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    cluster_cmd.add_argument(
+        "--papers", type=int, default=36,
+        help="seeded DBLP corpus size to shard and serve",
+    )
+    cluster_cmd.add_argument(
+        "--seed", type=int, default=23, help="corpus/workload seed"
+    )
+    cluster_cmd.add_argument(
+        "--check", action="store_true",
+        help="run the identity battery (cluster answers must be "
+        "bit-for-bit the single-node answers) instead of serving",
+    )
+    cluster_cmd.add_argument(
+        "--shard-counts", type=int, nargs="*", default=None,
+        help="shard counts the --check battery sweeps (default 1 2 4)",
+    )
+    cluster_cmd.add_argument("--host", default="127.0.0.1")
+    cluster_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="coordinator port (0 = ephemeral)",
+    )
+    cluster_cmd.add_argument(
+        "--smoke", action="store_true",
+        help="boot, answer one scatter-gather query over HTTP, shut down",
+    )
+    cluster_cmd.set_defaults(handler=cmd_cluster)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

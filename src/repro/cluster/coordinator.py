@@ -1,0 +1,386 @@
+"""Scatter-gather query coordinator with replica failover.
+
+The coordinator owns the cluster topology — a list of shard groups, each
+a list of replica endpoints — and turns one client query into one RPC
+per shard group.  Per shard it walks the group's replicas in order,
+skipping replicas whose per-replica circuit breaker is open, and fails
+over to the next replica on any typed RPC error; the breaker trips after
+consecutive failures so a dead replica stops eating a connection timeout
+from every query, and (query-counted, hence deterministic) cooldown
+later lets a probe through to detect recovery.
+
+Deadline propagation: the client's ``deadline_ms`` becomes one
+:class:`~repro.service.admission.Deadline` for the whole fan-out, and
+every RPC ships the *remaining* budget, so a shard that has already
+missed the deadline is not asked to do full work and a slow first
+replica shrinks what its successor may spend.
+
+When a whole shard group is down (or out of deadline) the coordinator
+degrades instead of failing: the response is flagged ``degraded`` and
+names the ``missing_shards``, so a partial answer is never mistaken for
+a complete one.  ``allow_partial=False`` turns that into a typed
+:class:`~repro.errors.ShardUnavailableError` for callers that prefer
+loud failure.  The public surface mirrors :class:`XRankService`
+(``search``/``healthz``/``stats`` + ``to_dict``-able responses), so the
+existing HTTP server fronts a coordinator unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import (
+    ClusterError,
+    RetryBudgetExhaustedError,
+    ServiceHTTPError,
+    ShardUnavailableError,
+)
+from ..service.admission import Deadline
+from ..service.breaker import CircuitBreaker
+from ..service.client import ServiceClient
+from .merge import merge_hits
+
+#: RPC failures that mean "this replica, right now" — eligible for
+#: failover — as opposed to request errors (4xx), which every replica
+#: would answer identically and which therefore propagate to the caller.
+_FAILOVER_STATUSES = (0, 500, 503)
+
+
+@dataclass(frozen=True)
+class ReplicaEndpoint:
+    """Network address of one shard replica."""
+
+    shard_id: int
+    replica_id: int
+    host: str
+    port: int
+
+    @property
+    def name(self) -> str:
+        """Breaker/metrics key; stable across reconnects."""
+        return f"shard{self.shard_id}/replica{self.replica_id}"
+
+
+@dataclass
+class ClusterSearchResponse:
+    """A merged scatter-gather answer plus cluster serving metadata."""
+
+    hits: List[Dict[str, object]]
+    query: str = ""
+    m: int = 10
+    kind: str = "hdil"
+    degraded: bool = False
+    cached: bool = False
+    latency_ms: float = 0.0
+    generation: int = 0
+    #: Shard ids that contributed no results (all replicas down/late).
+    missing_shards: List[int] = field(default_factory=list)
+    #: shard id -> replica id that served it.
+    served_by: Dict[int, int] = field(default_factory=dict)
+    shards_total: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Same shape as ``SearchResponse.to_dict`` + cluster extras."""
+        return {
+            "query": self.query,
+            "kind": self.kind,
+            "m": self.m,
+            "degraded": self.degraded,
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+            "generation": self.generation,
+            "results": list(self.hits),
+            "cluster": {
+                "shards_total": self.shards_total,
+                "shards_answered": self.shards_total - len(self.missing_shards),
+                "missing_shards": list(self.missing_shards),
+                "served_by": {
+                    str(shard): replica
+                    for shard, replica in sorted(self.served_by.items())
+                },
+            },
+        }
+
+
+class ClusterCoordinator:
+    """Fan-out/fan-in router over shard groups of replica endpoints."""
+
+    def __init__(
+        self,
+        shard_groups: Sequence[Sequence[ReplicaEndpoint]],
+        default_kind: str = "hdil",
+        allow_partial: bool = True,
+        default_deadline_ms: Optional[float] = None,
+        breaker_threshold: int = 2,
+        breaker_cooldown: int = 8,
+        client_factory: Optional[
+            Callable[[ReplicaEndpoint], ServiceClient]
+        ] = None,
+        rpc_timeout_s: float = 10.0,
+        rpc_retries: int = 1,
+    ):
+        """Args:
+            shard_groups: ``shard_groups[s]`` lists shard ``s``'s replicas
+                in preference order.  Every shard needs >= 1 replica.
+            allow_partial: degrade (True) or raise ShardUnavailableError
+                (False) when a whole shard group is unreachable.
+            breaker_threshold/cooldown: per-replica breaker tuning; the
+                cooldown is counted in queries observed (deterministic),
+                matching :class:`~repro.service.breaker.CircuitBreaker`.
+            client_factory: override RPC client construction — the chaos
+                harness injects fault-wrapping clients here.
+            rpc_retries: per-RPC retry attempts inside the client; kept
+                low because the coordinator's own failover is the real
+                redundancy mechanism.
+        """
+        if not shard_groups or any(not group for group in shard_groups):
+            raise ClusterError("every shard group needs at least one replica")
+        self.shard_groups: List[List[ReplicaEndpoint]] = [
+            list(group) for group in shard_groups
+        ]
+        self.default_kind = default_kind
+        self.allow_partial = allow_partial
+        self.default_deadline_ms = default_deadline_ms
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        self._client_factory = client_factory or (
+            lambda endpoint: ServiceClient(
+                endpoint.host,
+                endpoint.port,
+                timeout=rpc_timeout_s,
+                max_retries=rpc_retries,
+            )
+        )
+        self._clients: Dict[str, ServiceClient] = {}
+        self._clients_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.queries = 0
+        self.degraded_queries = 0
+        self.failovers = 0
+
+    # -- topology plumbing ---------------------------------------------------------
+
+    def client_for(self, endpoint: ReplicaEndpoint) -> ServiceClient:
+        with self._clients_lock:
+            client = self._clients.get(endpoint.name)
+            if client is None:
+                client = self._client_factory(endpoint)
+                self._clients[endpoint.name] = client
+            return client
+
+    def invalidate_client(self, endpoint: ReplicaEndpoint) -> None:
+        """Drop a cached client (e.g. after a replica restart moved ports)."""
+        with self._clients_lock:
+            client = self._clients.pop(endpoint.name, None)
+        if client is not None and hasattr(client, "close"):
+            client.close()
+
+    def replace_endpoint(self, endpoint: ReplicaEndpoint) -> None:
+        """Install a (restarted) replica's new address in its shard group."""
+        group = self.shard_groups[endpoint.shard_id]
+        for position, existing in enumerate(group):
+            if existing.replica_id == endpoint.replica_id:
+                group[position] = endpoint
+                break
+        else:
+            group.append(endpoint)
+        self.invalidate_client(endpoint)
+
+    # -- the scatter-gather search -------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        m: int = 10,
+        kind: Optional[str] = None,
+        mode: str = "and",
+        offset: int = 0,
+        highlight: bool = False,
+        with_context: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> ClusterSearchResponse:
+        """Scatter to every shard group, gather, merge to the global top-m.
+
+        Raises:
+            ShardUnavailableError: a shard group answered nowhere and
+                ``allow_partial`` is False.
+            ServiceHTTPError: a request-level error (4xx) from a shard —
+                malformed query, unknown kind — which no failover fixes.
+        """
+        kind = kind or self.default_kind
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        deadline = Deadline.after_ms(deadline_ms)
+        started = time.perf_counter()
+        # Every shard must return its own top-(offset + m): the global
+        # window [offset, offset+m) can in the worst case come entirely
+        # from one shard.  The offset is applied only at the merge.
+        fetch = offset + m
+
+        outcomes: List[Optional[Dict[str, object]]] = [None] * len(
+            self.shard_groups
+        )
+        request_errors: List[ServiceHTTPError] = []
+
+        def run_shard(shard_id: int) -> None:
+            try:
+                outcomes[shard_id] = self._query_group(
+                    shard_id,
+                    query,
+                    fetch,
+                    kind,
+                    mode,
+                    highlight,
+                    with_context,
+                    deadline,
+                )
+            except ServiceHTTPError as exc:
+                request_errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run_shard, args=(shard_id,), daemon=True
+            )
+            for shard_id in range(len(self.shard_groups))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if request_errors:
+            raise request_errors[0]
+
+        missing = [s for s, payload in enumerate(outcomes) if payload is None]
+        if missing and not self.allow_partial:
+            raise ShardUnavailableError(
+                f"shard(s) {missing} unavailable and partial results are "
+                "disabled"
+            )
+
+        answered = [payload for payload in outcomes if payload is not None]
+        hits = merge_hits(
+            (payload["results"] for payload in answered), m, offset
+        )
+        degraded = bool(missing) or any(
+            payload.get("degraded") for payload in answered
+        )
+        with self._stats_lock:
+            self.queries += 1
+            if degraded:
+                self.degraded_queries += 1
+        return ClusterSearchResponse(
+            hits=hits,
+            query=query,
+            m=m,
+            kind=kind,
+            degraded=degraded,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            generation=max(
+                (int(payload.get("generation", 0)) for payload in answered),
+                default=0,
+            ),
+            missing_shards=missing,
+            served_by={
+                s: int(payload["_replica_id"])
+                for s, payload in enumerate(outcomes)
+                if payload is not None
+            },
+            shards_total=len(self.shard_groups),
+        )
+
+    def _query_group(
+        self,
+        shard_id: int,
+        query: str,
+        fetch: int,
+        kind: str,
+        mode: str,
+        highlight: bool,
+        with_context: bool,
+        deadline: Deadline,
+    ) -> Optional[Dict[str, object]]:
+        """One shard's answer, failing over across its replicas.
+
+        Returns None when no replica could answer (shard missing), and
+        re-raises request-level (4xx) errors untouched.
+        """
+        attempted = False
+        for endpoint in self.shard_groups[shard_id]:
+            if deadline.poll():
+                break  # out of budget: stop asking anyone else to work
+            if not self.breaker.allow(endpoint.name):
+                continue
+            if attempted:
+                with self._stats_lock:
+                    self.failovers += 1
+            attempted = True
+            try:
+                payload = self.client_for(endpoint).search(
+                    query,
+                    m=fetch,
+                    kind=kind,
+                    mode=mode,
+                    highlight=highlight,
+                    context=with_context,
+                    deadline_ms=deadline.remaining_ms(),
+                )
+            except ServiceHTTPError as exc:
+                if exc.status in _FAILOVER_STATUSES:
+                    self.breaker.record_failure(endpoint.name)
+                    continue
+                raise  # 4xx: the request itself is bad; failover is futile
+            except RetryBudgetExhaustedError:
+                self.breaker.record_failure(endpoint.name)
+                continue
+            self.breaker.record_success(endpoint.name)
+            payload["_replica_id"] = endpoint.replica_id
+            return payload
+        return None
+
+    # -- service-compatible surface -------------------------------------------------
+
+    def add_xml(self, source: str, uri: str = "") -> Dict[str, object]:
+        """Cluster serving is read-only; writes go through a rebuild."""
+        raise ClusterError(
+            "the cluster coordinator is read-only: rebuild and redeploy "
+            "shards to change the corpus"
+        )
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness + topology reachability (no RPCs; breaker view only)."""
+        open_replicas = [
+            endpoint.name
+            for group in self.shard_groups
+            for endpoint in group
+            if self.breaker.is_open(endpoint.name)
+        ]
+        return {
+            "status": "degraded" if open_replicas else "ok",
+            "role": "coordinator",
+            "shards": len(self.shard_groups),
+            "replicas": sum(len(group) for group in self.shard_groups),
+            "open_breakers": open_replicas,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Coordinator-local counters + per-replica breaker state."""
+        with self._stats_lock:
+            counters = {
+                "queries": self.queries,
+                "degraded_queries": self.degraded_queries,
+                "failovers": self.failovers,
+            }
+        return {
+            "role": "coordinator",
+            "cluster": counters,
+            "topology": [
+                [endpoint.name for endpoint in group]
+                for group in self.shard_groups
+            ],
+            "breaker": self.breaker.state(),
+        }

@@ -1,0 +1,62 @@
+"""Exact global top-k merge of per-shard search results.
+
+The correctness argument is small and worth stating.  Every posting
+score in a cluster shard is the value the single-node build would have
+stored (the global-statistics exchange, see :mod:`repro.cluster.stats`),
+and decay/proximity are intra-document, so a hit's rank is independent
+of which shard computed it.  Results are ordered by the canonical total
+order ``(-rank, Dewey ID ascending)`` — the same order
+:class:`repro.query.results.ResultHeap` uses — which is a *total* order:
+no ties survive, so the top-``k`` of any result set is unique.  Shards
+partition the corpus by document, hence the global candidate set is the
+disjoint union of the shard candidate sets, hence the global top-``k``
+contains at most ``k`` hits from any one shard.  Each shard returning
+its own top-``k`` under the canonical order therefore provably contains
+every global top-``k`` member, and re-sorting the union yields exactly
+the single-node answer — bit for bit, since ranks survive the JSON hop
+(``float(repr(x)) == x``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Hit = Dict[str, object]
+
+
+def dewey_sort_key(dotted: str) -> Tuple[int, ...]:
+    """Numeric components of a dotted Dewey ID, for canonical ordering."""
+    return tuple(int(part) for part in str(dotted).split("."))
+
+
+def hit_order_key(hit: Hit) -> Tuple:
+    """Canonical total order on serialized hits: best rank, then Dewey."""
+    return (-float(hit["rank"]), dewey_sort_key(hit["dewey"]))
+
+
+def merge_hits(
+    per_shard_hits: Iterable[Sequence[Hit]],
+    m: int,
+    offset: int = 0,
+) -> List[Hit]:
+    """Global top-``m`` (after ``offset``) across per-shard hit lists.
+
+    Each input list must hold at least the shard's top ``offset + m``
+    hits under the canonical order; the coordinator guarantees this by
+    asking every shard for ``offset + m`` results with no offset and
+    applying the offset only here, globally.  Duplicate Dewey IDs (which
+    can only appear if two shards were fed overlapping document sets —
+    a topology bug) keep their first occurrence rather than double-
+    ranking an element.
+    """
+    seen = set()
+    merged: List[Hit] = []
+    for hits in per_shard_hits:
+        for hit in hits:
+            identity = hit["dewey"]
+            if identity in seen:
+                continue
+            seen.add(identity)
+            merged.append(hit)
+    merged.sort(key=hit_order_key)
+    return merged[offset : offset + m]

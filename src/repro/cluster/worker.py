@@ -1,0 +1,285 @@
+"""Shard workers: one :class:`XRankEngine` per corpus shard, served HTTP.
+
+A worker is the cluster's unit of capacity and of failure.  It hosts one
+engine built over exactly one shard of the corpus — the shard assignment
+comes from :func:`repro.build.shard.shard_specs`, the same deterministic
+LPT plan the parallel build uses, so a cluster shard is byte-identical
+to the corresponding parallel-build shard — wrapped in the existing
+:class:`~repro.service.core.XRankService` (locks, caches, admission,
+breaker) and :class:`~repro.service.server.XRankHTTPServer`.  The
+coordinator talks to workers over the same ``/search`` JSON protocol any
+client uses; there is no separate RPC stack to harden.
+
+Replica bring-up rides on engine snapshots: ``ShardWorker.snapshot``
+persists the built engine (indexes, incremental delta, tombstones and
+all), and :meth:`ShardWorker.from_snapshot` restores a fresh replica
+without re-parsing or re-ranking — the path the failover tests and the
+cluster chaos harness use to resurrect killed replicas.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..build.shard import DocumentSpec
+from ..config import XRankConfig
+from ..engine import XRankEngine
+from ..errors import ClusterError
+from ..service.core import XRankService
+from ..service.server import XRankHTTPServer
+from ..xmlmodel.html import parse_html
+from ..xmlmodel.nodes import Document
+from ..xmlmodel.parser import parse_xml
+from .stats import GlobalStats
+
+#: Index kinds a cluster worker builds by default: the headline HDIL plus
+#: DIL so the per-worker circuit breaker has its fallback in place.
+DEFAULT_CLUSTER_KINDS = ("dil", "hdil")
+
+
+class _WorkerHTTPServer(XRankHTTPServer):
+    """An :class:`XRankHTTPServer` that can sever live connections.
+
+    ``server_close()`` only closes the *listening* socket; established
+    keep-alive connections keep being serviced by their handler threads,
+    so a worker stopped that way would keep answering pooled clients —
+    nothing like a crashed process.  Client sockets are therefore
+    tracked so :meth:`close_client_connections` can shut them down,
+    giving ``ShardWorker.kill()`` crash-realistic semantics (in-flight
+    and pooled connections die with the worker)."""
+
+    def __init__(self, address, service):
+        super().__init__(address, service)
+        self._client_sockets = set()
+        self._sockets_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._sockets_lock:
+            self._client_sockets.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._sockets_lock:
+            self._client_sockets.discard(request)
+        super().shutdown_request(request)
+
+    def close_client_connections(self) -> None:
+        """Sever every established connection (handler threads clean up)."""
+        with self._sockets_lock:
+            sockets = list(self._client_sockets)
+        for request in sockets:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closing on its own
+
+    def handle_error(self, request, client_address):
+        # Severed sockets (kill()) surface as connection resets in their
+        # handler threads; that is the intended crash simulation, not an
+        # error worth a traceback on stderr.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+            return
+        super().handle_error(request, client_address)
+
+
+def parse_spec(spec: DocumentSpec) -> Document:
+    """Parse one document spec with its pre-assigned global doc id.
+
+    Doc ids are assigned before sharding (exactly as in the parallel
+    build), so the Dewey IDs a worker produces are independent of which
+    worker parses the document — the property that lets global ElemRanks
+    (keyed by Dewey ID) land on shard-local postings.
+    """
+    if spec.source is not None:
+        source = spec.source
+    elif spec.path is not None:
+        with open(spec.path, "r", encoding="utf-8", errors="replace") as fh:
+            source = fh.read()
+    else:
+        raise ClusterError(f"document spec {spec.doc_id} has no source or path")
+    if spec.is_html:
+        return parse_html(source, doc_id=spec.doc_id, uri=spec.uri)
+    return parse_xml(source, doc_id=spec.doc_id, uri=spec.uri)
+
+
+def build_shard_engine(
+    specs: Sequence[DocumentSpec],
+    stats: GlobalStats,
+    kinds: Sequence[str] = DEFAULT_CLUSTER_KINDS,
+    config: Optional[XRankConfig] = None,
+) -> XRankEngine:
+    """Build one shard's engine with globally comparable scores.
+
+    Parses the shard's documents (global doc ids preserved), then builds
+    with ``elemrank_overrides`` from the global-statistics exchange —
+    never shard-local link analysis.  Coverage is checked up front so a
+    stale or truncated stats payload fails the build rather than
+    producing silently skewed rankings.
+    """
+    if not specs:
+        raise ClusterError("a shard must hold at least one document")
+    engine = XRankEngine(config=config)
+    for spec in sorted(specs, key=lambda s: s.doc_id):
+        engine.add_document(parse_spec(spec))
+    engine.graph.finalize()
+    stats.require_coverage(engine.graph)
+    engine.build(kinds=kinds, elemrank_overrides=stats.elemrank_mapping())
+    return engine
+
+
+class ShardWorker:
+    """One shard replica: engine + service + HTTP server on its own port."""
+
+    def __init__(
+        self,
+        engine: XRankEngine,
+        shard_id: int,
+        replica_id: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        kinds: Optional[Sequence[str]] = None,
+        default_deadline_ms: Optional[float] = None,
+        result_cache_size: int = 256,
+        list_cache_size: int = 256,
+    ):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.engine = engine
+        self.service = XRankService(
+            engine,
+            kinds=tuple(kinds) if kinds else None,
+            result_cache_size=result_cache_size,
+            list_cache_size=list_cache_size,
+            default_deadline_ms=default_deadline_ms,
+        )
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[_WorkerHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard_id}/replica{self.replica_id}"
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ClusterError(f"worker {self.name} is not running")
+        return self._server.server_address[1]
+
+    def start(self) -> "ShardWorker":
+        """Bind (ephemeral port by default) and serve on a daemon thread."""
+        if self._server is not None:
+            return self
+        self._server = _WorkerHTTPServer(
+            (self._host, self._requested_port), self.service
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"xrank-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the HTTP server down; the engine stays queryable in-process."""
+        server, thread = self._server, self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.close_client_connections()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def kill(self) -> None:
+        """Chaos-harness alias: drop the listener like a crashed process."""
+        self.stop()
+
+    # -- snapshots (replica bring-up) ----------------------------------------------
+
+    def snapshot(self, path) -> None:
+        """Persist the built engine for replica bring-up."""
+        self.engine.save(path)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        shard_id: int,
+        replica_id: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_options,
+    ) -> "ShardWorker":
+        """Restore a replica from a snapshot written by :meth:`snapshot`."""
+        engine = XRankEngine.load(path)
+        return cls(
+            engine,
+            shard_id=shard_id,
+            replica_id=replica_id,
+            host=host,
+            port=port,
+            **service_options,
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready identity + corpus slice summary."""
+        return {
+            "shard": self.shard_id,
+            "replica": self.replica_id,
+            "running": self.running,
+            "documents": self.engine.graph.num_documents,
+            "doc_ids": sorted(self.engine.graph.documents),
+            "kinds": sorted(self.engine._indexes),
+        }
+
+
+def specs_from_sources(sources: Sequence) -> List[DocumentSpec]:
+    """Normalize raw corpus sources into doc-id-assigned specs.
+
+    Accepts what :meth:`XRankEngine.build` accepts for string corpora:
+    XML source strings or ``(source, uri)`` pairs.  Ids are assigned in
+    input order, 0-based — matching what a single-node
+    ``engine.build(corpus=sources)`` over the same list would assign, so
+    the cluster and its single-node oracle agree on every Dewey ID.
+    """
+    specs: List[DocumentSpec] = []
+    for doc_id, item in enumerate(sources):
+        if isinstance(item, DocumentSpec):
+            specs.append(DocumentSpec(
+                doc_id=doc_id,
+                uri=item.uri,
+                source=item.source,
+                path=item.path,
+                is_html=item.is_html,
+                cost=item.cost,
+            ))
+        elif isinstance(item, tuple):
+            source, uri = item
+            specs.append(DocumentSpec(doc_id=doc_id, uri=uri, source=source))
+        else:
+            specs.append(
+                DocumentSpec(
+                    doc_id=doc_id, uri=f"doc{doc_id}", source=str(item)
+                )
+            )
+    return specs

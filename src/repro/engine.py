@@ -247,6 +247,7 @@ class XRankEngine:
         spill_dir=None,
         on_parse_error: str = "raise",
         fault_plan=None,
+        elemrank_overrides=None,
     ) -> None:
         """Run ElemRank and materialize the requested index kinds.
 
@@ -270,6 +271,11 @@ class XRankEngine:
             fault_plan: :class:`~repro.faults.FaultPlan` driving injected
                 worker crashes / run-file corruption during this build
                 (the pipeline retries per shard; see repro.build).
+            elemrank_overrides: externally computed ElemRanks keyed by
+                :class:`~repro.xmlmodel.dewey.DeweyId`, covering every
+                element of this engine's corpus.  Skips the local link
+                analysis — used by repro.cluster shard workers so scores
+                stay globally comparable across a partitioned corpus.
         """
         unknown = [k for k in kinds if k not in INDEX_KINDS]
         if unknown:
@@ -306,6 +312,7 @@ class XRankEngine:
             scorer=self.scorer,
             drop_stopwords=self.drop_stopwords,
             raw_postings=raw_postings,
+            elemrank_overrides=elemrank_overrides,
         )
         self._indexes = {}
         self._evaluators = {}
@@ -402,29 +409,46 @@ class XRankEngine:
         builder = self.builder
         if kind == "dil":
             index = builder.build_dil()
-            evaluator = DILEvaluator(index, self.config.ranking)
         elif kind == "rdil":
             index = builder.build_rdil()
-            evaluator = RDILEvaluator(index, self.config.ranking)
         elif kind == "hdil":
             index = builder.build_hdil(self.config.hdil)
-            evaluator = HDILEvaluator(index, self.config.ranking, self.config.hdil)
         elif kind == "naive-id":
             index = builder.build_naive_id()
-            evaluator = NaiveIdEvaluator(index, self.config.ranking)
         elif kind == "dil-incremental":
             from .index.incremental import IncrementalDILIndex
 
             index = IncrementalDILIndex(self.config.storage)
             index.build(builder.direct_postings)
-            evaluator = DILEvaluator(index, self.config.ranking)
         else:
             index = builder.build_naive_rank()
-            evaluator = NaiveRankEvaluator(index, self.config.ranking)
         if self._fault_plan is not None:
             index.disk.fault_plan = self._fault_plan
         self._indexes[kind] = index
-        self._evaluators[kind] = evaluator
+        self._evaluators[kind] = self._make_evaluator(kind, index)
+
+    def _make_evaluator(self, kind: str, index):
+        """Construct the conjunctive evaluator matching a built index kind.
+
+        Split from :meth:`_build_kind` so evaluators can be recreated
+        lazily — e.g. after :meth:`load`, which deliberately does not
+        persist them (see ``__getstate__``)."""
+        if kind == "rdil":
+            return RDILEvaluator(index, self.config.ranking)
+        if kind == "hdil":
+            return HDILEvaluator(index, self.config.ranking, self.config.hdil)
+        if kind == "naive-id":
+            return NaiveIdEvaluator(index, self.config.ranking)
+        if kind in ("dil", "dil-incremental"):
+            return DILEvaluator(index, self.config.ranking)
+        return NaiveRankEvaluator(index, self.config.ranking)
+
+    def _conjunctive_evaluator(self, kind: str):
+        if kind not in self._evaluators:
+            self._evaluators[kind] = self._make_evaluator(
+                kind, self._indexes[kind]
+            )
+        return self._evaluators[kind]
 
     def index(self, kind: str = "hdil"):
         """The built index of the given kind (for inspection/benchmarks)."""
@@ -434,7 +458,7 @@ class XRankEngine:
     def evaluator(self, kind: str = "hdil"):
         """The evaluator bound to a built index kind."""
         self._require_built(kind)
-        return self._evaluators[kind]
+        return self._conjunctive_evaluator(kind)
 
     def _require_built(self, kind: str) -> None:
         if kind not in self._indexes:
@@ -494,7 +518,7 @@ class XRankEngine:
             weight_list = [float(weights.get(k, 1.0)) for k in keywords]
 
         if mode == "and":
-            evaluator = self._evaluators[kind]
+            evaluator = self._conjunctive_evaluator(kind)
         elif mode == "or":
             evaluator = self._disjunctive_evaluator(kind)
         else:
@@ -632,7 +656,7 @@ class XRankEngine:
         keywords = tokenize_query(query, drop_stopwords=self.drop_stopwords)
         if not keywords:
             raise QueryError("query contains no searchable keywords")
-        results = self._evaluators[kind].evaluate(keywords, m=m)
+        results = self._conjunctive_evaluator(kind).evaluate(keywords, m=m)
         from .ranking.proximity import smallest_window
 
         explanations: List[Dict[str, object]] = []
@@ -675,6 +699,15 @@ class XRankEngine:
         return explanations
 
     # -- persistence --------------------------------------------------------------------------------
+
+    def __getstate__(self):
+        # Evaluators are a derived cache; once the serving layer has run a
+        # query they hold cache handles with runtime locks, which would
+        # make a served engine unpicklable.  They rebuild lazily on the
+        # next search, so drop them from the snapshot.
+        state = dict(self.__dict__)
+        state["_evaluators"] = {}
+        return state
 
     def save(self, path) -> None:
         """Persist the whole engine (documents, graph, indexes) to a file.

@@ -179,3 +179,27 @@ class RetryBudgetExhaustedError(ServiceError):
 #: "any typed repro failure" can write ``except ReproError`` regardless of
 #: which historical name they learned first.
 ReproError = XRankError
+
+
+class ClusterError(ServiceError):
+    """Base class for distributed-serving failures (repro.cluster)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """Raised when every replica of a shard group is unreachable.
+
+    The coordinator normally *degrades* instead — returning partial
+    results flagged with the missing shard ids — so this surfaces only
+    when a caller demanded complete results (``allow_partial=False``).
+    """
+
+
+class StatsExchangeError(ClusterError):
+    """Raised when the global-statistics exchange cannot cover a shard.
+
+    Per-shard scores are only comparable because every worker ranks with
+    ElemRanks computed on the *full* collection graph; a worker asked to
+    build without covering statistics must fail loudly rather than fall
+    back to shard-local link analysis and silently skew the global
+    ordering.
+    """

@@ -14,6 +14,7 @@ import logging
 from typing import Dict, Optional
 
 from ..config import ElemRankParams, HDILParams, StorageParams
+from ..errors import BuildError
 from ..ranking.elemrank import (
     ElemRankResult,
     ElemRankVariant,
@@ -36,6 +37,43 @@ from .rdil import RDILIndex
 logger = logging.getLogger(__name__)
 
 
+def _override_result(
+    graph: CollectionGraph,
+    overrides: Dict[DeweyId, float],
+    variant: ElemRankVariant,
+) -> ElemRankResult:
+    """Package externally supplied ElemRanks as an :class:`ElemRankResult`.
+
+    The dense score array follows the graph's element order so the naive
+    builders (which index by element position) see the same values the
+    Dewey-keyed mapping exposes."""
+    import numpy as np
+
+    missing = [
+        element.dewey
+        for element in graph.elements
+        if element.dewey not in overrides
+    ]
+    if missing:
+        raise BuildError(
+            f"elemrank overrides missing {len(missing)} element(s), "
+            f"e.g. {missing[0]} — the global-statistics exchange must "
+            "cover every element of the shard"
+        )
+    scores = np.array(
+        [overrides[element.dewey] for element in graph.elements],
+        dtype=np.float64,
+    )
+    return ElemRankResult(
+        scores=scores,
+        iterations=0,
+        converged=True,
+        residual=0.0,
+        elapsed_seconds=0.0,
+        variant=variant,
+    )
+
+
 class IndexBuilder:
     """Shared corpus preparation + per-flavour index materialization."""
 
@@ -48,6 +86,7 @@ class IndexBuilder:
         scorer: str = "elemrank",
         drop_stopwords: bool = False,
         raw_postings: Optional[RawPostingMap] = None,
+        elemrank_overrides: Optional[Dict[DeweyId, float]] = None,
     ):
         """Args:
             scorer: ``"elemrank"`` (the paper's link-based score, default)
@@ -64,6 +103,15 @@ class IndexBuilder:
                 the per-element extraction pass is skipped and only score
                 attachment runs here.  Must cover exactly the graph's
                 documents.
+            elemrank_overrides: externally computed ElemRanks keyed by
+                Dewey ID, covering every element of ``graph``.  Used by
+                repro.cluster's global-statistics exchange: a shard worker
+                holds only its slice of the corpus, so link analysis over
+                its local graph would produce scores that are not
+                comparable across shards; the coordinator computes
+                ElemRank once on the full collection graph and injects
+                the relevant values here, skipping the local power
+                iteration entirely.
         """
         if scorer not in ("elemrank", "tfidf"):
             raise ValueError(f"unknown scorer {scorer!r}")
@@ -72,12 +120,20 @@ class IndexBuilder:
         self.graph = graph
         self.storage_params = storage_params
         self.scorer = scorer
-        # ElemRank consumes the flat LinkGraph arrays, not the collection
-        # graph itself: the same call works on arrays assembled by the
-        # parallel merge, keeping graph assembly decoupled from parsing.
-        self.elemrank_result: ElemRankResult = compute_elemrank(
-            LinkGraph.from_collection(graph), elemrank_params, elemrank_variant
-        )
+        if elemrank_overrides is not None:
+            self.elemrank_result = _override_result(
+                graph, elemrank_overrides, elemrank_variant
+            )
+        else:
+            # ElemRank consumes the flat LinkGraph arrays, not the
+            # collection graph itself: the same call works on arrays
+            # assembled by the parallel merge, keeping graph assembly
+            # decoupled from parsing.
+            self.elemrank_result = compute_elemrank(
+                LinkGraph.from_collection(graph),
+                elemrank_params,
+                elemrank_variant,
+            )
         self.elemranks: Dict[DeweyId, float] = self.elemrank_result.as_mapping(
             graph
         )

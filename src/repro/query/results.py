@@ -12,7 +12,6 @@ best — which the Threshold Algorithm compares against its threshold.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -57,23 +56,62 @@ class QueryResult:
         return f"#{self.elem_id}"
 
 
+def result_order_key(result: QueryResult) -> Tuple:
+    """Canonical identifier order for tie-breaking: Dewey ID (document
+    order), falling back to flat element id for the naive baselines.
+
+    Equal-rank results are ordered by this key ascending, making the
+    top-m a pure function of the result *set* rather than of the order in
+    which an evaluation strategy happened to discover the results.  That
+    total order is what lets a distributed deployment (repro.cluster)
+    merge per-shard top-m lists into exactly the single-node answer.
+    """
+    if result.dewey is not None:
+        return result.dewey.components
+    return (result.elem_id,)
+
+
+class _Worse:
+    """Heap entry wrapper: compares ``lower = worse`` under the canonical
+    result order (higher rank wins, then smaller identifier wins)."""
+
+    __slots__ = ("rank", "order", "result")
+
+    def __init__(self, result: QueryResult):
+        self.rank = result.rank
+        self.order = result_order_key(result)
+        self.result = result
+
+    def __lt__(self, other: "_Worse") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self.order > other.order
+
+
 class ResultHeap:
-    """Keeps the top-m results by rank (ties broken by arrival order)."""
+    """Keeps the top-m results by rank (ties broken by Dewey order).
+
+    Ties at equal rank are resolved by :func:`result_order_key` ascending
+    — smaller Dewey IDs (earlier in document order) survive — so the
+    retained set and its final order are independent of arrival order.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise QueryError("result capacity must be at least 1")
         self.capacity = capacity
-        self._heap: List[Tuple[float, int, QueryResult]] = []
-        self._counter = itertools.count()
+        self._heap: List[_Worse] = []
 
     def add(self, result: QueryResult) -> bool:
-        """Offer a result; returns True when it enters the top-m."""
-        entry = (result.rank, -next(self._counter), result)
+        """Offer a result; returns True when it enters the top-m.
+
+        Identifiers are not deduplicated here: no evaluator offers the
+        same element twice, and the cluster merge does its own dedup."""
+        entry = _Worse(result)
         if len(self._heap) < self.capacity:
             heapq.heappush(self._heap, entry)
             return True
-        if entry > self._heap[0]:
+        if self._heap[0] < entry:
             heapq.heapreplace(self._heap, entry)
             return True
         return False
@@ -89,14 +127,12 @@ class ResultHeap:
         """Rank of the m-th best result; -inf while fewer than m are held."""
         if not self.full:
             return float("-inf")
-        return self._heap[0][0]
+        return self._heap[0].rank
 
     def results(self) -> List[QueryResult]:
-        """Contents sorted by descending rank; ties in arrival order.
+        """Contents sorted by descending rank; ties in Dewey order.
 
-        The tiebreak matches the heap's retention rule (earlier arrivals
-        survive ties), so paging with different ``m`` values over tied
-        ranks stays consistent.
-        """
-        ordered = sorted(self._heap, key=lambda e: (-e[0], -e[1]))
-        return [entry[2] for entry in ordered]
+        The tiebreak matches the heap's retention rule, so paging with
+        different ``m`` values over tied ranks stays consistent."""
+        ordered = sorted(self._heap, key=lambda e: (-e.rank, e.order))
+        return [entry.result for entry in ordered]

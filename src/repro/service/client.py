@@ -8,8 +8,15 @@ smoke test; also convenient interactively::
     client = ServiceClient("127.0.0.1", 8712)
     client.search("xql language", m=5)["results"]
 
-Each call opens its own :class:`http.client.HTTPConnection`, so one
-client instance may be shared freely across load-generator threads.
+Connections are pooled and kept alive across requests (the server
+speaks HTTP/1.1 with Content-Length framing): a call checks an idle
+connection out of the pool — or opens one on a pool miss — and checks it
+back in after draining the response, so one client instance may be
+shared freely across load-generator threads without a TCP handshake per
+request.  A pooled connection that went stale while idle (server
+restart, half-closed socket) is detected on use and the call falls back
+to a single fresh per-request connection, not counted against the retry
+budget; ``keep_alive=False`` restores strict per-request connections.
 Non-2xx responses raise :class:`repro.errors.ServiceHTTPError` carrying
 the status code and decoded error payload — the body is *always* read
 and surfaced, so a degraded or fault response stays inspectable.
@@ -50,6 +57,8 @@ class ServiceClient:
         error_budget: int = 32,
         retry_seed: int = 0,
         sleep=time.sleep,
+        pool_size: int = 8,
+        keep_alive: bool = True,
     ):
         """Args:
             max_retries: retry attempts per request for transient failures.
@@ -61,6 +70,10 @@ class ServiceClient:
                 back (capped at the initial budget).
             retry_seed: seeds the jitter RNG (determinism for tests).
             sleep: injectable clock for tests (defaults to time.sleep).
+            pool_size: idle keep-alive connections kept for reuse; excess
+                connections are closed on check-in.
+            keep_alive: pool connections across requests (True) or open a
+                fresh connection per request (False, the old behaviour).
         """
         self.host = host
         self.port = port
@@ -75,6 +88,13 @@ class ServiceClient:
         self._sleep = sleep
         #: Retries performed over the client's lifetime (diagnostics).
         self.retries = 0
+        self.pool_size = pool_size
+        self.keep_alive = keep_alive
+        self._pool: list = []
+        self._pool_lock = threading.Lock()
+        #: Keep-alive reuse counters (diagnostics / tests).
+        self.pool_reuses = 0
+        self.stale_retries = 0
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -149,24 +169,92 @@ class ServiceClient:
     def _request_once(
         self, method: str, path: str, body: Optional[Dict[str, object]]
     ) -> Dict[str, object]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection, reused = self._checkout()
         try:
-            headers = {}
-            encoded = None
-            if body is not None:
-                encoded = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=encoded, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+            status, payload, reusable = self._perform(
+                connection, method, path, body
+            )
+        except (HTTPException, OSError):
+            connection.close()
+            if not reused:
+                raise
+            # A pooled connection can go stale between requests (server
+            # restart, idle timeout, half-closed socket).  That is a pool
+            # artifact, not a backend failure, so fall back to one fresh
+            # per-request connection without touching the retry budget.
+            self.stale_retries += 1
+            connection = self._fresh_connection()
             try:
-                payload = json.loads(raw.decode("utf-8")) if raw else {}
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                payload = {"error": raw[:200].decode("utf-8", "replace")}
-            if not 200 <= response.status < 300:
-                raise ServiceHTTPError(response.status, payload)
-            return payload
-        finally:
+                status, payload, reusable = self._perform(
+                    connection, method, path, body
+                )
+            except (HTTPException, OSError):
+                connection.close()
+                raise
+        if reusable:
+            self._checkin(connection)
+        else:
+            connection.close()
+        if not 200 <= status < 300:
+            raise ServiceHTTPError(status, payload)
+        return payload
+
+    def _perform(
+        self,
+        connection: HTTPConnection,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+    ):
+        """One request/response on an open connection.
+
+        Returns ``(status, payload, reusable)`` — the body is always
+        drained first, so a non-2xx response still leaves the connection
+        reusable and the error payload inspectable.
+        """
+        headers = {}
+        encoded = None
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=encoded, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": raw[:200].decode("utf-8", "replace")}
+        reusable = self.keep_alive and not response.will_close
+        return response.status, payload, reusable
+
+    # -- connection pool ------------------------------------------------------------
+
+    def _fresh_connection(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _checkout(self):
+        """An idle pooled connection if any, else a fresh one."""
+        if self.keep_alive:
+            with self._pool_lock:
+                if self._pool:
+                    self.pool_reuses += 1
+                    return self._pool.pop(), True
+        return self._fresh_connection(), False
+
+    def _checkin(self, connection: HTTPConnection) -> None:
+        if self.keep_alive:
+            with self._pool_lock:
+                if len(self._pool) < self.pool_size:
+                    self._pool.append(connection)
+                    return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection (in-flight ones close on
+        their own check-in path once the pool is full)."""
+        with self._pool_lock:
+            idle, self._pool = self._pool, []
+        for connection in idle:
             connection.close()
 
     # -- retry machinery -----------------------------------------------------------

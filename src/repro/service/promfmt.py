@@ -1,0 +1,99 @@
+"""Prometheus text-format rendering of a service's /stats payload.
+
+The ``/metrics`` endpoint exposes the same numbers ``/stats`` serves as
+JSON, but in the Prometheus text exposition format (version 0.0.4) so a
+scraper can point at any worker — or at a cluster coordinator, whose
+``stats()`` payload has a different shape — without an adapter.  The
+renderer therefore does not hard-code the payload's schema: every
+numeric leaf of the nested dict becomes one gauge named by its path
+(``service.p95_ms`` → ``xrank_service_p95_ms``), booleans render as
+0/1, and the circuit-breaker section — whose interesting content is
+categorical, not numeric — is special-cased into labelled gauges
+(``xrank_breaker_open{kind="hdil"} 1``).  Strings and lists otherwise
+carry no scrapeable value and are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Breaker state label -> the value of the ``_open`` gauge.
+_BREAKER_OPEN = {"open": 1, "half-open": 1, "closed": 0}
+
+
+def _metric_name(*parts: str) -> str:
+    """Join path segments into a legal Prometheus metric name."""
+    joined = "_".join(_NAME_OK.sub("_", str(part)) for part in parts if part)
+    if joined and joined[0].isdigit():
+        joined = "_" + joined
+    return joined
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _walk(payload: Dict, path: List[str], lines: List[str]) -> None:
+    for key in sorted(payload, key=str):
+        value = payload[key]
+        if isinstance(value, dict):
+            _walk(value, path + [str(key)], lines)
+        elif isinstance(value, (bool, int, float)):
+            lines.append(
+                f"{_metric_name('xrank', *path, str(key))} "
+                f"{_format_value(value)}"
+            )
+        # strings/lists: no scrapeable numeric value
+
+
+def _render_breaker(breaker: Dict, lines: List[str]) -> None:
+    """Labelled gauges for the per-kind (or per-replica) breaker states."""
+    kinds = breaker.get("kinds", {})
+    if not isinstance(kinds, dict):
+        return
+    for kind in sorted(kinds, key=str):
+        entry = kinds[kind] if isinstance(kinds[kind], dict) else {}
+        state = str(entry.get("state", "closed"))
+        label = _escape_label(kind)
+        lines.append(
+            f'xrank_breaker_open{{kind="{label}",state="{_escape_label(state)}"}} '
+            f"{_BREAKER_OPEN.get(state, 0)}"
+        )
+        cooldown = entry.get("cooldown_remaining")
+        if isinstance(cooldown, (int, float)) and not isinstance(
+            cooldown, bool
+        ):
+            lines.append(
+                f'xrank_breaker_cooldown_remaining{{kind="{label}"}} '
+                f"{_format_value(cooldown)}"
+            )
+
+
+def render_prometheus(stats: Dict[str, object]) -> str:
+    """Render a /stats payload (service or coordinator) as exposition text."""
+    lines: List[str] = [
+        "# HELP xrank_* gauges flattened from the /stats payload",
+        "# TYPE xrank_breaker_open gauge",
+    ]
+    remainder = dict(stats)
+    breaker = remainder.pop("breaker", None)
+    if isinstance(breaker, dict):
+        _render_breaker(breaker, lines)
+    _walk(remainder, [], lines)
+    return "\n".join(lines) + "\n"

@@ -11,6 +11,9 @@ Endpoints:
   the document is searchable when the response returns.
 * ``GET /stats`` — serving metrics, cache counters, I/O totals and
   engine statistics.
+* ``GET /metrics`` — the same figures in Prometheus text exposition
+  format (QPS, latency percentiles, cache hit rate, breaker state) for
+  scrapers; works against workers and cluster coordinators alike.
 * ``GET /healthz`` — cheap liveness probe.
 
 Error mapping: malformed requests → 400, unknown paths → 404, admission
@@ -69,6 +72,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._introspect(self.service.healthz)
         elif parsed.path == "/stats":
             self._introspect(self.service.stats)
+        elif parsed.path == "/metrics":
+            self._metrics()
         elif parsed.path == "/search":
             params = {
                 key: values[0]
@@ -143,6 +148,24 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, _error_payload(exc))
             return
         self._send_json(200, outcome)
+
+    def _metrics(self) -> None:
+        """GET /metrics: the /stats payload in Prometheus text format."""
+        from .promfmt import render_prometheus
+
+        try:
+            body = render_prometheus(self.service.stats())
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
+            return
+        data = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _introspect(self, probe) -> None:
         try:

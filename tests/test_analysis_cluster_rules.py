@@ -1,0 +1,121 @@
+"""Lint coverage for repro.cluster: deadline-dropping RPCs, typed faults."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.linter import Linter
+from repro.analysis.rules import ALL_RULES, ClusterDeadlineRPCRule
+
+CLUSTER_PATH = "src/repro/cluster/fixture_coordinator.py"
+QUERY_PATH = "src/repro/query/fixture_eval.py"
+
+
+@pytest.fixture
+def linter() -> Linter:
+    return Linter(ALL_RULES)
+
+
+def lint(linter: Linter, source: str, path: str = CLUSTER_PATH):
+    return linter.lint_source(textwrap.dedent(source), path)
+
+
+def rule_ids(violations):
+    return [v.rule for v in violations]
+
+
+class TestClusterDeadlineRPC:
+    def test_search_without_deadline_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def query_replica(client, query, deadline):
+                return client.search(query, m=10)
+            """,
+        )
+        assert "cluster-deadline-rpc" in rule_ids(violations)
+
+    def test_forwarding_deadline_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def query_replica(client, query, deadline):
+                return client.search(
+                    query, m=10, deadline_ms=deadline.remaining_ms()
+                )
+            """,
+        )
+        assert "cluster-deadline-rpc" not in rule_ids(violations)
+
+    def test_client_factory_receiver_is_recognized(self, linter):
+        violations = lint(
+            linter,
+            """
+            def scatter(self, endpoint, query):
+                return self.client_for(endpoint).search(query, m=5)
+            """,
+        )
+        assert "cluster-deadline-rpc" in rule_ids(violations)
+
+    def test_non_client_receiver_is_not_an_rpc(self, linter):
+        violations = lint(
+            linter,
+            """
+            def local_lookup(engine, query):
+                return engine.search(query, m=5)
+            """,
+        )
+        assert "cluster-deadline-rpc" not in rule_ids(violations)
+
+    def test_rule_is_scoped_to_cluster_paths(self, linter):
+        violations = lint(
+            linter,
+            """
+            def elsewhere(client, query):
+                return client.search(query, m=5)
+            """,
+            path=QUERY_PATH,
+        )
+        assert "cluster-deadline-rpc" not in rule_ids(violations)
+
+    def test_suppression_comment_works(self, linter):
+        violations = lint(
+            linter,
+            """
+            def fire_and_forget(client, query):
+                return client.search(query, m=5)  # repro: ignore[cluster-deadline-rpc]
+            """,
+        )
+        assert "cluster-deadline-rpc" not in rule_ids(violations)
+
+
+class TestFaultScopeExtension:
+    def test_fault_typed_errors_applies_to_cluster(self, linter):
+        violations = lint(
+            linter,
+            """
+            def fragile(replica):
+                if replica is None:
+                    raise RuntimeError("no replica")
+            """,
+        )
+        assert "fault-typed-errors" in rule_ids(violations)
+
+    def test_rule_registered(self):
+        assert any(
+            isinstance(rule, ClusterDeadlineRPCRule) for rule in ALL_RULES
+        )
+
+    def test_shipped_cluster_package_is_clean(self, linter):
+        import pathlib
+
+        import repro.cluster
+
+        package_dir = pathlib.Path(repro.cluster.__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            violations = linter.lint_source(
+                path.read_text(encoding="utf-8"), str(path)
+            )
+            assert violations == [], f"{path.name}: {violations}"

@@ -1,0 +1,60 @@
+"""CLI surface for the cluster: `repro cluster` and `repro chaos --cluster`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestClusterCommand:
+    def test_smoke_serves_one_scatter_gather_query(self, capsys):
+        code = main(
+            [
+                "cluster", "--smoke", "--shards", "2", "--replicas", "2",
+                "--papers", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster smoke ok" in out
+        assert "2/2 shards" in out
+
+    def test_check_runs_identity_battery(self, capsys):
+        code = main(
+            [
+                "cluster", "--check", "--shard-counts", "1", "2",
+                "--papers", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-for-bit identical" in out
+        assert "[1, 2]" in out
+
+
+class TestClusterChaosCommand:
+    def test_json_report_round_trips(self, capsys):
+        code = main(
+            [
+                "chaos", "--cluster", "--tiny", "--seed", "9", "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["shards"] == 2
+        assert sum(payload["outcomes"].values()) == payload["queries"]
+
+    def test_human_report_names_the_invariant(self, capsys):
+        code = main(["chaos", "--cluster", "--tiny", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster chaos seed=9" in out
+        assert "failovers:" in out
+        assert out.rstrip().endswith("ok")

@@ -1,0 +1,139 @@
+"""Engine save/load must round-trip *incremental* state, not just builds.
+
+The cluster's replica bring-up path (``ShardWorker.from_snapshot``) and
+the CLI's engine files both assume that a persisted engine is
+indistinguishable from the live one — including everything accumulated
+since the last full build: documents sitting in the incremental delta,
+tombstoned doc ids, and the ``_next_doc_id`` watermark that keeps ids
+unique across the snapshot boundary.
+"""
+
+import pytest
+
+from repro.engine import XRankEngine
+
+DOCS = [
+    ("a.xml", "<doc><p>alpha shared words here</p></doc>"),
+    ("b.xml", "<doc><p>beta shared tokens</p></doc>"),
+    ("c.xml", "<doc><p>gamma alpha closing text</p></doc>"),
+]
+
+
+def built_engine():
+    engine = XRankEngine()
+    for uri, source in DOCS:
+        engine.add_xml(source, uri=uri)
+    engine.build(kinds=("dil", "dil-incremental"))
+    return engine
+
+
+def deweys(engine, query, kind="dil-incremental"):
+    return [hit.dewey for hit in engine.search(query, m=10, kind=kind)]
+
+
+def roundtrip(engine, tmp_path):
+    path = tmp_path / "engine.xrank"
+    engine.save(path)
+    return XRankEngine.load(path)
+
+
+class TestDeltaRoundTrip:
+    def test_delta_documents_survive_save_load(self, tmp_path):
+        engine = built_engine()
+        engine.add_xml_incremental(
+            "<doc><p>alpha fresh delta material</p></doc>", uri="d.xml"
+        )
+        before = deweys(engine, "alpha")
+        restored = roundtrip(engine, tmp_path)
+        assert deweys(restored, "alpha") == before
+        assert deweys(restored, "fresh") == deweys(engine, "fresh")
+
+    def test_unmerged_delta_can_merge_after_load(self, tmp_path):
+        engine = built_engine()
+        engine.add_xml_incremental(
+            "<doc><p>delta only words</p></doc>", uri="d.xml"
+        )
+        restored = roundtrip(engine, tmp_path)
+        before = deweys(restored, "delta")
+        restored.merge_incremental()
+        assert deweys(restored, "delta") == before
+
+    def test_full_search_results_identical_across_roundtrip(self, tmp_path):
+        engine = built_engine()
+        engine.add_xml_incremental(
+            "<doc><p>shared alpha beta gamma</p></doc>", uri="d.xml"
+        )
+        restored = roundtrip(engine, tmp_path)
+        for query in ("shared", "alpha", "shared alpha"):
+            expected = [
+                (hit.dewey, hit.rank)
+                for hit in engine.search(query, m=10, kind="dil-incremental")
+            ]
+            actual = [
+                (hit.dewey, hit.rank)
+                for hit in restored.search(query, m=10, kind="dil-incremental")
+            ]
+            assert actual == expected
+
+
+class TestTombstoneRoundTrip:
+    def test_tombstones_survive_save_load(self, tmp_path):
+        engine = built_engine()
+        engine.delete_document(1)  # b.xml: the only "beta" document
+        assert deweys(engine, "beta") == []
+        restored = roundtrip(engine, tmp_path)
+        assert deweys(restored, "beta") == []
+        assert deweys(restored, "beta", kind="dil") == []
+
+    def test_tombstone_sets_equal_per_index(self, tmp_path):
+        engine = built_engine()
+        engine.delete_document(0)
+        engine.delete_document(2)
+        restored = roundtrip(engine, tmp_path)
+        for kind, index in engine._indexes.items():
+            assert restored._indexes[kind].deleted_docs == index.deleted_docs
+            assert restored._indexes[kind].deleted_docs == {0, 2}
+
+    def test_replace_then_roundtrip_keeps_only_new_version(self, tmp_path):
+        engine = built_engine()
+        new_id = engine.replace_document(
+            0, "<doc><p>alpha replacement body</p></doc>", uri="a.xml"
+        )
+        restored = roundtrip(engine, tmp_path)
+        doc_ids = {
+            int(str(dewey).split(".")[0])
+            for dewey in deweys(restored, "alpha")
+        }
+        assert 0 not in doc_ids
+        assert new_id in doc_ids
+
+
+class TestDocIdWatermark:
+    def test_next_doc_id_survives_save_load(self, tmp_path):
+        engine = built_engine()
+        engine.add_xml_incremental("<doc><p>delta one</p></doc>", uri="d.xml")
+        restored = roundtrip(engine, tmp_path)
+        assert restored._next_doc_id == engine._next_doc_id
+
+    def test_ids_stay_unique_across_snapshot_boundary(self, tmp_path):
+        engine = built_engine()
+        engine.delete_document(2)
+        restored = roundtrip(engine, tmp_path)
+        new_id = restored.add_xml_incremental(
+            "<doc><p>post snapshot words</p></doc>", uri="e.xml"
+        )
+        # A deleted high id must not be reissued: reusing id 2 would make
+        # the old tombstone silently swallow the new document.
+        assert new_id == 3
+        assert deweys(restored, "snapshot") != []
+
+    def test_watermark_monotonic_after_incremental_adds(self, tmp_path):
+        engine = built_engine()
+        first = engine.add_xml_incremental(
+            "<doc><p>one more</p></doc>", uri="d.xml"
+        )
+        restored = roundtrip(engine, tmp_path)
+        second = restored.add_xml_incremental(
+            "<doc><p>two more</p></doc>", uri="e.xml"
+        )
+        assert second == first + 1

@@ -1,0 +1,109 @@
+"""The /metrics endpoint: Prometheus text exposition over service stats."""
+
+from __future__ import annotations
+
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.engine import XRankEngine
+from repro.service.core import XRankService
+from repro.service.promfmt import render_prometheus
+from repro.service.server import make_server
+
+DOC = "<doc><title>alpha metrics</title><p>alpha beta gamma</p></doc>"
+
+
+@pytest.fixture()
+def served():
+    engine = XRankEngine()
+    engine.add_xml(DOC, uri="doc0")
+    engine.build(kinds=["hdil"])
+    service = XRankService(engine)
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1], service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def scrape(port):
+    connection = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestMetricsEndpoint:
+    def test_text_exposition_content_type(self, served):
+        port, _ = served
+        status, headers, _ = scrape(port)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+
+    def test_counters_move_with_traffic(self, served):
+        port, service = served
+        service.search("alpha", m=5)
+        service.search("alpha", m=5)  # result-cache hit
+        _, _, body = scrape(port)
+        text = body.decode("utf-8")
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        assert float(lines["xrank_service_searches"]) >= 2
+        assert (
+            0.0 <= float(lines["xrank_service_result_cache_hit_rate"]) <= 1.0
+        )
+        assert "xrank_service_p95_ms" in lines
+
+    def test_breaker_rendered_as_labelled_gauge(self):
+        text = render_prometheus(
+            {
+                "breaker": {
+                    "threshold": 3,
+                    "kinds": {
+                        "hdil": {"state": "open", "cooldown_remaining": 5},
+                        "dil": {"state": "closed", "failures": 1},
+                    },
+                }
+            }
+        )
+        assert 'xrank_breaker_open{kind="hdil",state="open"} 1' in text
+        assert 'xrank_breaker_cooldown_remaining{kind="hdil"} 5' in text
+        assert 'xrank_breaker_open{kind="dil",state="closed"} 0' in text
+
+    def test_every_sample_line_is_well_formed(self, served):
+        port, _ = served
+        _, _, body = scrape(port)
+        for line in body.decode("utf-8").splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("xrank_")
+            float(value)  # must parse
+
+
+class TestRenderer:
+    def test_non_numeric_leaves_are_skipped(self):
+        text = render_prometheus(
+            {"a": {"b": 1, "name": "hdil", "items": [1, 2]}, "up": True}
+        )
+        assert "xrank_a_b 1" in text
+        assert "xrank_up 1" in text
+        assert "name" not in text and "items" not in text
+
+    def test_output_is_sorted_and_deterministic(self):
+        stats = {"z": 1, "a": {"y": 2.5, "b": 3}}
+        assert render_prometheus(stats) == render_prometheus(
+            {"a": {"b": 3, "y": 2.5}, "z": 1}
+        )
