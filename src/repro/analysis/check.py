@@ -11,20 +11,27 @@ Plain ``repro check`` lints the source tree with the project rules.
   a silently broken detector fails the build), then a *live* trace of an
   :class:`~repro.service.core.XRankService` under concurrent searches
   and writes, which must come back clean;
+* runs a race-detector *self-test* (a planted unguarded counter MUST
+  race) followed by a reduced :mod:`repro.stress` storm, which must come
+  back race-free;
 * runs the cluster identity battery
   (:func:`repro.cluster.verify.verify_cluster_identity`): sharded
   serving at shard counts 1/2/4 must return bit-for-bit the single-node
   engine's ranked answers.
 
+``--json PATH`` writes the full machine-readable report; ``--github``
+re-prints each finding as a GitHub Actions ``::error`` workflow command
+so findings annotate the offending lines in pull-request diffs.
 Exit code 0 means every gate passed.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import threading
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .invariants import check_engine, check_parallel_build
 from .linter import LintConfig, Linter, load_lint_config
@@ -208,7 +215,80 @@ def locktrace_service_smoke(engine) -> List[str]:
     return failures
 
 
+# -- race detector gates -----------------------------------------------------------
+
+
+def race_selftest() -> List[str]:
+    """A planted unguarded counter MUST be reported as a race.
+
+    The dynamic detector is only trustworthy while a known race still
+    trips it — a refactor that silently blinds the hooks would otherwise
+    turn every later "race-free" verdict into noise.
+    """
+    from .races import RaceDetector, deinstrument, instrument
+
+    class _Unguarded:
+        def __init__(self):
+            self.count = 0
+
+    detector = RaceDetector()
+    tracer = LockTracer(race_detector=detector)
+    victim = _Unguarded()
+    instrument(victim, detector, "selftest", tracer, fields={"count": None})
+    barrier = threading.Barrier(2)
+
+    def hammer() -> None:
+        barrier.wait()
+        for _ in range(50):
+            victim.count += 1
+
+    threads = [detector.thread(target=hammer) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        detector.join(thread)
+    report = detector.report()
+    deinstrument(victim)
+    if report.clean:
+        return [
+            "race detector self-test: planted unguarded counter produced "
+            "no race finding"
+        ]
+    return []
+
+
+def race_smoke() -> List[str]:
+    """A reduced stress storm over service + cluster; must be race-free."""
+    from ..stress import run_stress
+
+    report = run_stress(seed=0, ops_scale=0.5)
+    failures: List[str] = []
+    for scenario in report.scenarios:
+        for race in scenario.races:
+            first, second = race["first"], race["second"]
+            failures.append(
+                f"stress {scenario.name}: race on "
+                f"{race['object']}.{race['attr']} — {first['op']} at "
+                f"{first['site']} vs {second['op']} at {second['site']}"
+            )
+        for error in scenario.errors:
+            failures.append(f"stress {scenario.name}: thread error: {error}")
+        for cycle in scenario.lock_cycles:
+            failures.append(
+                f"stress {scenario.name}: lock cycle " + " -> ".join(cycle)
+            )
+    return failures
+
+
 # -- driver ------------------------------------------------------------------------
+
+
+def _github_annotation(path: str, line: int, title: str, message: str) -> str:
+    """One GitHub Actions workflow command annotating a source line."""
+    clean = message.replace("%", "%25").replace("\n", "%0A")
+    if path:
+        return f"::error file={path},line={line},title={title}::{clean}"
+    return f"::error title={title}::{clean}"
 
 
 def run_check(
@@ -217,8 +297,17 @@ def run_check(
     config: Optional[LintConfig] = None,
     list_rules: bool = False,
     out=None,
+    json_path: Optional[str] = None,
+    github: bool = False,
+    show_suppressed: bool = False,
 ) -> int:
-    """Run the gates; print findings; return a process exit code."""
+    """Run the gates; print findings; return a process exit code.
+
+    Args:
+        json_path: write the machine-readable report here (``-`` = stdout).
+        github: additionally emit GitHub Actions ``::error`` annotations.
+        show_suppressed: print findings silenced by inline suppressions.
+    """
     out = out or sys.stdout
     config = config if config is not None else load_lint_config()
 
@@ -229,28 +318,66 @@ def run_check(
         return 0
 
     failures = 0
+    annotations: List[str] = []
+    report: Dict[str, object] = {"strict": strict}
 
     lint_roots = [Path(p) for p in (paths or config.paths)] or [
         Path(__file__).resolve().parent.parent
     ]
     linter = Linter(default_rules(config))
-    violations = linter.lint_paths(lint_roots)
-    for violation in violations:
+    lint = linter.lint_paths_result(lint_roots)
+    for violation in lint.violations:
         print(violation.format(), file=out)
-    failures += len(violations)
+        annotations.append(
+            _github_annotation(
+                violation.path,
+                violation.line,
+                f"repro-check [{violation.rule}]",
+                violation.message,
+            )
+        )
+    failures += len(lint.violations)
+    if show_suppressed:
+        for violation in lint.suppressed:
+            print(f"suppressed: {violation.format()}", file=out)
+    for path, line, rules in lint.unused_suppressions:
+        message = (
+            f"unused suppression `repro: ignore[{rules}]` — it silences "
+            "nothing; delete it or fix the rule list"
+        )
+        print(f"{path}:{line}: [unused-suppression] {message}", file=out)
+        annotations.append(
+            _github_annotation(path, line, "repro-check [unused-suppression]", message)
+        )
+    failures += len(lint.unused_suppressions)
     roots_label = ", ".join(str(r) for r in lint_roots)
     print(
-        f"lint: {len(violations)} violation(s) across "
+        f"lint: {len(lint.violations)} violation(s), "
+        f"{len(lint.suppressed)} suppressed, "
+        f"{len(lint.unused_suppressions)} unused suppression(s) across "
         f"{len(linter.rules)} rule(s) in {roots_label}",
         file=out,
     )
+    report["lint"] = {
+        "roots": [str(r) for r in lint_roots],
+        "rules": [rule.rule_id for rule in linter.rules],
+        "violations": [v.to_dict() for v in lint.violations],
+        "suppressed": [v.to_dict() for v in lint.suppressed],
+        "unused_suppressions": [
+            {"path": path, "line": line, "rules": rules}
+            for path, line, rules in lint.unused_suppressions
+        ],
+    }
 
     if strict:
+        gates: Dict[str, List[str]] = {}
+
         engine = build_check_engine()
         invariant_violations = check_engine(engine)
         for violation in invariant_violations:
             print(violation.format(), file=out)
         failures += len(invariant_violations)
+        gates["invariants"] = [v.format() for v in invariant_violations]
         print(
             f"invariants: {len(invariant_violations)} violation(s) over "
             f"kinds {', '.join(_CHECK_KINDS)}",
@@ -261,6 +388,7 @@ def run_check(
         for violation in parallel_violations:
             print(violation.format(), file=out)
         failures += len(parallel_violations)
+        gates["parallel_build"] = [v.format() for v in parallel_violations]
         print(
             f"parallel-build: {len(parallel_violations)} violation(s) "
             "(workers 2/3 vs sequential, byte-identity)",
@@ -271,7 +399,19 @@ def run_check(
         for failure in lock_failures:
             print(failure, file=out)
         failures += len(lock_failures)
+        gates["locktrace"] = list(lock_failures)
         print(f"locktrace: {len(lock_failures)} failure(s)", file=out)
+
+        race_failures = race_selftest() + race_smoke()
+        for failure in race_failures:
+            print(failure, file=out)
+        failures += len(race_failures)
+        gates["races"] = list(race_failures)
+        print(
+            f"race-smoke: {len(race_failures)} failure(s) "
+            "(self-test + reduced stress storm)",
+            file=out,
+        )
 
         from ..cluster.verify import verify_cluster_identity
 
@@ -284,11 +424,32 @@ def run_check(
         for violation in cluster_violations:
             print(f"cluster identity: {violation}", file=out)
         failures += len(cluster_violations)
+        gates["cluster_identity"] = [str(v) for v in cluster_violations]
         print(
             f"cluster-identity: {len(cluster_violations)} violation(s) "
             "(shards 1/2/4 vs single-node, bit-for-bit)",
             file=out,
         )
+
+        report["gates"] = gates
+        for gate, messages in gates.items():
+            for message in messages:
+                annotations.append(
+                    _github_annotation("", 0, f"repro-check [{gate}]", message)
+                )
+
+    report["failures"] = failures
+    report["ok"] = not failures
+
+    if github:
+        for annotation in annotations:
+            print(annotation, file=out)
+    if json_path:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if json_path == "-":
+            print(payload, file=out)
+        else:
+            Path(json_path).write_text(payload + "\n", encoding="utf-8")
 
     print("check: " + ("FAILED" if failures else "ok"), file=out)
     return 1 if failures else 0

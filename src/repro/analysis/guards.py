@@ -1,0 +1,172 @@
+"""The ``guarded by:`` annotation convention shared by both race prongs.
+
+A field that must only be touched while a lock is held carries an inline
+comment on the line that initializes it::
+
+    class GenerationalLRU:
+        def __init__(self, capacity):
+            self.hits = 0          # guarded by: self._lock
+            self._entries = {}     # guarded by: self._lock
+
+Dataclass fields annotate their class-level declaration the same way::
+
+    @dataclass
+    class IOStats:
+        page_reads: int = 0        # guarded by: self._lock
+
+A *method* may carry the comment on its ``def`` line, declaring that the
+whole body runs with the guard already held by the caller — the lint then
+checks every ``self.<method>()`` call site instead, which is what makes
+the pass interprocedural::
+
+    def _evict_locked(self):  # guarded by: self._lock
+        ...
+
+Two consumers read the convention:
+
+* the ``guarded-by`` lint rule (:mod:`repro.analysis.rules.guards`)
+  proves, lexically, that every annotated field access sits inside a
+  ``with self.<guard>:`` block (or ``.read()``/``.write()`` context);
+* the dynamic race detector (:mod:`repro.analysis.races`) uses the same
+  map to decide which attributes of an instrumented object to watch and
+  which lock attribute protects them.
+
+Parsing is comment-based on purpose: the annotation costs nothing at
+runtime (no descriptor indirection on hot counters) and survives
+pickling, dataclasses and ``__slots__`` unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: ``# guarded by: self._lock`` (the receiver must be ``self``).
+GUARD_COMMENT_RE = re.compile(r"#\s*guarded\s+by:\s*self\.([A-Za-z_]\w*)")
+
+#: Methods that run before (or outside) any concurrent access exists.
+CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__post_init__", "__setstate__", "__new__", "__del__"}
+)
+
+
+@dataclass
+class ClassGuards:
+    """The guard map of one class: who protects which attribute."""
+
+    name: str
+    #: field name -> guard attribute name (e.g. ``"hits" -> "_lock"``).
+    fields: Dict[str, str] = field(default_factory=dict)
+    #: method name -> guard the caller must already hold.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: field/method name -> source line of its annotation.
+    lines: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def guard_attrs(self) -> List[str]:
+        """Every distinct guard attribute the class names, sorted."""
+        return sorted(set(self.fields.values()) | set(self.methods.values()))
+
+    def __bool__(self) -> bool:
+        return bool(self.fields or self.methods)
+
+
+def _guard_on_line(source_lines: List[str], lineno: int) -> Optional[str]:
+    """The guard attr named by a ``# guarded by:`` comment on one line."""
+    if not 1 <= lineno <= len(source_lines):
+        return None
+    match = GUARD_COMMENT_RE.search(source_lines[lineno - 1])
+    return match.group(1) if match else None
+
+
+def parse_class_guards(
+    classdef: ast.ClassDef, source_lines: List[str]
+) -> ClassGuards:
+    """Collect one class's guard annotations from its comments."""
+    guards = ClassGuards(name=classdef.name)
+
+    def record_field(attr: str, lineno: int) -> None:
+        guard = _guard_on_line(source_lines, lineno)
+        if guard is not None:
+            guards.fields[attr] = guard
+            guards.lines[attr] = lineno
+
+    for node in classdef.body:
+        # Dataclass-style class-level declarations.
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            record_field(node.target.id, node.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    record_field(target.id, node.lineno)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            guard = _guard_on_line(source_lines, node.lineno)
+            if guard is not None:
+                guards.methods[node.name] = guard
+                guards.lines[node.name] = node.lineno
+            # ``self.x = ...  # guarded by: ...`` anywhere in a method
+            # registers the field (conventionally in __init__).
+            for inner in ast.walk(node):
+                targets: List[ast.expr] = []
+                if isinstance(inner, ast.Assign):
+                    targets = list(inner.targets)
+                elif isinstance(inner, ast.AnnAssign):
+                    targets = [inner.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        record_field(target.attr, inner.lineno)
+    return guards
+
+
+def parse_module_guards(
+    tree: ast.Module, source: str
+) -> Dict[str, ClassGuards]:
+    """class name -> :class:`ClassGuards` for every class in a module."""
+    source_lines = source.splitlines()
+    return {
+        node.name: parse_class_guards(node, source_lines)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+# -- runtime access (the dynamic detector's view) ----------------------------------
+
+_RUNTIME_CACHE: Dict[type, ClassGuards] = {}
+
+
+def class_guards(cls: type) -> ClassGuards:
+    """The guard map of a live class, parsed from its source.
+
+    Returns an empty map when the source is unavailable (REPL- or
+    exec-defined classes); callers that instrument such classes pass an
+    explicit field map instead.
+    """
+    cached = _RUNTIME_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    import inspect
+    import textwrap
+
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        guards = ClassGuards(name=cls.__name__)
+    else:
+        classdef = next(
+            (n for n in tree.body if isinstance(n, ast.ClassDef)), None
+        )
+        guards = (
+            parse_class_guards(classdef, source.splitlines())
+            if classdef is not None
+            else ClassGuards(name=cls.__name__)
+        )
+    _RUNTIME_CACHE[cls] = guards
+    return guards

@@ -31,10 +31,10 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-#: Inline suppression: ``# repro: ignore`` (all rules) or
-#: ``# repro: ignore[rule-a, rule-b]`` on the offending line.
+#: Inline suppression: a comment saying ``repro: ignore`` (all rules) or
+#: ``repro: ignore[rule-a, rule-b]`` on the offending line.
 _IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
 
 
@@ -49,6 +49,44 @@ class Violation:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass learned, suppressions included.
+
+    ``violations`` fail the gate.  ``suppressed`` are findings silenced
+    by an inline ``# repro: ignore[...]`` (``--show-suppressed`` prints
+    them).  ``unused_suppressions`` are ignore comments that silenced
+    *nothing* — stale escapes that should be deleted, surfaced so the
+    suppression inventory cannot rot silently.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    #: (path, line, raw rule list) of each ignore comment that matched
+    #: no violation on its line.
+    unused_suppressions: List[Tuple[str, int, str]] = field(
+        default_factory=list
+    )
+
+    def extend(self, other: "LintResult") -> None:
+        self.violations.extend(other.violations)
+        self.suppressed.extend(other.suppressed)
+        self.unused_suppressions.extend(other.unused_suppressions)
+
+    def sort(self) -> None:
+        self.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+        self.suppressed.sort(key=lambda v: (v.path, v.line, v.rule))
+        self.unused_suppressions.sort()
 
 
 class LintRule:
@@ -139,31 +177,54 @@ class Linter:
 
     # -- entry points ------------------------------------------------------------
 
-    def lint_source(self, source: str, path: str) -> List[Violation]:
-        """Lint one module given as a string (fixtures, tests)."""
+    def lint_source_result(self, source: str, path: str) -> LintResult:
+        """Lint one module, tracking suppression usage."""
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            return [
-                Violation("syntax", path, exc.lineno or 0, f"syntax error: {exc.msg}")
-            ]
+            return LintResult(
+                violations=[
+                    Violation(
+                        "syntax", path, exc.lineno or 0, f"syntax error: {exc.msg}"
+                    )
+                ]
+            )
         violations: List[Violation] = []
         for rule in self.rules:
             if rule.applies_to(path):
                 violations.extend(rule.check(tree, source, path))
         suppressions = _suppression_map(source)
-        kept = [v for v in violations if v.rule not in suppressions.get(v.line, ())]
-        kept.sort(key=lambda v: (v.path, v.line, v.rule))
-        return kept
+        result = LintResult()
+        used_lines = set()
+        for violation in violations:
+            if violation.rule in suppressions.get(violation.line, ()):
+                result.suppressed.append(violation)
+                used_lines.add(violation.line)
+            else:
+                result.violations.append(violation)
+        for line, rules in suppressions.items():
+            if line not in used_lines:
+                label = "*" if rules is _WILDCARD else ", ".join(sorted(rules))
+                result.unused_suppressions.append((path, line, label))
+        result.sort()
+        return result
+
+    def lint_source(self, source: str, path: str) -> List[Violation]:
+        """Lint one module given as a string (fixtures, tests)."""
+        return self.lint_source_result(source, path).violations
+
+    def lint_file_result(self, path: Path) -> LintResult:
+        """Lint one file on disk, tracking suppression usage."""
+        source = Path(path).read_text(encoding="utf-8")
+        return self.lint_source_result(source, str(path))
 
     def lint_file(self, path: Path) -> List[Violation]:
         """Lint one file on disk."""
-        source = Path(path).read_text(encoding="utf-8")
-        return self.lint_source(source, str(path))
+        return self.lint_file_result(path).violations
 
-    def lint_paths(self, paths: Iterable[Path]) -> List[Violation]:
+    def lint_paths_result(self, paths: Iterable[Path]) -> LintResult:
         """Lint every ``*.py`` file under the given files/directories."""
-        violations: List[Violation] = []
+        result = LintResult()
         for raw in paths:
             root = Path(raw)
             if root.is_dir():
@@ -173,20 +234,26 @@ class Linter:
             else:
                 raise FileNotFoundError(f"no such lint path: {raw}")
             for file in files:
-                violations.extend(self.lint_file(file))
-        return violations
+                result.extend(self.lint_file_result(file))
+        result.sort()
+        return result
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[Violation]:
+        """Lint every ``*.py`` file under the given files/directories."""
+        return self.lint_paths_result(paths).violations
 
 
 def _suppression_map(source: str) -> Dict[int, frozenset]:
     """Line number -> rule ids suppressed on that line.
 
-    An empty id set from a bare ``# repro: ignore`` is represented as a
-    frozenset containing every rule id mentioned nowhere — encoded here
-    as the wildcard handled in :func:`_suppresses`.
+    Only actual ``COMMENT`` tokens count: a docstring *describing* the
+    ``# repro: ignore[...]`` syntax is documentation, not a suppression
+    (and must not show up in the unused-suppression audit).  A bare
+    ``# repro: ignore`` suppresses every rule (the wildcard).
     """
     suppressions: Dict[int, frozenset] = {}
-    for line_number, line in enumerate(source.splitlines(), start=1):
-        match = _IGNORE_RE.search(line)
+    for line_number, comment in _iter_comments(source):
+        match = _IGNORE_RE.search(comment)
         if not match:
             continue
         body = match.group(1)
@@ -196,6 +263,20 @@ def _suppression_map(source: str) -> Dict[int, frozenset]:
             rules = frozenset(part.strip() for part in body.split(",") if part.strip())
             suppressions[line_number] = rules or _WILDCARD
     return suppressions
+
+
+def _iter_comments(source: str):
+    """Yield ``(line_number, comment_text)`` for each real comment token."""
+    import io
+    import tokenize
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # a module the AST pass already rejected
 
 
 class _Wildcard(frozenset):

@@ -64,14 +64,22 @@ class LockOrderReport:
 
 
 class LockTracer:
-    """Records acquisition order across all locks wrapped by this tracer."""
+    """Records acquisition order across all locks wrapped by this tracer.
 
-    def __init__(self):
+    When constructed with a ``race_detector``
+    (:class:`~repro.analysis.races.RaceDetector`), every wrapped lock
+    additionally feeds the detector's happens-before machinery: the
+    proxies report *after* an acquisition succeeds and *before* a release
+    happens, which is the window in which vector-clock transfer is sound.
+    """
+
+    def __init__(self, race_detector=None):
         self._mutex = threading.Lock()
         self._local = threading.local()
         self._edges: Dict[Tuple[str, str], int] = {}
         self._hazards: List[str] = []
         self._acquisitions = 0
+        self.race_detector = race_detector
 
     # -- wrapping ----------------------------------------------------------------
 
@@ -125,6 +133,18 @@ class LockTracer:
             if stack[index] == (name, mode):
                 del stack[index]
                 return
+
+    # -- race-detector bridging (called by the proxies) ----------------------------
+
+    def notify_acquired(self, name: str, mode: str) -> None:
+        """The underlying lock is now actually held by this thread."""
+        if self.race_detector is not None:
+            self.race_detector.on_acquired(name, mode)
+
+    def notify_releasing(self, name: str, mode: str) -> None:
+        """The underlying lock is about to be released (still held)."""
+        if self.race_detector is not None:
+            self.race_detector.on_release(name, mode)
 
     # -- reporting ---------------------------------------------------------------
 
@@ -189,9 +209,12 @@ class TracedLock:
         acquired = self._lock.acquire(blocking, timeout)
         if not acquired:
             self._tracer.record_release(self.name, "exclusive")
+        else:
+            self._tracer.notify_acquired(self.name, "exclusive")
         return acquired
 
     def release(self) -> None:
+        self._tracer.notify_releasing(self.name, "exclusive")
         self._lock.release()
         self._tracer.record_release(self.name, "exclusive")
 
@@ -224,8 +247,10 @@ class TracedRWLock:
         except BaseException:
             self._tracer.record_release(self.name, "read")
             raise
+        self._tracer.notify_acquired(self.name, "read")
 
     def release_read(self) -> None:
+        self._tracer.notify_releasing(self.name, "read")
         self._lock.release_read()
         self._tracer.record_release(self.name, "read")
 
@@ -251,8 +276,10 @@ class TracedRWLock:
         except BaseException:
             self._tracer.record_release(self.name, "write")
             raise
+        self._tracer.notify_acquired(self.name, "write")
 
     def release_write(self) -> None:
+        self._tracer.notify_releasing(self.name, "write")
         self._lock.release_write()
         self._tracer.record_release(self.name, "write")
 

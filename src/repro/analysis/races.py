@@ -1,0 +1,453 @@
+"""Opt-in dynamic data-race detection: Eraser locksets + happens-before.
+
+The static ``guarded-by`` lint proves what the *source* says; this module
+checks what a *run* actually did.  Objects whose classes carry
+``# guarded by:`` annotations (:mod:`repro.analysis.guards`) are
+instrumented with a lightweight per-field access hook, their guard locks
+are wrapped in the existing :class:`~repro.analysis.locktrace.TracedLock`
+proxies, and every field access is checked against the accesses that came
+before it:
+
+* **Lockset** (Eraser): each access records the set of traced locks the
+  thread holds, with their modes.  Two accesses to the same field from
+  different threads, at least one a write, are *candidate* races unless
+  some common lock protects the pair (a lock held in read mode by both
+  sides protects nothing — readers coexist).
+* **Happens-before** (vector clocks): candidate pairs are dismissed when
+  a synchronization chain orders them.  Lock releases publish the
+  releasing thread's clock into the lock; acquisitions join it back; the
+  harness's fork/join helpers add thread-start and thread-join edges.
+  Only a pair that is *both* unprotected and unordered is reported.
+
+False positives are structurally avoided rather than filtered: a field
+always accessed under its guard can never produce an unprotected pair,
+and a field handed off through fork/join or a traced lock is ordered.
+Reports carry the access sites of both sides of the racing pair, like
+:class:`~repro.analysis.locktrace.LockOrderReport` carries acquisition
+stacks.
+
+The hooks are strictly opt-in: production objects are untouched until
+:func:`instrument` patches them, so the serving hot path pays nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .guards import class_guards
+
+#: Frames from these files are skipped when attributing an access site.
+_INTERNAL_MARKERS = ("analysis/races", "analysis/locktrace", "analysis\\races")
+
+
+def _join(into: Dict[int, int], other: Dict[int, int]) -> None:
+    """Pointwise max of two vector clocks, in place."""
+    for ident, tick in other.items():
+        if into.get(ident, 0) < tick:
+            into[ident] = tick
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest frame outside the detector machinery."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename.replace("\\", "/")
+        if not any(marker in filename for marker in _INTERNAL_MARKERS):
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass
+class _Access:
+    """One recorded field access (the detector's unit of comparison)."""
+
+    thread: int
+    op: str                      # "read" | "write"
+    locks: Dict[str, str]        # lock name -> mode held at access time
+    epoch: int                   # accessor's own clock entry at the access
+    site: str                    # file:line of the access
+
+
+@dataclass
+class RaceFinding:
+    """One data race: an unprotected, unordered cross-thread pair."""
+
+    obj: str                     # instrumentation label of the object
+    attr: str                    # racing field
+    first_op: str
+    first_site: str
+    first_locks: List[str]
+    second_op: str
+    second_site: str
+    second_locks: List[str]
+    #: Full stack of the access that completed the racing pair.
+    stack: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"data race on {self.obj}.{self.attr}: "
+            f"{self.first_op} at {self.first_site} "
+            f"(locks {self.first_locks or '{}'}) is concurrent with "
+            f"{self.second_op} at {self.second_site} "
+            f"(locks {self.second_locks or '{}'})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "object": self.obj,
+            "attr": self.attr,
+            "first": {
+                "op": self.first_op,
+                "site": self.first_site,
+                "locks": list(self.first_locks),
+            },
+            "second": {
+                "op": self.second_op,
+                "site": self.second_site,
+                "locks": list(self.second_locks),
+            },
+            "stack": list(self.stack),
+        }
+
+
+@dataclass
+class RaceReport:
+    """What a :class:`RaceDetector` observed over one run."""
+
+    races: List[RaceFinding] = field(default_factory=list)
+    accesses: int = 0
+    #: ``label.field`` keys that were watched and actually touched.
+    fields_observed: List[str] = field(default_factory=list)
+    threads_seen: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.accesses} accesses over {len(self.fields_observed)} "
+            f"guarded fields from {self.threads_seen} threads"
+        ]
+        lines.extend(race.describe() for race in self.races)
+        return "\n".join(lines)
+
+
+class _ThreadState:
+    __slots__ = ("vc", "locks")
+
+    def __init__(self, ident: int):
+        self.vc: Dict[int, int] = {ident: 1}
+        self.locks: Dict[str, str] = {}
+
+
+class RaceDetector:
+    """Records guarded-field accesses and lock events; finds racing pairs.
+
+    One detector spans a whole run: every instrumented object and every
+    traced lock report into it.  Thread-start/join edges come from the
+    :meth:`thread` / :meth:`join` helpers (or the lower-level
+    :meth:`fork` / :meth:`register` / :meth:`joined`).
+    """
+
+    def __init__(self, max_races: int = 64):
+        self._mutex = threading.Lock()
+        # OS thread idents are reused once a thread exits, which would
+        # alias a dead thread's history onto its successor and hide real
+        # races ("same thread" pairs are never compared).  Each thread
+        # instead gets a unique logical id on first contact, held in
+        # thread-local storage — which dies with the thread, so a reused
+        # OS ident starts over with a fresh id.
+        self._local = threading.local()
+        self._id_counter = itertools.count(1)
+        self._threads: Dict[int, _ThreadState] = {}
+        self._lock_clocks: Dict[str, Dict[int, int]] = {}
+        #: (label, attr) -> (last_write, {thread: last_read})
+        self._fields: Dict[
+            Tuple[str, str], Tuple[Optional[_Access], Dict[int, _Access]]
+        ] = {}
+        self._races: List[RaceFinding] = []
+        self._raced_keys: set = set()
+        self._accesses = 0
+        self.max_races = max_races
+
+    # -- thread bookkeeping ------------------------------------------------------
+
+    def _ident(self) -> int:
+        """The calling thread's detector-unique logical id."""
+        lid = getattr(self._local, "lid", None)
+        if lid is None:
+            lid = next(self._id_counter)
+            self._local.lid = lid
+        return lid
+
+    def _state(self, ident: int) -> _ThreadState:
+        state = self._threads.get(ident)
+        if state is None:
+            state = _ThreadState(ident)
+            self._threads[ident] = state
+        return state
+
+    def fork(self) -> Dict[int, int]:
+        """Snapshot the calling thread's clock for a child (fork edge)."""
+        ident = self._ident()
+        with self._mutex:
+            state = self._state(ident)
+            token = dict(state.vc)
+            state.vc[ident] = state.vc.get(ident, 0) + 1
+            return token
+
+    def register(self, token: Dict[int, int]) -> None:
+        """Adopt a fork token inside the child thread."""
+        ident = self._ident()
+        with self._mutex:
+            _join(self._state(ident).vc, token)
+
+    def joined(self, child_ident: int) -> None:
+        """Record a join edge: the child's history precedes the caller."""
+        ident = self._ident()
+        with self._mutex:
+            child = self._threads.get(child_ident)
+            if child is not None:
+                _join(self._state(ident).vc, child.vc)
+
+    def thread(self, target, *args, **kwargs) -> threading.Thread:
+        """A ``threading.Thread`` wired with fork/join edges.
+
+        Join it with :meth:`join` (not ``Thread.join``) so the join edge
+        is recorded too.
+        """
+        token = self.fork()
+        cell: Dict[str, int] = {}
+
+        def runner() -> None:
+            cell["ident"] = self._ident()
+            self.register(token)
+            target(*args, **kwargs)
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.race_ident_cell = cell  # type: ignore[attr-defined]
+        return thread
+
+    def join(self, thread: threading.Thread, timeout: float = 120.0) -> None:
+        thread.join(timeout=timeout)
+        cell = getattr(thread, "race_ident_cell", None)
+        if cell and "ident" in cell and not thread.is_alive():
+            self.joined(cell["ident"])
+
+    # -- lock events (fed by LockTracer proxies) ---------------------------------
+
+    def on_acquired(self, name: str, mode: str) -> None:
+        """The calling thread now holds ``name`` in ``mode``."""
+        ident = self._ident()
+        with self._mutex:
+            state = self._state(ident)
+            clock = self._lock_clocks.get(name)
+            if clock:
+                _join(state.vc, clock)
+            state.locks[name] = mode
+
+    def on_release(self, name: str, mode: str) -> None:
+        """The calling thread is about to release ``name``."""
+        ident = self._ident()
+        with self._mutex:
+            state = self._state(ident)
+            clock = self._lock_clocks.setdefault(name, {})
+            _join(clock, state.vc)
+            state.vc[ident] = state.vc.get(ident, 0) + 1
+            state.locks.pop(name, None)
+
+    # -- the access check ---------------------------------------------------------
+
+    def record(self, label: str, attr: str, op: str) -> None:
+        """Check one field access against the field's history."""
+        ident = self._ident()
+        site = _call_site()
+        with self._mutex:
+            self._accesses += 1
+            state = self._state(ident)
+            access = _Access(
+                thread=ident,
+                op=op,
+                locks=dict(state.locks),
+                epoch=state.vc.get(ident, 0),
+                site=site,
+            )
+            key = (label, attr)
+            last_write, reads = self._fields.get(key, (None, {}))
+            if op == "write":
+                candidates = [last_write, *reads.values()]
+            else:
+                candidates = [last_write]
+            for prev in candidates:
+                if prev is None or prev.thread == ident:
+                    continue
+                if self._ordered(prev, state):
+                    continue
+                if _protected(prev, access):
+                    continue
+                self._report(key, prev, access)
+                break
+            if op == "write":
+                self._fields[key] = (access, {})
+            else:
+                reads[ident] = access
+                self._fields[key] = (last_write, reads)
+
+    def _ordered(self, prev: _Access, current: _ThreadState) -> bool:
+        """Happens-before: has the current thread seen prev's epoch?"""
+        return current.vc.get(prev.thread, 0) >= prev.epoch
+
+    def _report(
+        self, key: Tuple[str, str], prev: _Access, access: _Access
+    ) -> None:
+        if key in self._raced_keys or len(self._races) >= self.max_races:
+            return
+        self._raced_keys.add(key)
+        self._races.append(
+            RaceFinding(
+                obj=key[0],
+                attr=key[1],
+                first_op=prev.op,
+                first_site=prev.site,
+                first_locks=sorted(prev.locks),
+                second_op=access.op,
+                second_site=access.site,
+                second_locks=sorted(access.locks),
+                stack=[
+                    line.rstrip("\n")
+                    for line in traceback.format_stack()
+                    if not any(m in line.replace("\\", "/") for m in _INTERNAL_MARKERS)
+                ][-8:],
+            )
+        )
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> RaceReport:
+        with self._mutex:
+            return RaceReport(
+                races=sorted(
+                    self._races, key=lambda r: (r.obj, r.attr)
+                ),
+                accesses=self._accesses,
+                fields_observed=sorted(
+                    f"{label}.{attr}" for label, attr in self._fields
+                ),
+                threads_seen=len(self._threads),
+            )
+
+
+def _protected(a: _Access, b: _Access) -> bool:
+    """Does some common lock make the pair mutually exclusive?
+
+    A lock held in read mode by both sides does not exclude — concurrent
+    readers coexist under it — but any pairing involving a write or
+    exclusive hold does.
+    """
+    for name, mode_a in a.locks.items():
+        mode_b = b.locks.get(name)
+        if mode_b is None:
+            continue
+        if mode_a == "read" and mode_b == "read":
+            continue
+        return True
+    return False
+
+
+# -- instrumentation ---------------------------------------------------------------
+
+#: id(obj) -> (detector, label, frozenset of watched fields).
+_WATCH: Dict[int, Tuple[RaceDetector, str, frozenset]] = {}
+_PATCHED: Dict[type, type] = {}
+
+
+def _patched_class(cls: type) -> type:
+    """A subclass of ``cls`` whose attribute hooks report to a detector."""
+    patched = _PATCHED.get(cls)
+    if patched is not None:
+        return patched
+
+    def __getattribute__(self, name):  # noqa: N807
+        watch = _WATCH.get(id(self))
+        if watch is not None and name in watch[2]:
+            watch[0].record(watch[1], name, "read")
+        return cls.__getattribute__(self, name)
+
+    def __setattr__(self, name, value):  # noqa: N807
+        watch = _WATCH.get(id(self))
+        if watch is not None and name in watch[2]:
+            watch[0].record(watch[1], name, "write")
+        cls.__setattr__(self, name, value)
+
+    patched = type(
+        f"Instrumented{cls.__name__}",
+        (cls,),
+        {"__getattribute__": __getattribute__, "__setattr__": __setattr__},
+    )
+    _PATCHED[cls] = patched
+    return patched
+
+
+def instrument(
+    obj: object,
+    detector: RaceDetector,
+    label: str,
+    tracer,
+    fields: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Attach per-field access hooks and traced guard locks to ``obj``.
+
+    Args:
+        obj: an instance of a ``guarded by:``-annotated class.
+        detector: where accesses and lock events are reported.
+        label: how the object is named in race reports.
+        tracer: a :class:`~repro.analysis.locktrace.LockTracer` whose
+            ``race_detector`` is (or will feed) ``detector`` — guard
+            locks are wrapped through it so lock-order tracing and race
+            detection share one set of proxies.
+        fields: explicit ``field -> guard attr`` map overriding the
+            class's parsed annotations (used for exec'd fixture classes);
+            a ``None`` guard watches the field without wrapping any lock.
+
+    Returns the field names actually being watched.  Fields whose guard
+    could not be wrapped (e.g. a ``threading.Condition``) are left
+    unwatched rather than risk false positives.
+    """
+    guard_map = dict(fields) if fields is not None else dict(
+        class_guards(type(obj)).fields
+    )
+    wrapped_guards = set()
+    for guard_attr in sorted({g for g in guard_map.values() if g}):
+        lock = getattr(obj, guard_attr, None)
+        if lock is None:
+            continue
+        if isinstance(lock, threading.Condition):
+            continue  # proxying would lose wait()/notify(); leave it be
+        if getattr(lock, "_tracer", None) is not None:
+            wrapped_guards.add(guard_attr)  # already a traced proxy
+            continue
+        if hasattr(lock, "acquire_read") or hasattr(lock, "acquire"):
+            proxy = tracer.wrap(lock, f"{label}.{guard_attr}")
+            object.__setattr__(obj, guard_attr, proxy)
+            wrapped_guards.add(guard_attr)
+    watched = frozenset(
+        attr
+        for attr, guard in guard_map.items()
+        if guard is None or guard in wrapped_guards
+    )
+    if watched:
+        obj.__class__ = _patched_class(type(obj))
+        _WATCH[id(obj)] = (detector, label, watched)
+    return sorted(watched)
+
+
+def deinstrument(obj: object) -> None:
+    """Detach the access hooks installed by :func:`instrument`."""
+    _WATCH.pop(id(obj), None)

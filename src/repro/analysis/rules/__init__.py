@@ -17,11 +17,14 @@ from .deadline import DeadlineDisciplineRule
 from .faults import FaultTypedErrorsRule
 from .general import BareExceptRule, MutableDefaultRule, WallClockRule
 from .generation import CacheGenerationRule
-from .locks import LockDisciplineRule
+from .guards import GuardedByRule
+from .locks import LockDisciplineRule, RawLockRule
 
 ALL_RULES: List[LintRule] = [
     DeadlineDisciplineRule(),
     LockDisciplineRule(),
+    GuardedByRule(),
+    RawLockRule(),
     CacheGenerationRule(),
     BareExceptRule(),
     MutableDefaultRule(),
@@ -37,8 +40,10 @@ __all__ = [
     "ClusterDeadlineRPCRule",
     "DeadlineDisciplineRule",
     "FaultTypedErrorsRule",
+    "GuardedByRule",
     "LockDisciplineRule",
     "MutableDefaultRule",
+    "RawLockRule",
     "WallClockRule",
     "default_rules",
 ]

@@ -1,0 +1,142 @@
+"""guarded-by: annotated fields are only touched with their lock held.
+
+The annotation convention lives in :mod:`repro.analysis.guards`: a field
+initialized with a ``# guarded by: self._lock`` comment may only be read
+or written inside a ``with self._lock:`` block (or ``with
+self._lock.read()`` / ``.write()`` for reader-writer guards).  A method
+carrying the comment on its ``def`` line runs with the guard already
+held, so its *body* is checked with the guard assumed and every
+``self.<method>()`` call site is checked for the guard instead — the
+interprocedural half of the rule.
+
+Construction-time methods (``__init__``, ``__post_init__``,
+``__setstate__``) are exempt: no concurrent access exists before the
+object escapes its constructor.  Nested functions and lambdas are not
+analyzed (a closure's execution context is unknowable lexically); code
+that runs callbacks under a lock should hoist guarded accesses into the
+enclosing method or carry a suppression with its justification.
+
+A genuinely unguarded access — publishing a counter that tolerates
+tearing, say — carries ``# repro: ignore[guarded-by]`` naming why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..guards import CONSTRUCTION_METHODS, ClassGuards, parse_class_guards
+from ..linter import LintRule, Violation
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class GuardedByRule(LintRule):
+    rule_id = "guarded-by"
+    description = (
+        "fields annotated `# guarded by: self.<lock>` must be accessed "
+        "inside a `with self.<lock>:` block (methods so annotated must be "
+        "called with it held)"
+    )
+    scopes = ("service/", "cluster/", "storage/", "faults.py")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        source_lines = source.splitlines()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guards = parse_class_guards(node, source_lines)
+            if not guards:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in CONSTRUCTION_METHODS:
+                    continue
+                held: Set[str] = set()
+                required = guards.methods.get(item.name)
+                if required is not None:
+                    held.add(required)
+                for child in item.body:
+                    self._visit(child, guards, held, path, violations)
+        return violations
+
+    def _visit(
+        self,
+        node: ast.AST,
+        guards: ClassGuards,
+        held: Set[str],
+        path: str,
+        out: List[Violation],
+    ) -> None:
+        if isinstance(node, _SCOPE_NODES):
+            return  # closures run in an unknowable locking context
+        if isinstance(node, ast.With):
+            entered = held | _entered_guards(node)
+            for item in node.items:
+                self._visit(item.context_expr, guards, held, path, out)
+            for child in node.body:
+                self._visit(child, guards, entered, path, out)
+            return
+        if isinstance(node, ast.Call):
+            method = _self_method_call(node)
+            if method is not None and method in guards.methods:
+                required = guards.methods[method]
+                if required not in held:
+                    out.append(
+                        self.violation(
+                            path,
+                            node,
+                            f"call to self.{method}() requires "
+                            f"self.{required} held (declared at its def)",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, guards, held, path, out)
+            return
+        if isinstance(node, ast.Attribute) and _is_self_attr(node):
+            guard = guards.fields.get(node.attr)
+            if guard is not None and guard not in held:
+                kind = "write of" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+                out.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"{kind} self.{node.attr} outside `with "
+                        f"self.{guard}:` (guarded by: self.{guard})",
+                    )
+                )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guards, held, path, out)
+
+
+def _is_self_attr(node: ast.Attribute) -> bool:
+    return isinstance(node.value, ast.Name) and node.value.id == "self"
+
+
+def _self_method_call(node: ast.Call):
+    """``m`` for a ``self.m(...)`` call, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and _is_self_attr(func):
+        return func.attr
+    return None
+
+
+def _entered_guards(node: ast.With) -> Set[str]:
+    """Guard attrs a ``with`` statement takes: ``self.<g>`` directly, or
+    ``self.<g>.read()`` / ``.write()`` / ``.acquire()`` contexts."""
+    entered: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in ("read", "write", "acquire"):
+                expr = expr.func.value
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            entered.add(expr.attr)
+    return entered

@@ -71,6 +71,47 @@ class LockDisciplineRule(LintRule):
             self._visit(child, locked, path, out)
 
 
+class RawLockRule(LintRule):
+    """raw-lock: no bare ``threading.Lock()`` in the concurrent layers.
+
+    ``service/`` and ``cluster/`` state is supposed to live behind
+    :class:`~repro.service.concurrency.GuardedLock` — a *named* mutex the
+    lock-order tracer and the race detector can wrap and report on.  An
+    anonymous ``threading.Lock()`` is invisible to both: it cannot appear
+    in a :class:`LockOrderReport` cycle and the stress harness cannot
+    build happens-before edges through it.  A site that genuinely needs a
+    raw primitive (the one construction site inside ``GuardedLock``
+    itself, say) carries ``# repro: ignore[raw-lock]`` with the reason.
+    """
+
+    rule_id = "raw-lock"
+    description = (
+        "bare threading.Lock()/RLock() in service/ or cluster/; use "
+        "GuardedLock (or a traced wrapper) so analysis tooling can see it"
+    )
+    scopes = ("service/", "cluster/")
+
+    _BANNED = ("threading.Lock", "threading.RLock")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in self._BANNED or name in ("Lock", "RLock"):
+                violations.append(
+                    self.violation(
+                        path,
+                        node,
+                        f"bare {name}() is invisible to the lock-order "
+                        "tracer and race detector; construct a named "
+                        "GuardedLock instead",
+                    )
+                )
+        return violations
+
+
 def _is_engine_attribute(node: ast.Attribute) -> bool:
     """True for ``X.engine.<attr>`` — reading *through* the engine.
 

@@ -317,7 +317,30 @@ def cmd_check(args: argparse.Namespace) -> int:
         paths=args.paths or None,
         strict=args.strict,
         list_rules=args.list_rules,
+        json_path=args.json,
+        github=args.github,
+        show_suppressed=args.show_suppressed,
     )
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    """Run seeded concurrency storms under the dynamic race detector."""
+    from .stress import run_stress
+
+    report = run_stress(
+        seed=args.seed,
+        scenarios=args.scenarios or None,
+        ops_scale=args.ops_scale,
+    )
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+    print(report.describe())
+    return 0 if report.clean else 1
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -622,7 +645,44 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    check_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    check_cmd.add_argument(
+        "--github", action="store_true",
+        help="emit GitHub Actions ::error annotations for every finding",
+    )
+    check_cmd.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by inline repro: ignore comments",
+    )
     check_cmd.set_defaults(handler=cmd_check)
+
+    stress_cmd = commands.add_parser(
+        "stress",
+        help="seeded concurrency storms under the lockset/happens-before "
+        "race detector (exit 1 on any race)",
+    )
+    stress_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="drives every thread's operation plan (default 0)",
+    )
+    stress_cmd.add_argument(
+        "--scenario", dest="scenarios", action="append",
+        choices=("components", "service", "cluster"),
+        help="run only this storm (repeatable; default: all three)",
+    )
+    stress_cmd.add_argument(
+        "--ops-scale", type=float, default=1.0,
+        help="multiply each scenario's per-thread operation count",
+    )
+    stress_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the canonical (bit-reproducible) report to PATH "
+        "('-' for stdout)",
+    )
+    stress_cmd.set_defaults(handler=cmd_stress)
 
     chaos_cmd = commands.add_parser(
         "chaos",

@@ -41,6 +41,7 @@ from ..errors import (
 from ..service.admission import Deadline
 from ..service.breaker import CircuitBreaker
 from ..service.client import ServiceClient
+from ..service.concurrency import GuardedLock
 from .merge import merge_hits
 
 #: RPC failures that mean "this replica, right now" — eligible for
@@ -155,12 +156,12 @@ class ClusterCoordinator:
                 max_retries=rpc_retries,
             )
         )
-        self._clients: Dict[str, ServiceClient] = {}
-        self._clients_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self.queries = 0
-        self.degraded_queries = 0
-        self.failovers = 0
+        self._clients_lock = GuardedLock("coordinator.clients")
+        self._stats_lock = GuardedLock("coordinator.stats")
+        self._clients: Dict[str, ServiceClient] = {}  # guarded by: self._clients_lock
+        self.queries = 0  # guarded by: self._stats_lock
+        self.degraded_queries = 0  # guarded by: self._stats_lock
+        self.failovers = 0  # guarded by: self._stats_lock
 
     # -- topology plumbing ---------------------------------------------------------
 

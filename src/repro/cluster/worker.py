@@ -28,6 +28,7 @@ from ..build.shard import DocumentSpec
 from ..config import XRankConfig
 from ..engine import XRankEngine
 from ..errors import ClusterError
+from ..service.concurrency import GuardedLock
 from ..service.core import XRankService
 from ..service.server import XRankHTTPServer
 from ..xmlmodel.html import parse_html
@@ -53,8 +54,8 @@ class _WorkerHTTPServer(XRankHTTPServer):
 
     def __init__(self, address, service):
         super().__init__(address, service)
-        self._client_sockets = set()
-        self._sockets_lock = threading.Lock()
+        self._sockets_lock = GuardedLock("worker.sockets")
+        self._client_sockets = set()  # guarded by: self._sockets_lock
 
     def process_request(self, request, client_address):
         with self._sockets_lock:

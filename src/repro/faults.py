@@ -101,11 +101,11 @@ class FaultPlan:
 
     def __init__(self, seed: int = 0, specs: Iterable[FaultSpec] = ()):
         self.seed = seed
-        self._specs: Dict[str, FaultSpec] = {}
-        self._rngs: Dict[str, random.Random] = {}
-        self._calls: Dict[str, int] = {}
-        self._fires: Dict[str, int] = {}
         self._lock = threading.Lock()
+        self._specs: Dict[str, FaultSpec] = {}  # guarded by: self._lock
+        self._rngs: Dict[str, random.Random] = {}  # guarded by: self._lock
+        self._calls: Dict[str, int] = {}  # guarded by: self._lock
+        self._fires: Dict[str, int] = {}  # guarded by: self._lock
         for spec in specs:
             self._specs[spec.site] = spec
             self._rngs[spec.site] = self._stream(spec.site)

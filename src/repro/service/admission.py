@@ -83,10 +83,10 @@ class AdmissionController:
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.queue_timeout_s = queue_timeout_s
-        self.rejected = 0
         self._cond = threading.Condition()
-        self._active = 0
-        self._queued = 0
+        self.rejected = 0  # guarded by: self._cond
+        self._active = 0  # guarded by: self._cond
+        self._queued = 0  # guarded by: self._cond
 
     def acquire(self) -> None:
         """Take an execution slot, waiting in the bounded queue if needed.

@@ -18,10 +18,10 @@ cooldown.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Optional
 
 from ..errors import ServiceError
+from .concurrency import GuardedLock
 
 #: Where a broken ranked index sends its queries.  DIL is the terminal
 #: fallback: no auxiliary structures, sequential scans only.
@@ -50,11 +50,11 @@ class CircuitBreaker:
             raise ServiceError(f"cooldown must be >= 1, got {cooldown}")
         self.threshold = threshold
         self.cooldown = cooldown
-        self._lock = threading.Lock()
-        self._failures: Dict[str, int] = {}
-        self._open_remaining: Dict[str, int] = {}
-        self._half_open: Dict[str, bool] = {}
-        self.trips = 0
+        self._lock = GuardedLock("breaker")
+        self._failures: Dict[str, int] = {}  # guarded by: self._lock
+        self._open_remaining: Dict[str, int] = {}  # guarded by: self._lock
+        self._half_open: Dict[str, bool] = {}  # guarded by: self._lock
+        self.trips = 0  # guarded by: self._lock
 
     def allow(self, kind: str) -> bool:
         """May a query be served from ``kind`` right now?

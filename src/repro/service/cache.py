@@ -15,11 +15,11 @@ makes invalidation O(1) even for "this update could affect any query".
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
 from ..errors import ServiceError
+from .concurrency import GuardedLock
 
 #: Unique sentinel distinguishing "miss" from a cached None.
 MISS = object()
@@ -38,12 +38,12 @@ class GenerationalLRU:
             raise ServiceError("cache capacity cannot be negative")
         self.capacity = capacity
         self.name = name
-        self.generation = 0
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._lock = GuardedLock(f"cache.{name or 'anon'}")
+        self.generation = 0  # guarded by: self._lock
+        self.hits = 0  # guarded by: self._lock
+        self.misses = 0  # guarded by: self._lock
+        self.invalidations = 0  # guarded by: self._lock
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()  # guarded by: self._lock
 
     # -- core operations -----------------------------------------------------------
 

@@ -34,13 +34,13 @@ from __future__ import annotations
 
 import json
 import random
-import threading
 import time
 from http.client import HTTPConnection, HTTPException
 from typing import Dict, Optional
 from urllib.parse import urlencode
 
 from ..errors import RetryBudgetExhaustedError, ServiceHTTPError
+from .concurrency import GuardedLock
 
 
 class ServiceClient:
@@ -82,19 +82,19 @@ class ServiceClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.error_budget = error_budget
-        self._budget = error_budget
-        self._budget_lock = threading.Lock()
+        self._budget_lock = GuardedLock("client.budget")
+        self._budget = error_budget  # guarded by: self._budget_lock
         self._rng = random.Random(retry_seed)
         self._sleep = sleep
         #: Retries performed over the client's lifetime (diagnostics).
-        self.retries = 0
+        self.retries = 0  # guarded by: self._budget_lock
         self.pool_size = pool_size
         self.keep_alive = keep_alive
-        self._pool: list = []
-        self._pool_lock = threading.Lock()
+        self._pool_lock = GuardedLock("client.pool")
+        self._pool: list = []  # guarded by: self._pool_lock
         #: Keep-alive reuse counters (diagnostics / tests).
-        self.pool_reuses = 0
-        self.stale_retries = 0
+        self.pool_reuses = 0  # guarded by: self._pool_lock
+        self.stale_retries = 0  # guarded by: self._pool_lock
 
     # -- endpoints ---------------------------------------------------------------
 
@@ -182,7 +182,8 @@ class ServiceClient:
             # restart, idle timeout, half-closed socket).  That is a pool
             # artifact, not a backend failure, so fall back to one fresh
             # per-request connection without touching the retry budget.
-            self.stale_retries += 1
+            with self._pool_lock:
+                self.stale_retries += 1
             connection = self._fresh_connection()
             try:
                 status, payload, reusable = self._perform(

@@ -12,10 +12,11 @@ I/O behaviour.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence
+
+from .concurrency import GuardedLock
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -37,19 +38,19 @@ class ServiceMetrics:
 
     def __init__(self, window: int = 4096, clock=time.monotonic):
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = GuardedLock("metrics")
         self._started = clock()
-        self._latencies_ms: deque = deque(maxlen=window)
-        self._completions: deque = deque(maxlen=window)
-        self.searches = 0
-        self.adds = 0
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
-        self.degraded = 0
-        self.rejected = 0
-        self.errors = 0
-        self.storage_faults = 0
-        self.fault_fallbacks = 0
+        self._latencies_ms: deque = deque(maxlen=window)  # guarded by: self._lock
+        self._completions: deque = deque(maxlen=window)  # guarded by: self._lock
+        self.searches = 0  # guarded by: self._lock
+        self.adds = 0  # guarded by: self._lock
+        self.result_cache_hits = 0  # guarded by: self._lock
+        self.result_cache_misses = 0  # guarded by: self._lock
+        self.degraded = 0  # guarded by: self._lock
+        self.rejected = 0  # guarded by: self._lock
+        self.errors = 0  # guarded by: self._lock
+        self.storage_faults = 0  # guarded by: self._lock
+        self.fault_fallbacks = 0  # guarded by: self._lock
 
     # -- recording -------------------------------------------------------------
 

@@ -27,15 +27,15 @@ from ..config import StorageParams
 class IOStats:
     """Mutable counters for one simulated disk (thread-safe)."""
 
-    page_reads: int = 0          # misses that touched the "disk"
-    sequential_reads: int = 0    # subset of page_reads at last_pid + 1
-    random_reads: int = 0        # subset of page_reads elsewhere
-    page_writes: int = 0
-    cache_hits: int = 0
-    read_errors: int = 0         # injected/observed failed page reads
-    corrupt_pages: int = 0       # checksum mismatches detected at read time
-    retries: int = 0             # in-place page re-reads after a fault
-    slow_reads: int = 0          # reads charged a simulated stall penalty
+    page_reads: int = 0          # guarded by: self._lock — misses that touched the "disk"
+    sequential_reads: int = 0    # guarded by: self._lock — subset of page_reads at last_pid + 1
+    random_reads: int = 0        # guarded by: self._lock — subset of page_reads elsewhere
+    page_writes: int = 0         # guarded by: self._lock
+    cache_hits: int = 0          # guarded by: self._lock
+    read_errors: int = 0         # guarded by: self._lock — injected failed page reads
+    corrupt_pages: int = 0       # guarded by: self._lock — checksum mismatches at read time
+    retries: int = 0             # guarded by: self._lock — in-place re-reads after a fault
+    slow_reads: int = 0          # guarded by: self._lock — reads charged a stall penalty
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

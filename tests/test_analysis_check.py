@@ -121,3 +121,124 @@ def test_repo_tree_passes_own_gate():
     package_root = Path(__file__).resolve().parent.parent / "src" / "repro"
     out = io.StringIO()
     assert run_check(paths=[str(package_root)], out=out) == 0, out.getvalue()
+
+
+# -- machine-readable output, annotations, suppression audit ------------------------
+
+USED_SUPPRESSION_SOURCE = '''\
+def risky(items=[]):  # repro: ignore[mutable-default]
+    return list(items)
+'''
+
+UNUSED_SUPPRESSION_SOURCE = '''\
+def fine(x):
+    return x  # repro: ignore[bare-except]
+'''
+
+
+def test_run_check_writes_json_report(dirty_dir, tmp_path):
+    import json
+
+    report_path = tmp_path / "report.json"
+    out = io.StringIO()
+    code = run_check(
+        paths=[str(dirty_dir)],
+        config=LintConfig(),
+        out=out,
+        json_path=str(report_path),
+    )
+    assert code == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["ok"] is False
+    assert payload["strict"] is False
+    rules = {v["rule"] for v in payload["lint"]["violations"]}
+    assert {"bare-except", "mutable-default"} <= rules
+    assert payload["failures"] == len(payload["lint"]["violations"])
+
+
+def test_run_check_json_dash_writes_to_out(clean_dir):
+    import json
+
+    out = io.StringIO()
+    code = run_check(
+        paths=[str(clean_dir)], config=LintConfig(), out=out, json_path="-"
+    )
+    assert code == 0
+    text = out.getvalue()
+    payload = json.loads(text[text.index("{") : text.rindex("}") + 1])
+    assert payload["ok"] is True
+
+
+def test_run_check_github_annotations(dirty_dir):
+    out = io.StringIO()
+    run_check(
+        paths=[str(dirty_dir)], config=LintConfig(), out=out, github=True
+    )
+    text = out.getvalue()
+    assert "::error file=" in text
+    assert "title=repro-check [bare-except]" in text
+
+
+def test_show_suppressed_prints_silenced_findings(tmp_path):
+    (tmp_path / "quiet.py").write_text(USED_SUPPRESSION_SOURCE)
+    out = io.StringIO()
+    code = run_check(
+        paths=[str(tmp_path)],
+        config=LintConfig(),
+        out=out,
+        show_suppressed=True,
+    )
+    assert code == 0  # a *used* suppression is not a failure
+    text = out.getvalue()
+    assert "suppressed:" in text
+    assert "[mutable-default]" in text
+
+
+def test_unused_suppression_fails_the_gate(tmp_path):
+    (tmp_path / "stale.py").write_text(UNUSED_SUPPRESSION_SOURCE)
+    out = io.StringIO()
+    code = run_check(paths=[str(tmp_path)], config=LintConfig(), out=out)
+    assert code == 1
+    text = out.getvalue()
+    assert "[unused-suppression]" in text
+    assert "bare-except" in text
+
+
+def test_race_selftest_catches_the_planted_race():
+    from repro.analysis.check import race_selftest
+
+    assert race_selftest() == []
+
+
+def test_cli_check_json_flag(clean_dir, tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "check.json"
+    assert main(["check", str(clean_dir), "--json", str(report_path)]) == 0
+    capsys.readouterr()
+    assert json.loads(report_path.read_text())["ok"] is True
+
+
+def test_cli_stress_subcommand_writes_canonical_json(tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "stress.json"
+    code = main(
+        [
+            "stress",
+            "--seed",
+            "7",
+            "--scenario",
+            "components",
+            "--ops-scale",
+            "0.25",
+            "--json",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(report_path.read_text())
+    assert payload["seed"] == 7
+    assert payload["clean"] is True
+    assert [s["name"] for s in payload["scenarios"]] == ["components"]
+    assert "components" in capsys.readouterr().out

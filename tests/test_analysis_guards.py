@@ -1,0 +1,154 @@
+"""The ``guarded by:`` annotation parser and the static guarded-by rule."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.guards import class_guards, parse_module_guards
+from repro.analysis.linter import Linter
+from repro.analysis.rules import GuardedByRule
+
+FIXTURE = '''
+import threading
+from dataclasses import dataclass
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded by: self._lock
+        self.free = 0
+
+    def _bump_locked(self):  # guarded by: self._lock
+        self.hits += 1
+
+
+@dataclass
+class Stats:
+    reads: int = 0  # guarded by: self._mutex
+'''
+
+
+def _guards_for(source: str):
+    return parse_module_guards(ast.parse(source), source)
+
+
+def test_init_assignment_annotation_parses():
+    guards = _guards_for(FIXTURE)["Counter"]
+    assert guards.fields == {"hits": "_lock"}
+    assert "free" not in guards.fields
+
+
+def test_def_line_annotation_marks_method():
+    guards = _guards_for(FIXTURE)["Counter"]
+    assert guards.methods == {"_bump_locked": "_lock"}
+    assert guards.guard_attrs == ["_lock"]
+
+
+def test_dataclass_class_level_annotation_parses():
+    guards = _guards_for(FIXTURE)["Stats"]
+    assert guards.fields == {"reads": "_mutex"}
+
+
+def test_unannotated_class_is_falsy():
+    guards = _guards_for("class Plain:\n    def f(self):\n        pass\n")["Plain"]
+    assert not guards
+
+
+def test_runtime_class_guards_reads_real_sources():
+    from repro.service.cache import GenerationalLRU
+    from repro.storage.iostats import IOStats
+
+    cache_guards = class_guards(GenerationalLRU)
+    assert cache_guards.fields["hits"] == "_lock"
+    assert cache_guards.fields["_entries"] == "_lock"
+    io_guards = class_guards(IOStats)
+    assert io_guards.fields["page_reads"] == "_lock"
+
+
+def test_runtime_class_guards_tolerates_exec_defined_classes():
+    namespace: dict = {}
+    exec("class Ghost:\n    pass\n", namespace)
+    assert not class_guards(namespace["Ghost"])
+
+
+# -- the static rule on fixture modules ---------------------------------------------
+
+RULE_FIXTURE = '''
+class Box:
+    def __init__(self, lock):
+        self._lock = lock
+        self.value = 0  # guarded by: self._lock
+
+    def bad_read(self):
+        return self.value
+
+    def bad_write(self):
+        self.value = 9
+
+    def good(self):
+        with self._lock:
+            self.value += 1
+        return True
+
+    def good_rw(self):
+        with self._lock.read():
+            return self.value
+
+    def _locked_helper(self):  # guarded by: self._lock
+        return self.value
+
+    def bad_call(self):
+        return self._locked_helper()
+
+    def good_call(self):
+        with self._lock:
+            return self._locked_helper()
+'''
+
+
+def _lint(source: str, path: str = "src/repro/service/fixture.py"):
+    return Linter([GuardedByRule()]).lint_source(source, path)
+
+
+def test_rule_flags_unguarded_reads_and_writes():
+    violations = _lint(RULE_FIXTURE)
+    messages = [v.message for v in violations]
+    assert any("read of self.value" in m for m in messages)
+    assert any("write of self.value" in m for m in messages)
+
+
+def test_rule_accepts_with_guard_blocks_and_rw_contexts():
+    flagged_lines = {v.line for v in _lint(RULE_FIXTURE)}
+    source_lines = RULE_FIXTURE.splitlines()
+    for marker in ("self.value += 1", "with self._lock.read():"):
+        line = next(
+            i for i, text in enumerate(source_lines, start=1) if marker in text
+        )
+        assert line not in flagged_lines and line + 1 not in flagged_lines
+
+
+def test_rule_is_interprocedural_over_guarded_methods():
+    violations = _lint(RULE_FIXTURE)
+    call_violations = [v for v in violations if "_locked_helper" in v.message]
+    assert len(call_violations) == 1  # bad_call flagged, good_call not
+
+
+def test_rule_ignores_construction_and_other_receivers():
+    source = '''
+class Pair:
+    def __init__(self, lock):
+        self._lock = lock
+        self.total = 0  # guarded by: self._lock
+
+    def merge(self, other):
+        snapshot = other.total
+        with self._lock:
+            self.total += snapshot
+'''
+    assert _lint(source) == []
+
+
+def test_rule_scope_excludes_unrelated_packages():
+    violations = _lint(RULE_FIXTURE, path="src/repro/query/fixture.py")
+    assert violations == []

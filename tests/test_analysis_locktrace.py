@@ -142,3 +142,107 @@ def test_traced_rwlock_preserves_semantics():
 def test_wrap_rejects_unknown_objects():
     with pytest.raises(TypeError):
         LockTracer().wrap(object(), "x")
+
+
+# -- TracedRWLock edge cases --------------------------------------------------------
+
+
+def test_traced_rwlock_writer_preference_orders_late_readers():
+    """Readers arriving while a writer waits queue behind the writer."""
+    import time
+
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    order = []
+    first_reader_in = threading.Barrier(2, timeout=10)
+    release_first = threading.Event()
+
+    def first_reader():
+        with lock.read():
+            first_reader_in.wait()
+            release_first.wait(timeout=10)
+
+    def writer():
+        with lock.write():
+            order.append("write")
+
+    def late_reader():
+        with lock.read():
+            order.append("read")
+
+    holder = threading.Thread(target=first_reader)
+    holder.start()
+    first_reader_in.wait()
+
+    contender = threading.Thread(target=writer)
+    contender.start()
+    deadline = time.monotonic() + 10
+    while lock.state()["writers_waiting"] != 1:
+        assert time.monotonic() < deadline, "writer never queued"
+        time.sleep(0.005)
+
+    straggler = threading.Thread(target=late_reader)
+    straggler.start()
+    time.sleep(0.05)
+    # Writer preference: the late reader must not slip past the queued writer.
+    assert order == []
+
+    release_first.set()
+    for thread in (holder, contender, straggler):
+        thread.join(timeout=10)
+    assert order == ["write", "read"]
+    report = tracer.report()
+    assert report.clean
+    assert report.acquisitions == 3
+
+
+def test_traced_rwlock_release_from_wrong_thread_raises_through_proxy():
+    tracer = LockTracer()
+    lock = tracer.wrap(ReadWriteLock(), "svc")
+    held = threading.Barrier(2, timeout=10)
+    done = threading.Event()
+
+    def holder():
+        with lock.read():
+            held.wait()
+            done.wait(timeout=10)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    held.wait()
+    # This thread holds neither side; both releases must refuse.
+    with pytest.raises(LockUsageError):
+        lock.release_read()
+    with pytest.raises(LockUsageError):
+        lock.release_write()
+    done.set()
+    thread.join(timeout=10)
+    assert lock.state()["active_readers"] == 0
+
+
+def test_traced_rwlock_report_is_deterministic_across_identical_runs():
+    """Same lock choreography twice -> byte-identical edges and cycles."""
+
+    def run() -> tuple:
+        tracer = LockTracer()
+        lock_a = tracer.wrap(ReadWriteLock(), "a")
+        lock_b = tracer.wrap(ReadWriteLock(), "b")
+        lock_c = tracer.wrap(ReadWriteLock(), "c")
+        with lock_a.read():
+            with lock_b.write():
+                pass
+        with lock_b.read():
+            with lock_c.write():
+                pass
+        with lock_c.read():
+            with lock_a.write():
+                pass
+        report = tracer.report()
+        return tuple(sorted(report.edges)), tuple(
+            tuple(cycle) for cycle in report.cycles
+        )
+
+    first = run()
+    second = run()
+    assert first == second
+    assert first[1], "three-lock ring must report a cycle"
