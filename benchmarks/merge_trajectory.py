@@ -1,0 +1,122 @@
+"""Merge per-benchmark ``BENCH_*.json`` reports into one trajectory point.
+
+The bench-trajectory workflow runs the tiny-scale benchmarks nightly and
+on every push to main, then calls this script to fold the individual
+reports into a single ``trajectory.json``:
+
+* ``reports`` — every input report in full, keyed by its ``benchmark``
+  name (falling back to the file stem), so one artifact holds the whole
+  run;
+* ``headline`` — a flat, per-benchmark selection of the metrics worth
+  plotting run-over-run (cold/warm latency, QPS, trace overhead, build
+  identity), resolved with the same dotted-path walker the regression
+  gate uses — a missing path is skipped, not fatal, so old and new
+  report schemas coexist in one trajectory.
+
+One uploaded artifact per run *is* the trajectory: labels carry the
+commit SHA, so downloading the artifact series reconstructs the curve.
+``--append`` alternatively accumulates points into a local file, for
+plotting a trajectory without the artifact round-trip::
+
+    python benchmarks/merge_trajectory.py --label "$GITHUB_SHA" \\
+        --out trajectory.json fresh-BENCH_*.json
+    python benchmarks/merge_trajectory.py --label dev --append \\
+        --out trajectory.json fresh-BENCH_*.json   # adds a point
+
+The script never stamps wall-clock time: a trajectory point is a pure
+function of its inputs and label, so re-merging the same reports yields
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from check_regression import resolve
+
+#: Dotted paths worth tracking run-over-run, per benchmark name.
+#: Unresolvable paths are skipped silently — reports evolve.
+HEADLINE_PATHS: Dict[str, Sequence[str]] = {
+    "service_throughput": (
+        "cold.p50_ms",
+        "cold.p95_ms",
+        "cold.qps",
+        "warm.qps",
+        "warm.result_cache_hit_rate",
+        "trace.off_overhead_ratio",
+        "trace.sampled_overhead_ratio",
+        "trace.noop_plumbing_ns_per_query",
+        "trace.within_budget",
+    ),
+    "parallel_build": ("identical", "best_speedup"),
+    "cluster": ("identical", "failover.failover_exercised"),
+    "faults": ("zero_rate_overhead", "gates.overhead_ok"),
+}
+
+
+def merge_point(
+    label: str, report_paths: Sequence[Path]
+) -> Dict[str, object]:
+    """One trajectory point: full reports + the headline selection."""
+    reports: Dict[str, object] = {}
+    headline: Dict[str, Dict[str, object]] = {}
+    for path in report_paths:
+        report = json.loads(path.read_text(encoding="utf-8"))
+        name = str(report.get("benchmark") or path.stem)
+        reports[name] = report
+        picked: Dict[str, object] = {}
+        for dotted in HEADLINE_PATHS.get(name, ()):
+            try:
+                picked[dotted] = resolve(report, dotted)
+            except (KeyError, IndexError, ValueError):
+                continue
+        if picked:
+            headline[name] = picked
+    return {"label": label, "reports": reports, "headline": headline}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "reports", nargs="+", type=Path, help="BENCH_*.json files to merge"
+    )
+    parser.add_argument(
+        "--label", required=True,
+        help="point label (commit SHA, run id, ...)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("trajectory.json"),
+        help="merged trajectory destination",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="append a point to --out's existing series instead of "
+        "writing a single-point file",
+    )
+    args = parser.parse_args(argv)
+
+    point = merge_point(args.label, args.reports)
+    if args.append and args.out.exists():
+        trajectory = json.loads(args.out.read_text(encoding="utf-8"))
+        points = list(trajectory.get("points", []))
+    else:
+        points = []
+    points.append(point)
+    args.out.write_text(
+        json.dumps({"points": points}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    merged = ", ".join(sorted(point["reports"]))
+    print(
+        f"trajectory: {len(points)} point(s) -> {args.out} "
+        f"(merged {merged})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from .general import BareExceptRule, MutableDefaultRule, WallClockRule
 from .generation import CacheGenerationRule
 from .guards import GuardedByRule
 from .locks import LockDisciplineRule, RawLockRule
+from .obs import ClusterTraceRPCRule
 
 ALL_RULES: List[LintRule] = [
     DeadlineDisciplineRule(),
@@ -31,6 +32,7 @@ ALL_RULES: List[LintRule] = [
     WallClockRule(),
     FaultTypedErrorsRule(),
     ClusterDeadlineRPCRule(),
+    ClusterTraceRPCRule(),
 ]
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "BareExceptRule",
     "CacheGenerationRule",
     "ClusterDeadlineRPCRule",
+    "ClusterTraceRPCRule",
     "DeadlineDisciplineRule",
     "FaultTypedErrorsRule",
     "GuardedByRule",

@@ -1,0 +1,61 @@
+"""cluster-trace-rpc: scatter RPCs must forward the trace context.
+
+A stitched cross-process trace is only as complete as its laziest RPC
+call site: one ``client.search(query, m=m, deadline_ms=...)`` without
+``trace_ctx`` silently drops the coordinator's trace identity, the
+worker serves the query untraced, and the resulting trace tree has a
+hole exactly where the interesting latency usually lives.  Nothing
+fails — the query still answers — which is why this is a lint rule and
+not a test: the regression is invisible until someone stares at a
+half-empty trace.
+
+Mirrors :class:`~repro.analysis.rules.cluster.ClusterDeadlineRPCRule`:
+any ``.search(...)`` call in ``repro/cluster/`` whose receiver looks
+like an RPC client must pass ``trace_ctx`` (None is fine — it means
+"this query is not being traced" — but the *plumbing* must exist).
+Local calls (``engine.search``, ``oracle.search``) have non-client
+receivers and are exempt.  A site that genuinely cannot forward the
+context carries ``# repro: ignore[cluster-trace-rpc]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+from .cluster import _is_rpc_client
+
+
+class ClusterTraceRPCRule(LintRule):
+    rule_id = "cluster-trace-rpc"
+    description = (
+        "cluster RPC .search() call drops the trace context "
+        "(no trace_ctx argument)"
+    )
+    scopes = ("cluster/",)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "search"):
+                continue
+            if not _is_rpc_client(func.value):
+                continue
+            if any(keyword.arg == "trace_ctx" for keyword in node.keywords):
+                continue
+            violations.append(
+                self.violation(
+                    path,
+                    node,
+                    "RPC search() without trace_ctx: the coordinator's "
+                    "trace context must propagate to the worker so the "
+                    "cross-process trace stitches (pass trace_ctx=ctx, "
+                    "or trace_ctx=None when the caller is untraced)",
+                )
+            )
+        return violations

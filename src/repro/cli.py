@@ -261,6 +261,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         print("no index file given: serving the built-in demo corpus")
         engine = _demo_engine()
+    from .obs import Tracer
+
     service = XRankService(
         engine,
         result_cache_size=args.result_cache,
@@ -268,6 +270,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         max_queue=args.queue_limit,
         default_deadline_ms=args.deadline_ms,
+        tracer=Tracer(
+            sample=args.trace_sample,
+            ratio=args.trace_ratio,
+            slow_ms=args.trace_slow_ms,
+        ),
     )
 
     if args.check:
@@ -501,6 +508,94 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Capture (or fetch) query traces and render/validate/export them.
+
+    Default mode runs a seeded workload against a freshly built
+    single-node service (or a LocalCluster with ``--cluster``) with
+    sampling forced on, then renders each captured trace as an ASCII
+    tree.  ``--json`` prints the canonical (timing-stripped, sibling-
+    sorted) JSON instead — byte-stable across runs of the same seed,
+    which is what the obs-smoke CI job diffs.  ``--url`` skips the
+    seeded workload and fetches ``/traces`` from a running server.
+    """
+    from .obs import render_trace, validate_trace
+    from .obs.render import to_json, traces_canonical_json
+    from .obs.trace import Tracer, span_from_dict
+
+    if args.url:
+        from urllib.parse import urlparse
+
+        from .service.client import ServiceClient
+
+        parsed = urlparse(
+            args.url if "//" in args.url else f"http://{args.url}"
+        )
+        client = ServiceClient(parsed.hostname or "127.0.0.1", parsed.port or 80)
+        payload = client.traces()
+        traces = [span_from_dict(tree) for tree in payload.get("traces", [])]
+        print(
+            f"tracer on {args.url}: {payload.get('tracer')}", file=sys.stderr
+        )
+    else:
+        from .cluster.verify import default_cluster_corpus
+
+        specs, queries = default_cluster_corpus(args.papers, seed=args.seed)
+        workload = (queries * ((args.queries // len(queries)) + 1))[
+            : args.queries
+        ]
+        tracer = Tracer(sample="always", buffer_size=max(64, args.queries))
+        if args.cluster:
+            from .cluster.local import LocalCluster
+
+            with LocalCluster(
+                specs,
+                num_shards=args.shards,
+                replicas=args.replicas,
+                coordinator_options={"tracer": tracer},
+            ) as cluster:
+                for query in workload:
+                    cluster.search(query, m=args.m)
+        else:
+            from .cluster.verify import single_node_oracle
+
+            service = single_node_oracle(specs)
+            service.tracer = tracer
+            for query in workload:
+                service.search(query, m=args.m)
+        traces = tracer.buffer.traces()
+
+    if not traces:
+        print("no traces captured", file=sys.stderr)
+        return 1
+
+    problems: List[str] = []
+    for root in traces:
+        problems.extend(validate_trace(root))
+    if args.check:
+        for problem in problems:
+            print(f"trace invariant: {problem}")
+        print(
+            f"trace check over {len(traces)} trace(s): "
+            + ("FAILED" if problems else "ok")
+        )
+        return 1 if problems else 0
+    if problems:
+        # Not in check mode, but a lying trace should never print silently.
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+
+    if args.json:
+        print(traces_canonical_json(traces))
+    elif args.full_json:
+        print("[" + ",\n".join(to_json(root) for root in traces) + "]")
+    else:
+        for root in traces:
+            print(render_trace(root))
+            print()
+    return 0
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     """Build and query a tiny in-memory demo corpus."""
     engine = _demo_engine()
@@ -626,6 +721,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--query", default=None, help="query used by --check"
+    )
+    serve_cmd.add_argument(
+        "--trace-sample", default="never",
+        choices=("never", "always", "ratio", "slow"),
+        help="query tracing mode; sampled traces appear on /traces and "
+        "via `repro trace --url`",
+    )
+    serve_cmd.add_argument(
+        "--trace-ratio", type=float, default=0.1,
+        help="fraction sampled under --trace-sample ratio (deterministic)",
+    )
+    serve_cmd.add_argument(
+        "--trace-slow-ms", type=float, default=100.0,
+        help="retention threshold under --trace-sample slow",
     )
     serve_cmd.set_defaults(handler=cmd_serve)
 
@@ -779,6 +888,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot, answer one scatter-gather query over HTTP, shut down",
     )
     cluster_cmd.set_defaults(handler=cmd_cluster)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="run a seeded traced workload (or fetch /traces from a "
+        "server) and render span trees or canonical JSON",
+    )
+    trace_cmd.add_argument(
+        "--cluster", action="store_true",
+        help="trace through a LocalCluster: one stitched cross-process "
+        "trace per query (scatter -> per-shard RPC -> remote evaluate)",
+    )
+    trace_cmd.add_argument(
+        "--queries", type=int, default=3,
+        help="number of seeded workload queries to trace",
+    )
+    trace_cmd.add_argument("-m", type=int, default=5, help="top-m results")
+    trace_cmd.add_argument(
+        "--papers", type=int, default=36,
+        help="seeded DBLP corpus size",
+    )
+    trace_cmd.add_argument(
+        "--seed", type=int, default=23, help="corpus/workload seed"
+    )
+    trace_cmd.add_argument(
+        "--shards", type=int, default=2, help="cluster shards (--cluster)"
+    )
+    trace_cmd.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard (--cluster)",
+    )
+    trace_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (timing stripped, siblings sorted): "
+        "byte-stable across runs of the same seeded workload",
+    )
+    trace_cmd.add_argument(
+        "--full-json", action="store_true",
+        help="emit full JSON including durations and io deltas "
+        "(not byte-stable)",
+    )
+    trace_cmd.add_argument(
+        "--check", action="store_true",
+        help="validate span-tree invariants over the captured traces "
+        "and exit non-zero on any violation",
+    )
+    trace_cmd.add_argument(
+        "--url", default=None,
+        help="fetch /traces from a running server (host:port or URL) "
+        "instead of running the seeded workload",
+    )
+    trace_cmd.set_defaults(handler=cmd_trace)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

@@ -82,7 +82,7 @@ class FaultableClient:
             endpoint.host, endpoint.port, timeout=timeout, max_retries=0
         )
 
-    def search(self, query: str, deadline_ms=None, **options):
+    def search(self, query: str, deadline_ms=None, trace_ctx=None, **options):
         if self.injector.should_fail(self.endpoint.name):
             raise ServiceHTTPError(
                 0,
@@ -91,7 +91,9 @@ class FaultableClient:
                     "type": "InjectedRPCFault",
                 },
             )
-        return self._inner.search(query, deadline_ms=deadline_ms, **options)
+        return self._inner.search(
+            query, deadline_ms=deadline_ms, trace_ctx=trace_ctx, **options
+        )
 
     def close(self) -> None:
         close = getattr(self._inner, "close", None)

@@ -38,10 +38,14 @@ from ..errors import (
     ServiceHTTPError,
     ShardUnavailableError,
 )
+from ..obs import NOOP_SPAN, Tracer
+from ..obs.render import to_dict as trace_to_dict
+from ..obs.trace import TraceContext
 from ..service.admission import Deadline
 from ..service.breaker import CircuitBreaker
 from ..service.client import ServiceClient
 from ..service.concurrency import GuardedLock
+from ..service.metrics import ServiceMetrics
 from .merge import merge_hits
 
 #: RPC failures that mean "this replica, right now" — eligible for
@@ -122,6 +126,7 @@ class ClusterCoordinator:
         ] = None,
         rpc_timeout_s: float = 10.0,
         rpc_retries: int = 1,
+        tracer: Optional[Tracer] = None,
     ):
         """Args:
             shard_groups: ``shard_groups[s]`` lists shard ``s``'s replicas
@@ -136,6 +141,9 @@ class ClusterCoordinator:
             rpc_retries: per-RPC retry attempts inside the client; kept
                 low because the coordinator's own failover is the real
                 redundancy mechanism.
+            tracer: per-query trace sampler; a sampled query carries its
+                trace context to every shard RPC and stitches the
+                workers' span trees under the coordinator's scatter span.
         """
         if not shard_groups or any(not group for group in shard_groups):
             raise ClusterError("every shard group needs at least one replica")
@@ -156,12 +164,15 @@ class ClusterCoordinator:
                 max_retries=rpc_retries,
             )
         )
+        self.tracer = tracer or Tracer()
+        self.metrics = ServiceMetrics()
         self._clients_lock = GuardedLock("coordinator.clients")
         self._stats_lock = GuardedLock("coordinator.stats")
         self._clients: Dict[str, ServiceClient] = {}  # guarded by: self._clients_lock
         self.queries = 0  # guarded by: self._stats_lock
         self.degraded_queries = 0  # guarded by: self._stats_lock
         self.failovers = 0  # guarded by: self._stats_lock
+        self.missing_shard_events = 0  # guarded by: self._stats_lock
 
     # -- topology plumbing ---------------------------------------------------------
 
@@ -203,8 +214,13 @@ class ClusterCoordinator:
         highlight: bool = False,
         with_context: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ClusterSearchResponse:
         """Scatter to every shard group, gather, merge to the global top-m.
+
+        A sampled query (or a forwarded ``trace_ctx``) produces one
+        stitched trace: the coordinator's scatter/merge spans plus every
+        worker's own span tree, grafted under the per-shard RPC span.
 
         Raises:
             ShardUnavailableError: a shard group answered nowhere and
@@ -217,82 +233,150 @@ class ClusterCoordinator:
             deadline_ms = self.default_deadline_ms
         deadline = Deadline.after_ms(deadline_ms)
         started = time.perf_counter()
-        # Every shard must return its own top-(offset + m): the global
-        # window [offset, offset+m) can in the worst case come entirely
-        # from one shard.  The offset is applied only at the merge.
-        fetch = offset + m
-
-        outcomes: List[Optional[Dict[str, object]]] = [None] * len(
-            self.shard_groups
-        )
-        request_errors: List[ServiceHTTPError] = []
-
-        def run_shard(shard_id: int) -> None:
-            try:
-                outcomes[shard_id] = self._query_group(
-                    shard_id,
-                    query,
-                    fetch,
-                    kind,
-                    mode,
-                    highlight,
-                    with_context,
-                    deadline,
-                )
-            except ServiceHTTPError as exc:
-                request_errors.append(exc)
-
-        threads = [
-            threading.Thread(
-                target=run_shard, args=(shard_id,), daemon=True
-            )
-            for shard_id in range(len(self.shard_groups))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-
-        if request_errors:
-            raise request_errors[0]
-
-        missing = [s for s, payload in enumerate(outcomes) if payload is None]
-        if missing and not self.allow_partial:
-            raise ShardUnavailableError(
-                f"shard(s) {missing} unavailable and partial results are "
-                "disabled"
-            )
-
-        answered = [payload for payload in outcomes if payload is not None]
-        hits = merge_hits(
-            (payload["results"] for payload in answered), m, offset
-        )
-        degraded = bool(missing) or any(
-            payload.get("degraded") for payload in answered
-        )
-        with self._stats_lock:
-            self.queries += 1
-            if degraded:
-                self.degraded_queries += 1
-        return ClusterSearchResponse(
-            hits=hits,
+        span = self.tracer.begin(
+            "cluster.search",
+            ctx=trace_ctx,
             query=query,
-            m=m,
             kind=kind,
-            degraded=degraded,
-            latency_ms=(time.perf_counter() - started) * 1000.0,
-            generation=max(
-                (int(payload.get("generation", 0)) for payload in answered),
-                default=0,
-            ),
-            missing_shards=missing,
-            served_by={
-                s: int(payload["_replica_id"])
-                for s, payload in enumerate(outcomes)
-                if payload is not None
-            },
-            shards_total=len(self.shard_groups),
+            m=m,
+            mode=mode,
         )
+        try:
+            # Every shard must return its own top-(offset + m): the global
+            # window [offset, offset+m) can in the worst case come entirely
+            # from one shard.  The offset is applied only at the merge.
+            fetch = offset + m
+
+            outcomes: List[Optional[Dict[str, object]]] = [None] * len(
+                self.shard_groups
+            )
+            request_errors: List[ServiceHTTPError] = []
+            # The fan-out threads overlap in wall time, so the scatter
+            # span is held to the per-child duration bound only (see
+            # repro.obs.invariants).
+            scatter_span = span.child(
+                "scatter", parallel=True, shards=len(self.shard_groups)
+            )
+            # Per-shard spans are allocated before the threads start —
+            # each thread then only mutates its own subtree.
+            shard_spans = [
+                scatter_span.child("shard.rpc", shard=shard_id)
+                for shard_id in range(len(self.shard_groups))
+            ]
+
+            def run_shard(shard_id: int) -> None:
+                shard_span = shard_spans[shard_id]
+                try:
+                    with shard_span:
+                        outcomes[shard_id] = self._query_group(
+                            shard_id,
+                            query,
+                            fetch,
+                            kind,
+                            mode,
+                            highlight,
+                            with_context,
+                            deadline,
+                            span=shard_span,
+                        )
+                except ServiceHTTPError as exc:
+                    request_errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=run_shard, args=(shard_id,), daemon=True
+                )
+                for shard_id in range(len(self.shard_groups))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            scatter_span.finish()
+            self.metrics.observe_stage(
+                "scatter", (time.perf_counter() - started) * 1000.0
+            )
+
+            if request_errors:
+                span.event(
+                    "request_error", type=type(request_errors[0]).__name__
+                )
+                raise request_errors[0]
+
+            missing = [
+                s for s, payload in enumerate(outcomes) if payload is None
+            ]
+            for shard_id in missing:
+                span.event("missing_shard", shard=shard_id)
+            if missing:
+                with self._stats_lock:
+                    self.missing_shard_events += len(missing)
+            if missing and not self.allow_partial:
+                raise ShardUnavailableError(
+                    f"shard(s) {missing} unavailable and partial results are "
+                    "disabled"
+                )
+
+            answered = [
+                payload for payload in outcomes if payload is not None
+            ]
+            merge_started = time.perf_counter()
+            with span.child(
+                "merge", shards_answered=len(answered)
+            ) as merge_span:
+                hits = merge_hits(
+                    (payload["results"] for payload in answered), m, offset
+                )
+                merge_span.set("hits", len(hits))
+            self.metrics.observe_stage(
+                "merge", (time.perf_counter() - merge_started) * 1000.0
+            )
+            degraded = bool(missing) or any(
+                payload.get("degraded") for payload in answered
+            )
+            if degraded:
+                span.event(
+                    "degraded",
+                    reason="missing_shards" if missing else "shard_degraded",
+                )
+            with self._stats_lock:
+                self.queries += 1
+                if degraded:
+                    self.degraded_queries += 1
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self.metrics.record_search(
+                latency_ms, cached=False, degraded=degraded
+            )
+            self.metrics.observe_stage("total", latency_ms)
+            return ClusterSearchResponse(
+                hits=hits,
+                query=query,
+                m=m,
+                kind=kind,
+                degraded=degraded,
+                latency_ms=latency_ms,
+                generation=max(
+                    (
+                        int(payload.get("generation", 0))
+                        for payload in answered
+                    ),
+                    default=0,
+                ),
+                missing_shards=missing,
+                served_by={
+                    s: int(payload["_replica_id"])
+                    for s, payload in enumerate(outcomes)
+                    if payload is not None
+                },
+                shards_total=len(self.shard_groups),
+            )
+        except Exception as exc:
+            self.metrics.record_error()
+            span.event("error", type=type(exc).__name__)
+            raise
+        finally:
+            span.finish()
+            self.tracer.finish(span)
 
     def _query_group(
         self,
@@ -304,40 +388,59 @@ class ClusterCoordinator:
         highlight: bool,
         with_context: bool,
         deadline: Deadline,
+        span=NOOP_SPAN,
     ) -> Optional[Dict[str, object]]:
         """One shard's answer, failing over across its replicas.
 
         Returns None when no replica could answer (shard missing), and
-        re-raises request-level (4xx) errors untouched.
+        re-raises request-level (4xx) errors untouched.  A recording
+        ``span`` ships its trace context on every RPC and grafts the
+        worker's returned span tree under the per-replica rpc span.
         """
         attempted = False
         for endpoint in self.shard_groups[shard_id]:
             if deadline.poll():
-                break  # out of budget: stop asking anyone else to work
+                # Out of budget: stop asking anyone else to work.
+                span.event("deadline_exhausted")
+                break
             if not self.breaker.allow(endpoint.name):
+                span.event("breaker_skip", replica=endpoint.name)
                 continue
             if attempted:
+                span.event("failover", replica=endpoint.name)
                 with self._stats_lock:
                     self.failovers += 1
             attempted = True
-            try:
-                payload = self.client_for(endpoint).search(
-                    query,
-                    m=fetch,
-                    kind=kind,
-                    mode=mode,
-                    highlight=highlight,
-                    context=with_context,
-                    deadline_ms=deadline.remaining_ms(),
+            with span.child("rpc", replica=endpoint.name) as rpc_span:
+                ctx = (
+                    TraceContext(rpc_span.trace_id, rpc_span.span_id)
+                    if rpc_span.recording
+                    else None
                 )
-            except ServiceHTTPError as exc:
-                if exc.status in _FAILOVER_STATUSES:
+                try:
+                    payload = self.client_for(endpoint).search(
+                        query,
+                        m=fetch,
+                        kind=kind,
+                        mode=mode,
+                        highlight=highlight,
+                        context=with_context,
+                        deadline_ms=deadline.remaining_ms(),
+                        trace_ctx=ctx,
+                    )
+                except ServiceHTTPError as exc:
+                    if exc.status in _FAILOVER_STATUSES:
+                        rpc_span.event("rpc_error", status=exc.status)
+                        self.breaker.record_failure(endpoint.name)
+                        continue
+                    raise  # 4xx: the request itself is bad; failover is futile
+                except RetryBudgetExhaustedError:
+                    rpc_span.event("rpc_error", status="retry_exhausted")
                     self.breaker.record_failure(endpoint.name)
                     continue
-                raise  # 4xx: the request itself is bad; failover is futile
-            except RetryBudgetExhaustedError:
-                self.breaker.record_failure(endpoint.name)
-                continue
+                remote_trace = payload.pop("trace", None)
+                if remote_trace and rpc_span.recording:
+                    rpc_span.graft(remote_trace)
             self.breaker.record_success(endpoint.name)
             payload["_replica_id"] = endpoint.replica_id
             return payload
@@ -374,11 +477,19 @@ class ClusterCoordinator:
             counters = {
                 "queries": self.queries,
                 "degraded_queries": self.degraded_queries,
+                # Explicit *_total aliases so /metrics surfaces partial
+                # answers (xrank_cluster_degraded_total) and lost shard
+                # groups (xrank_cluster_missing_shards_total) without a
+                # scraper having to know coordinator-internal names.
+                "degraded_total": self.degraded_queries,
                 "failovers": self.failovers,
+                "missing_shards_total": self.missing_shard_events,
             }
         return {
             "role": "coordinator",
             "cluster": counters,
+            "service": self.metrics.snapshot(),
+            "tracer": self.tracer.stats(),
             "topology": [
                 [endpoint.name for endpoint in group]
                 for group in self.shard_groups

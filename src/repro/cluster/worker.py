@@ -146,6 +146,7 @@ class ShardWorker:
         default_deadline_ms: Optional[float] = None,
         result_cache_size: int = 256,
         list_cache_size: int = 256,
+        tracer=None,
     ):
         self.shard_id = shard_id
         self.replica_id = replica_id
@@ -156,6 +157,7 @@ class ShardWorker:
             result_cache_size=result_cache_size,
             list_cache_size=list_cache_size,
             default_deadline_ms=default_deadline_ms,
+            tracer=tracer,
         )
         self._host = host
         self._requested_port = port

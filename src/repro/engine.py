@@ -25,6 +25,7 @@ from .errors import (
     XRankError,
 )
 from .index.builder import IndexBuilder
+from .obs import NOOP_SPAN
 from .query.answer_nodes import AnswerNodeFilter, ancestor_context
 from .query.dil_eval import DILEvaluator
 from .query.disjunctive import DisjunctiveEvaluator
@@ -480,6 +481,7 @@ class XRankEngine:
         path: Optional[str] = None,
         offset: int = 0,
         deadline=None,
+        span=None,
     ) -> List[SearchHit]:
         """Ranked keyword search.
 
@@ -506,7 +508,11 @@ class XRankEngine:
                 loops poll it and, once expired, return the partial top-m
                 found so far instead of blocking; the caller can inspect
                 the deadline's ``expired`` flag to mark results degraded.
+            span: optional :class:`repro.obs.Span` the evaluation reports
+                into (evaluator choice, per-posting-list I/O, HDIL→DIL
+                switches); None means untraced.
         """
+        span = span or NOOP_SPAN
         if offset < 0:
             raise QueryError("offset cannot be negative")
         self._require_built(kind)
@@ -523,14 +529,32 @@ class XRankEngine:
             evaluator = self._disjunctive_evaluator(kind)
         else:
             raise QueryError(f"unknown search mode {mode!r}")
+        span.event(
+            "evaluator",
+            kind=kind,
+            mode=mode,
+            impl=type(evaluator).__name__,
+            keywords=len(keywords),
+        )
         fetch = m + offset
         if path is None:
             results = evaluator.evaluate(
-                keywords, m=fetch, weights=weight_list, deadline=deadline
+                keywords,
+                m=fetch,
+                weights=weight_list,
+                deadline=deadline,
+                span=span,
             )
         else:
             results = self._evaluate_with_path(
-                evaluator, keywords, fetch, weight_list, path, deadline
+                evaluator, keywords, fetch, weight_list, path, deadline,
+                span=span,
+            )
+        trace = getattr(evaluator, "last_trace", None)
+        if trace is not None and getattr(trace, "switched_to_dil", False):
+            span.event(
+                "hdil_fallback",
+                reason=str(getattr(trace, "switch_reason", "") or ""),
             )
         results = results[offset:]
         if self.answer_filter is not None:
@@ -551,6 +575,7 @@ class XRankEngine:
         weights: Optional[List[float]],
         path: str,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m under a path constraint by over-fetch-and-filter.
 
@@ -561,12 +586,14 @@ class XRankEngine:
         """
         from .query.structured import PathFilter
 
+        span = span or NOOP_SPAN
         path_filter = PathFilter(path)
         fetch = m
         previous_raw = -1
         while True:
             raw = evaluator.evaluate(
-                keywords, m=fetch, weights=weights, deadline=deadline
+                keywords, m=fetch, weights=weights, deadline=deadline,
+                span=span,
             )
             filtered = path_filter.apply(raw, self.graph)
             expired = deadline is not None and deadline.poll()

@@ -1,0 +1,36 @@
+"""repro.obs — end-to-end query tracing and profiling.
+
+Every layer of the serving stack (HTTP front end, cluster coordinator,
+shard workers, evaluators, simulated disk) reports into one per-query
+span tree, so "why was *this* query slow?" has a structural answer
+instead of an aggregate-counter shrug.  See :mod:`repro.obs.trace` for
+the span model, :mod:`repro.obs.render` for the tree/canonical-JSON
+views, and :mod:`repro.obs.invariants` for the validity battery the
+tests and ``repro trace --check`` run over captured traces.
+"""
+
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    TRACE_ID_HEADER,
+    PARENT_SPAN_HEADER,
+)
+from .render import render_trace, to_canonical_json, to_json
+from .invariants import validate_trace
+
+__all__ = [
+    "NOOP_SPAN",
+    "PARENT_SPAN_HEADER",
+    "Span",
+    "TraceBuffer",
+    "TraceContext",
+    "Tracer",
+    "TRACE_ID_HEADER",
+    "render_trace",
+    "to_canonical_json",
+    "to_json",
+    "validate_trace",
+]

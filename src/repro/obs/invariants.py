@@ -1,0 +1,93 @@
+"""Structural validity checks for captured traces.
+
+A trace that lies is worse than no trace, so the tests (and ``repro
+trace --check``) hold every captured tree to these invariants:
+
+* the root is parentless and every other span's ``parent`` link matches
+  the tree edge that reached it (no orphans, no cross-links);
+* span ids are unique within each process segment (a grafted remote
+  subtree has its own id space, so uniqueness is checked per segment);
+* every span finished (a dangling unfinished span means an
+  instrumentation path leaked past its ``with`` block);
+* a child's duration fits inside its parent's, and for sequential
+  parents the *sum* of child durations fits too — parents that fan out
+  concurrently declare ``parallel=True`` and are only held to the
+  per-child bound (their children overlap in wall time by design).
+
+Timing comparisons carry a small absolute + relative epsilon: clocks are
+monotonic but spans are closed in Python, a scheduler preemption between
+a child's finish and its parent's adds real skew, and remote segments
+were timed by another process entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Slack for duration containment checks (absolute ms + relative).
+_EPS_ABS_MS = 5.0
+_EPS_REL = 0.05
+
+
+def validate_trace(root) -> List[str]:
+    """Every invariant violation in one trace; empty means valid."""
+    problems: List[str] = []
+    if root.parent is not None:
+        problems.append(
+            f"root span {root.span_id} ({root.name}) has a parent — "
+            "buffered traces must be roots"
+        )
+    if not root.trace_id:
+        problems.append(f"root span {root.span_id} carries no trace id")
+    _walk(root, problems, seen_ids={root.span_id})
+    return problems
+
+
+def _walk(span, problems: List[str], seen_ids) -> None:
+    if span.duration_ms is None:
+        problems.append(f"span {span.span_id} ({span.name}) never finished")
+    for child in span.children:
+        if child.parent is not span:
+            problems.append(
+                f"span {child.span_id} ({child.name}) is a child of "
+                f"{span.span_id} but its parent link disagrees (orphan)"
+            )
+        if child.trace_id != span.trace_id:
+            problems.append(
+                f"span {child.span_id} ({child.name}) carries trace id "
+                f"{child.trace_id!r} inside trace {span.trace_id!r}"
+            )
+        if child.remote and not span.remote:
+            # A grafted subtree starts a fresh id namespace.
+            _walk(child, problems, seen_ids={child.span_id})
+        else:
+            if child.span_id in seen_ids:
+                problems.append(
+                    f"duplicate span id {child.span_id} under trace "
+                    f"{span.trace_id!r}"
+                )
+            seen_ids.add(child.span_id)
+            _walk(child, problems, seen_ids)
+    _check_durations(span, problems)
+
+
+def _check_durations(span, problems: List[str]) -> None:
+    if span.duration_ms is None or not span.children:
+        return
+    budget = span.duration_ms * (1 + _EPS_REL) + _EPS_ABS_MS
+    total = 0.0
+    for child in span.children:
+        if child.duration_ms is None:
+            continue
+        total += child.duration_ms
+        if child.duration_ms > budget:
+            problems.append(
+                f"span {child.span_id} ({child.name}) ran "
+                f"{child.duration_ms:.2f}ms inside parent {span.span_id} "
+                f"({span.name}) of only {span.duration_ms:.2f}ms"
+            )
+    if not span.attrs.get("parallel") and total > budget:
+        problems.append(
+            f"children of sequential span {span.span_id} ({span.name}) sum "
+            f"to {total:.2f}ms > parent {span.duration_ms:.2f}ms"
+        )

@@ -1,0 +1,153 @@
+"""Trace views: full JSON, canonical (diffable) JSON, and ASCII trees.
+
+Two JSON forms serve two masters:
+
+* :func:`to_dict` / :func:`to_json` keep everything — span ids,
+  durations, I/O deltas — for humans and dashboards;
+* :func:`to_canonical_dict` / :func:`to_canonical_json` keep only the
+  *deterministic structure*: span names, nesting, events, and attributes
+  that are a pure function of the seeded workload.  Timing, span ids
+  (allocation order races during fan-out), ports/hosts, and remaining-
+  budget figures are stripped; sibling order is normalized by sorting
+  children on their own canonical encoding.  The result is byte-stable
+  across runs, which is what the obs-smoke CI job and the span-structure
+  tests diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+#: Attribute keys whose values depend on wall clock, scheduling or the
+#: network — stripped from the canonical form.
+NONDETERMINISTIC_ATTRS = frozenset(
+    {
+        "latency_ms",
+        "duration_ms",
+        "elapsed_ms",
+        "remaining_ms",
+        "deadline_ms",
+        "budget_ms",
+        "host",
+        "port",
+        "parent_span",
+        "uptime_s",
+    }
+)
+
+
+def to_dict(span) -> Dict[str, object]:
+    """The full serialized span tree (ids, timings, io, everything).
+
+    This is the form workers embed in RPC responses for grafting and the
+    ``/traces`` endpoint serves.
+    """
+    payload: Dict[str, object] = {
+        "name": span.name,
+        "span_id": span.span_id,
+        "attrs": dict(span.attrs),
+        "events": [dict(event) for event in span.events],
+        "duration_ms": span.duration_ms,
+        "children": [to_dict(child) for child in span.children],
+    }
+    if span.parent is None:
+        payload["trace_id"] = span.trace_id
+    if span.io:
+        payload["io"] = dict(span.io)
+    if span.remote:
+        payload["remote"] = True
+    return payload
+
+
+def to_json(span, indent: int = 2) -> str:
+    """Human-oriented JSON of the full tree."""
+    return json.dumps(to_dict(span), indent=indent, sort_keys=True)
+
+
+def to_canonical_dict(span) -> Dict[str, object]:
+    """Structure only: what must be identical across runs of one seed."""
+    attrs = {
+        key: value
+        for key, value in span.attrs.items()
+        if key not in NONDETERMINISTIC_ATTRS
+    }
+    events = []
+    for event in span.events:
+        entry: Dict[str, object] = {"name": event["name"]}
+        event_attrs = {
+            key: value
+            for key, value in (event.get("attrs") or {}).items()
+            if key not in NONDETERMINISTIC_ATTRS
+        }
+        if event_attrs:
+            entry["attrs"] = event_attrs
+        events.append(entry)
+    children = sorted(
+        (to_canonical_dict(child) for child in span.children),
+        key=lambda child: json.dumps(
+            child, sort_keys=True, separators=(",", ":")
+        ),
+    )
+    payload: Dict[str, object] = {"name": span.name}
+    if attrs:
+        payload["attrs"] = attrs
+    if events:
+        payload["events"] = events
+    if children:
+        payload["children"] = children
+    return payload
+
+
+def to_canonical_json(span) -> str:
+    """Byte-stable canonical encoding (sorted keys, no whitespace)."""
+    return json.dumps(
+        to_canonical_dict(span), sort_keys=True, separators=(",", ":")
+    )
+
+
+def traces_canonical_json(spans) -> str:
+    """One canonical document for a *sequence* of traces (CI diffing)."""
+    return json.dumps(
+        [to_canonical_dict(span) for span in spans],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def render_trace(span) -> str:
+    """An ASCII tree of one trace, durations and events inline."""
+    lines: List[str] = [f"trace {span.trace_id}"]
+    _render_span(span, lines, prefix="", last=True)
+    return "\n".join(lines)
+
+
+def _render_span(span, lines: List[str], prefix: str, last: bool) -> None:
+    connector = "`-" if last else "|-"
+    duration = (
+        f" {span.duration_ms:.2f}ms" if span.duration_ms is not None else ""
+    )
+    attrs = _format_attrs(span.attrs)
+    remote = " [remote]" if span.remote else ""
+    lines.append(f"{prefix}{connector} {span.name}{duration}{attrs}{remote}")
+    child_prefix = prefix + ("   " if last else "|  ")
+    for event in span.events:
+        event_attrs = _format_attrs(event.get("attrs") or {})
+        lines.append(f"{child_prefix}  * {event['name']}{event_attrs}")
+    if span.io:
+        io = ", ".join(f"{k}={v}" for k, v in sorted(span.io.items()))
+        lines.append(f"{child_prefix}  ~ io: {io}")
+    for position, child in enumerate(span.children):
+        _render_span(
+            child,
+            lines,
+            prefix=child_prefix,
+            last=position == len(span.children) - 1,
+        )
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+    return f" ({inner})"

@@ -1,0 +1,435 @@
+"""The span model: per-query trace trees with deterministic structure.
+
+One query becomes one :class:`Span` tree.  The service opens a root span
+per request, each stage (admission, cache lookup, evaluator, per-list
+I/O, scatter-gather RPC, merge) opens a child, and notable moments —
+cache hits and misses, breaker trips, HDIL→DIL fallbacks, retries,
+degraded answers — land as *events* on the span that observed them.
+Spans carry monotonic-clock durations plus :class:`~repro.storage
+.iostats.IOStats` deltas, so a slow query decomposes into "which stage,
+which shard, which list, how many random reads".
+
+Determinism is the design constraint everything else bends around: the
+*structure* of a trace (span names, nesting, events, deterministic
+attributes) is a pure function of the seeded workload, while timing
+lives in fields the canonical JSON export strips (see
+:mod:`repro.obs.render`).  That is what lets tests and CI diff traces
+byte-for-byte across runs.
+
+Cross-process stitching: the coordinator serializes a
+:class:`TraceContext` into two HTTP headers; a worker that sees them
+force-samples the request (the parent already decided this query is
+interesting) and returns its own span tree inside the JSON response,
+which the coordinator grafts under the per-shard RPC span — one query,
+one stitched tree, no collection backend.
+
+Overhead discipline: an unsampled query costs exactly one sampler
+decision and then rides the :data:`NOOP_SPAN` singleton, whose methods
+are all no-ops — the instrumentation points stay unconditional, the
+cost does not.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..errors import XRankError
+
+#: HTTP headers carrying the trace context over the cluster RPC path.
+TRACE_ID_HEADER = "X-Xrank-Trace-Id"
+PARENT_SPAN_HEADER = "X-Xrank-Parent-Span"
+
+#: Sampling modes accepted by :class:`Tracer`.
+SAMPLE_MODES = ("never", "always", "ratio", "slow")
+
+
+class TraceContext:
+    """The portable identity of an in-flight trace (for RPC headers)."""
+
+    __slots__ = ("trace_id", "parent_span_id")
+
+    def __init__(self, trace_id: str, parent_span_id: str = ""):
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+
+    def to_headers(self) -> Dict[str, str]:
+        """The two RPC headers that propagate this context."""
+        headers = {TRACE_ID_HEADER: self.trace_id}
+        if self.parent_span_id:
+            headers[PARENT_SPAN_HEADER] = self.parent_span_id
+        return headers
+
+    @classmethod
+    def from_headers(cls, headers) -> Optional["TraceContext"]:
+        """Parse a context out of a header mapping; None when absent."""
+        trace_id = headers.get(TRACE_ID_HEADER)
+        if not trace_id:
+            return None
+        return cls(str(trace_id), str(headers.get(PARENT_SPAN_HEADER, "")))
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    Mutation happens from the single thread executing the stage the span
+    measures; the only cross-thread touch point is appending children
+    during a scatter fan-out, which is safe because ``list.append`` is
+    atomic under the GIL and each fan-out thread only ever appends its
+    *own* child.  Span ids come from the root's shared ``itertools.count``
+    (``next()`` is likewise atomic), so concurrent children never collide.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "parent",
+        "attrs",
+        "events",
+        "children",
+        "io",
+        "start_s",
+        "duration_ms",
+        "remote",
+        "_ids",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str = "",
+        parent: Optional["Span"] = None,
+        clock=time.perf_counter,
+        **attrs,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.parent = parent
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.events: List[Dict[str, object]] = []
+        self.children: List["Span"] = []
+        self.io: Optional[Dict[str, int]] = None
+        self.remote = False
+        self._clock = clock
+        if parent is None:
+            self._ids = itertools.count(1)
+            self.span_id = f"s{next(self._ids)}"
+        else:
+            self._ids = parent._ids
+            self.span_id = f"s{next(self._ids)}"
+        self.start_s = clock()
+        self.duration_ms: Optional[float] = None
+
+    # -- the recording surface ---------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """True for a live span; the noop singleton returns False so
+        callers can skip work that only feeds the trace."""
+        return True
+
+    def child(self, name: str, **attrs) -> "Span":
+        """Open (and start timing) a child span."""
+        span = Span(
+            name,
+            trace_id=self.trace_id,
+            parent=self,
+            clock=self._clock,
+            **attrs,
+        )
+        self.children.append(span)
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time fact on this span (cache miss, breaker
+        trip, fallback, retry, degraded answer...)."""
+        entry: Dict[str, object] = {"name": name}
+        if attrs:
+            entry["attrs"] = attrs
+        self.events.append(entry)
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def attach_io(self, delta) -> None:
+        """Attach an :class:`IOStats` delta (only its nonzero counters)."""
+        counters = delta.as_dict() if hasattr(delta, "as_dict") else dict(delta)
+        self.io = {k: v for k, v in counters.items() if v}
+
+    def finish(self) -> None:
+        """Stop the clock (idempotent; context-manager exit calls this)."""
+        if self.duration_ms is None:
+            self.duration_ms = (self._clock() - self.start_s) * 1000.0
+
+    def graft(self, tree: Dict[str, object]) -> "Span":
+        """Adopt a serialized remote span tree (a worker's response
+        payload) as a child — the cross-process stitch point."""
+        return _from_dict(tree, parent=self, clock=self._clock)
+
+    # -- context manager -----------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc is not None:
+            self.event("error", type=type(exc).__name__)
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, trace={self.trace_id})"
+
+
+class _NoopSpan:
+    """The do-nothing span unsampled queries ride (a shared singleton)."""
+
+    __slots__ = ()
+
+    recording = False
+    name = "noop"
+    span_id = ""
+    trace_id = ""
+    parent = None
+    attrs: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+    children: List[Span] = []
+    io = None
+    remote = False
+    duration_ms = None
+
+    def child(self, name: str, **attrs) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def attach_io(self, delta) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def graft(self, tree) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        # Truthiness mirrors ``recording`` so ``span or NOOP_SPAN``
+        # normalizes both None and an already-noop span.
+        return False
+
+
+#: The shared no-op span; ``span = span or NOOP_SPAN`` at every
+#: instrumentation point makes "tracing off" a non-branch.
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceBuffer:
+    """Bounded in-memory ring of finished traces (roots only)."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise XRankError("trace buffer capacity must be >= 1")
+        self.capacity = capacity
+        # Plain primitive, not service.concurrency.GuardedLock: obs sits
+        # *below* the service layer in the import graph (the engine and
+        # evaluators report into spans), so it must not pull the service
+        # package in.
+        self._lock = threading.Lock()
+        self._traces: List[Span] = []  # guarded by: self._lock
+        self.retained = 0  # guarded by: self._lock
+        self.dropped = 0  # guarded by: self._lock
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._traces.append(span)
+            self.retained += 1
+            while len(self._traces) > self.capacity:
+                self._traces.pop(0)
+                self.dropped += 1
+
+    def traces(self) -> List[Span]:
+        """Retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class Tracer:
+    """Per-service trace factory: sampling decision + bounded retention.
+
+    Args:
+        sample: ``"never"`` (default — zero per-query overhead beyond one
+            branch), ``"always"``, ``"ratio"`` (deterministic counter-
+            based: query ``n`` is sampled when ``floor(n * ratio)``
+            advances, so a seeded workload samples the same queries every
+            run), or ``"slow"`` (trace everything, retain only traces
+            whose root duration reaches ``slow_ms``).
+        ratio: fraction sampled under ``"ratio"`` (0.0..1.0).
+        slow_ms: retention threshold under ``"slow"``.
+        buffer_size: finished traces kept for ``/traces`` / ``repro trace``.
+    """
+
+    def __init__(
+        self,
+        sample: str = "never",
+        ratio: float = 0.1,
+        slow_ms: float = 100.0,
+        buffer_size: int = 64,
+        clock=time.perf_counter,
+    ):
+        if sample not in SAMPLE_MODES:
+            raise XRankError(
+                f"unknown sample mode {sample!r}; expected one of "
+                f"{SAMPLE_MODES}"
+            )
+        if not 0.0 <= ratio <= 1.0:
+            raise XRankError(f"sample ratio must be in [0, 1], got {ratio}")
+        self.sample = sample
+        self.ratio = ratio
+        self.slow_ms = slow_ms
+        self.buffer = TraceBuffer(buffer_size)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queries = 0  # guarded by: self._lock
+        self._sampled = 0  # guarded by: self._lock
+        self._next_trace = 0  # guarded by: self._lock
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any locally-initiated query can ever be sampled."""
+        return self.sample != "never"
+
+    # -- the per-query decision ----------------------------------------------------
+
+    def begin(self, name: str, ctx: Optional[TraceContext] = None, **attrs):
+        """Root span for one query, or :data:`NOOP_SPAN` when unsampled.
+
+        A non-None ``ctx`` forces sampling: the caller (a coordinator
+        upstream) already decided this query is being traced, and a
+        stitched trace with a missing middle is worthless.
+        """
+        if ctx is not None:
+            span = Span(name, trace_id=ctx.trace_id, clock=self._clock, **attrs)
+            if ctx.parent_span_id:
+                span.attrs["parent_span"] = ctx.parent_span_id
+            span.remote = False
+            return span
+        if not self._sample_this_query():
+            return NOOP_SPAN
+        with self._lock:
+            self._next_trace += 1
+            trace_id = f"t{self._next_trace:06d}"
+        return Span(name, trace_id=trace_id, clock=self._clock, **attrs)
+
+    def _sample_this_query(self) -> bool:
+        if self.sample == "never":
+            return False
+        with self._lock:
+            self._queries += 1
+            if self.sample in ("always", "slow"):
+                self._sampled += 1
+                return True
+            # ratio: sample query n when floor(n * ratio) advances — a
+            # deterministic stride, not a coin flip, so seeded workloads
+            # trace the same queries on every run.
+            n = self._queries
+            if int(n * self.ratio) > int((n - 1) * self.ratio):
+                self._sampled += 1
+                return True
+            return False
+
+    def finish(self, span) -> None:
+        """Close a root span and retain it if the policy says so."""
+        if not span.recording:
+            return
+        span.finish()
+        if self.sample == "slow" and (span.duration_ms or 0.0) < self.slow_ms:
+            return
+        self.buffer.add(span)
+
+    def context_for(self, span) -> Optional[TraceContext]:
+        """The :class:`TraceContext` an RPC under ``span`` should carry."""
+        if not span.recording:
+            return None
+        return TraceContext(span.trace_id, span.span_id)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready tracer counters for /stats."""
+        with self._lock:
+            queries, sampled = self._queries, self._sampled
+        return {
+            "sample": self.sample,
+            "queries_seen": queries,
+            "sampled": sampled,
+            "buffered": len(self.buffer),
+            "dropped": self.buffer.dropped,
+        }
+
+
+def span_from_dict(
+    tree: Dict[str, object], clock=time.perf_counter
+) -> Span:
+    """Rebuild a full trace from its serialized root (``/traces`` JSON).
+
+    The whole tree is marked remote — it was timed by another process —
+    so the invariant checker applies its cross-process tolerances.
+    """
+    root = Span(
+        str(tree.get("name", "remote")),
+        trace_id=str(tree.get("trace_id", "")),
+        clock=clock,
+    )
+    root.remote = True
+    root.attrs.update(tree.get("attrs") or {})
+    root.events = [dict(event) for event in tree.get("events") or []]
+    io = tree.get("io")
+    if io:
+        root.io = {str(k): v for k, v in io.items()}
+    duration = tree.get("duration_ms")
+    root.duration_ms = float(duration) if duration is not None else 0.0
+    for child in tree.get("children") or []:
+        _from_dict(child, parent=root, clock=clock)
+    return root
+
+
+def _from_dict(tree: Dict[str, object], parent: Span, clock) -> Span:
+    """Rebuild a Span subtree from its serialized form (RPC grafting)."""
+    span = Span(
+        str(tree.get("name", "remote")),
+        trace_id=parent.trace_id,
+        parent=parent,
+        clock=clock,
+    )
+    span.remote = True
+    span.attrs.update(tree.get("attrs") or {})
+    span.events = [dict(event) for event in tree.get("events") or []]
+    io = tree.get("io")
+    if io:
+        span.io = {str(k): v for k, v in io.items()}
+    duration = tree.get("duration_ms")
+    span.duration_ms = float(duration) if duration is not None else 0.0
+    parent.children.append(span)
+    for child in tree.get("children") or []:
+        _from_dict(child, parent=span, clock=clock)
+    return span

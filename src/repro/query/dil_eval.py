@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from ..config import RankingParams
 from ..index.dil import DILIndex
+from ..obs import NOOP_SPAN
 from .merge import conjunctive_merge
 from .results import QueryResult, ResultHeap, validate_query
 from .streams import PostingStream
@@ -48,12 +49,35 @@ class DILEvaluator:
             self.index.cursor(keyword), self.index.deleted_docs
         )
 
+    def _traced_stream(self, keyword: str, span) -> PostingStream:
+        """One keyword's stream, reporting its load I/O into ``span``.
+
+        With a list cache attached, ``get_or_load`` decodes the whole
+        list eagerly, so the I/O delta captured here is the real cost of
+        a cache miss (and an empty delta *is* the cache hit); without a
+        cache, cursors read lazily during the merge and the per-list
+        span records structure only.
+        """
+        with span.child("postings", keyword=keyword) as list_span:
+            before = (
+                self.index.disk.stats.snapshot()
+                if list_span.recording
+                else None
+            )
+            stream = self._stream(keyword)
+            if before is not None:
+                list_span.attach_io(
+                    self.index.disk.stats.delta_since(before)
+                )
+        return stream
+
     def evaluate(
         self,
         keywords: Sequence[str],
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m results for the conjunctive query ``keywords``.
 
@@ -61,15 +85,21 @@ class DILEvaluator:
         overall rank (one positive weight per keyword).  ``deadline`` is an
         optional ``poll() -> bool`` object; on expiry the partial top-m
         found so far is returned (the serving layer flags it degraded).
+        ``span`` (optional) receives per-posting-list child spans.
         """
         validate_query(keywords, m, weights)
         self.index._require_built()
+        span = span or NOOP_SPAN
 
         if len(keywords) == 1:
             scale = weights[0] if weights else 1.0
-            return self._evaluate_single(keywords[0], m, scale, deadline)
+            return self._evaluate_single(
+                keywords[0], m, scale, deadline, span=span
+            )
 
-        streams = [self._stream(keyword) for keyword in keywords]
+        streams = [
+            self._traced_stream(keyword, span) for keyword in keywords
+        ]
         heap = ResultHeap(m)
         for result in conjunctive_merge(
             streams,
@@ -81,9 +111,10 @@ class DILEvaluator:
         return heap.results()
 
     def _evaluate_single(
-        self, keyword: str, m: int, scale: float = 1.0, deadline=None
+        self, keyword: str, m: int, scale: float = 1.0, deadline=None,
+        span=NOOP_SPAN,
     ) -> List[QueryResult]:
-        stream = self._stream(keyword)
+        stream = self._traced_stream(keyword, span)
         heap = ResultHeap(m)
         while not stream.eof:
             if deadline is not None and deadline.poll():

@@ -87,6 +87,7 @@ class DisjunctiveEvaluator:
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m disjunctive results for the keywords."""
         if not keywords:

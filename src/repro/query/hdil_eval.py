@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 from ..config import HDILParams, RankingParams
 from ..index.hdil import HDILIndex
 from ..index.postings import Posting
+from ..obs import NOOP_SPAN
 from ..xmlmodel.dewey import DeweyId
 from .dil_eval import _drain_cursor
 from .merge import conjunctive_merge
@@ -100,11 +101,13 @@ class HDILEvaluator:
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m conjunctive results via adaptive RDIL-then-DIL."""
         validate_query(keywords, m, weights)
         self.index._require_built()
         self.last_trace = HDILTrace()
+        span = span or NOOP_SPAN
 
         if any(not self.index.has_keyword(k) for k in keywords):
             return []
@@ -115,10 +118,41 @@ class HDILEvaluator:
         dil_expected = self._expected_dil_cost_ms(keywords)
         self.last_trace.dil_expected_ms = dil_expected
 
+        with span.child("rdil_probe", keywords=len(keywords)) as rdil_span:
+            results = self._evaluate_rdil_mode(
+                keywords, m, weights, deadline, rdil_span
+            )
+        if results is not None:
+            return results
+        with span.child("dil_scan", keywords=len(keywords)) as dil_span:
+            before = (
+                self.index.disk.stats.snapshot()
+                if dil_span.recording
+                else None
+            )
+            results = self._evaluate_dil_mode(keywords, m, weights, deadline)
+            if before is not None:
+                dil_span.attach_io(
+                    self.index.disk.stats.delta_since(before)
+                )
+        return results
+
+    def _evaluate_rdil_mode(
+        self,
+        keywords: Sequence[str],
+        m: int,
+        weights: Optional[Sequence[float]],
+        deadline,
+        span=NOOP_SPAN,
+    ) -> Optional[List[QueryResult]]:
+        """The RDIL probe phase; None means "switch to a full DIL scan"."""
+        dil_expected = self.last_trace.dil_expected_ms
+
         streams = [self._ranked_stream(keyword) for keyword in keywords]
         btrees = [self.index.btree(keyword) for keyword in keywords]
         if any(tree is None for tree in btrees):
-            return self._evaluate_dil_mode(keywords, m, weights, deadline)
+            span.event("no_btree")
+            return None
 
         loop = RankedProbeLoop(
             streams,
@@ -209,18 +243,21 @@ class HDILEvaluator:
         delta = self.index.disk.stats.delta_since(start_stats)
         self.last_trace.rdil_cost_ms = delta.cost_ms(self.index.disk.params)
         self.last_trace.rdil_entries_read = loop.state.entries_read
+        span.set("entries_read", loop.state.entries_read)
+        span.attach_io(delta)
         if completed:
             return results
         if not self.last_trace.switch_reason:
             self.last_trace.switch_reason = "ranked heads exhausted"
         self.last_trace.switched_to_dil = True
+        span.event("switch_to_dil", reason=self.last_trace.switch_reason)
         logger.debug(
             "HDIL switching to DIL for %s after %d entries: %s",
             list(keywords),
             self.last_trace.rdil_entries_read,
             self.last_trace.switch_reason,
         )
-        return self._evaluate_dil_mode(keywords, m, weights, deadline)
+        return None
 
     # -- DIL fallback -----------------------------------------------------------------
 

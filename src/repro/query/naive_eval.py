@@ -98,6 +98,7 @@ class NaiveIdEvaluator:
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m naive results by id-ordered merge-join."""
         validate_query(keywords, m, weights)
@@ -147,6 +148,7 @@ class NaiveRankEvaluator:
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
         """Top-m naive results via the Threshold Algorithm."""
         validate_query(keywords, m, weights)

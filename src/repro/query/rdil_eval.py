@@ -224,8 +224,13 @@ class RDILEvaluator:
         m: int = 10,
         weights: Optional[Sequence[float]] = None,
         deadline=None,
+        span=None,
     ) -> List[QueryResult]:
-        """Top-m conjunctive results via TA over ranked lists."""
+        """Top-m conjunctive results via TA over ranked lists.
+
+        ``span`` is accepted for interface parity with the other
+        evaluators; RDIL's I/O shows up on the caller's evaluate span.
+        """
         validate_query(keywords, m, weights)
         self.index._require_built()
 

@@ -108,8 +108,14 @@ class ServiceClient:
         highlight: bool = False,
         context: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_ctx=None,
     ) -> Dict[str, object]:
-        """Ranked search; returns the decoded /search JSON payload."""
+        """Ranked search; returns the decoded /search JSON payload.
+
+        ``trace_ctx`` (an :class:`repro.obs.TraceContext`) propagates the
+        caller's trace over the wire as request headers, so the server's
+        span tree can be stitched under the caller's RPC span.
+        """
         params: Dict[str, object] = {"q": query, "m": m, "mode": mode}
         if kind is not None:
             params["kind"] = kind
@@ -121,7 +127,10 @@ class ServiceClient:
             params["context"] = "true"
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
-        return self._request("GET", f"/search?{urlencode(params)}")
+        headers = trace_ctx.to_headers() if trace_ctx is not None else None
+        return self._request(
+            "GET", f"/search?{urlencode(params)}", headers=headers
+        )
 
     def add_xml(self, xml: str, uri: str = "") -> Dict[str, object]:
         """Add a document; returns the /add JSON payload (doc_id, ...)."""
@@ -135,15 +144,23 @@ class ServiceClient:
         """The /healthz payload."""
         return self._request("GET", "/healthz")
 
+    def traces(self) -> Dict[str, object]:
+        """The /traces payload (tracer counters + retained span trees)."""
+        return self._request("GET", "/traces")
+
     # -- plumbing ------------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         attempt = 0
         while True:
             try:
-                payload = self._request_once(method, path, body)
+                payload = self._request_once(method, path, body, headers)
             except ServiceHTTPError as exc:
                 if attempt >= self.max_retries or not _retryable(exc):
                     raise
@@ -167,12 +184,16 @@ class ServiceClient:
             attempt += 1
 
     def _request_once(
-        self, method: str, path: str, body: Optional[Dict[str, object]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         connection, reused = self._checkout()
         try:
             status, payload, reusable = self._perform(
-                connection, method, path, body
+                connection, method, path, body, headers
             )
         except (HTTPException, OSError):
             connection.close()
@@ -187,7 +208,7 @@ class ServiceClient:
             connection = self._fresh_connection()
             try:
                 status, payload, reusable = self._perform(
-                    connection, method, path, body
+                    connection, method, path, body, headers
                 )
             except (HTTPException, OSError):
                 connection.close()
@@ -206,6 +227,7 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, object]],
+        extra_headers: Optional[Dict[str, str]] = None,
     ):
         """One request/response on an open connection.
 
@@ -213,7 +235,7 @@ class ServiceClient:
         drained first, so a non-2xx response still leaves the connection
         reusable and the error payload inspectable.
         """
-        headers = {}
+        headers = dict(extra_headers) if extra_headers else {}
         encoded = None
         if body is not None:
             encoded = json.dumps(body).encode("utf-8")

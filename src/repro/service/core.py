@@ -30,6 +30,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..engine import SearchHit, XRankEngine
 from ..errors import FaultError
+from ..obs import NOOP_SPAN, Tracer
+from ..obs.render import to_dict as trace_to_dict
+from ..obs.trace import TraceContext
 from ..storage.iostats import IOStats
 from .admission import AdmissionController, Deadline
 from .breaker import FALLBACK_KIND, CircuitBreaker
@@ -84,6 +87,7 @@ class XRankService:
         default_deadline_ms: Optional[float] = None,
         breaker_threshold: int = 3,
         breaker_cooldown: int = 32,
+        tracer: Optional[Tracer] = None,
     ):
         """Args:
             engine: the engine to serve; built here if it has documents
@@ -99,10 +103,15 @@ class XRankService:
             breaker_threshold / breaker_cooldown: consecutive storage
                 faults that open a kind's circuit, and the number of
                 queries it stays open (query-counted for determinism).
+            tracer: per-query trace sampler/buffer; defaults to a
+                ``sample="never"`` tracer, so instrumentation costs one
+                branch per stage unless sampling is turned on (or a
+                remote caller forwards a trace context).
         """
         self.engine = engine
         self.lock = ReadWriteLock()
         self.metrics = ServiceMetrics()
+        self.tracer = tracer or Tracer()
         self.breaker = CircuitBreaker(
             threshold=breaker_threshold, cooldown=breaker_cooldown
         )
@@ -157,6 +166,7 @@ class XRankService:
         highlight: bool = False,
         with_context: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> SearchResponse:
         """Admission-controlled, cached, deadline-bounded ranked search.
 
@@ -164,6 +174,11 @@ class XRankService:
         retry on the requested kind, then the circuit breaker's fallback
         kind (flagged ``degraded`` with ``served_kind``/``fault`` extras).
         Fault-degraded answers are never cached.
+
+        A non-None ``trace_ctx`` means an upstream coordinator is tracing
+        this query: the request is traced regardless of the local
+        sampler, and the finished span tree rides back in
+        ``extras["trace"]`` for cross-process grafting.
 
         Raises:
             ServiceOverloadedError: the admission queue is full.
@@ -174,60 +189,122 @@ class XRankService:
         """
         kind = kind or self.default_kind
         started = time.perf_counter()
+        span = self.tracer.begin(
+            "service.search",
+            ctx=trace_ctx,
+            query=query,
+            kind=kind,
+            m=m,
+            mode=mode,
+        )
         try:
-            self.admission.acquire()
-        except Exception:
-            self.metrics.record_rejection()
-            raise
-        extras: Dict[str, object] = {}
-        try:
-            with self.lock.read():
-                generation = self.engine.generation
-                serve_kind, fault_note = self._route_kind(kind)
-                key = (
-                    serve_kind, mode, query, m, offset, highlight, with_context
-                )
-                value = self.result_cache.get(key)
-                if value is not MISS:
-                    hits, degraded, cached = value, False, True
-                else:
-                    cached = False
-                    budget = (
-                        deadline_ms
-                        if deadline_ms is not None
-                        else self.default_deadline_ms
+            with span.child("admission") as admit_span:
+                try:
+                    self.admission.acquire()
+                except Exception:
+                    admit_span.event("rejected")
+                    self.metrics.record_rejection()
+                    raise
+            self.metrics.observe_stage(
+                "admission", (time.perf_counter() - started) * 1000.0
+            )
+            extras: Dict[str, object] = {}
+            deadline_expired = False
+            try:
+                with self.lock.read():
+                    generation = self.engine.generation
+                    serve_kind, fault_note = self._route_kind(kind, span)
+                    key = (
+                        serve_kind, mode, query, m, offset, highlight,
+                        with_context,
                     )
-                    deadline = Deadline.after_ms(budget)
-                    hits, serve_kind, fault_note = self._search_hardened(
-                        query,
-                        serve_kind,
-                        fault_note,
-                        deadline,
-                        m=m,
-                        mode=mode,
-                        offset=offset,
-                        highlight=highlight,
-                        with_context=with_context,
-                    )
-                    degraded = deadline.expired or serve_kind != kind
-                    if not degraded:
-                        # Partial answers must not be replayed to clients
-                        # that did not ask for a tight deadline, and
-                        # fault-degraded answers must not be replayed at
-                        # all.
-                        self.result_cache.put(key, hits)
-                if serve_kind != kind:
-                    extras["served_kind"] = serve_kind
-                    degraded = True
-                if fault_note is not None:
-                    extras["fault"] = fault_note
-        except Exception:
-            self.metrics.record_error()
-            raise
+                    with span.child("cache.lookup") as cache_span:
+                        value = self.result_cache.get(key)
+                        cache_span.event(
+                            "hit" if value is not MISS else "miss"
+                        )
+                    if value is not MISS:
+                        hits, degraded, cached = value, False, True
+                    else:
+                        cached = False
+                        budget = (
+                            deadline_ms
+                            if deadline_ms is not None
+                            else self.default_deadline_ms
+                        )
+                        deadline = Deadline.after_ms(budget)
+                        evaluate_started = time.perf_counter()
+                        with span.child(
+                            "evaluate", kind=serve_kind, mode=mode
+                        ) as eval_span:
+                            io_before = (
+                                self._io_totals_locked().snapshot()
+                                if eval_span.recording
+                                else None
+                            )
+                            hits, serve_kind, fault_note = (
+                                self._search_hardened(
+                                    query,
+                                    serve_kind,
+                                    fault_note,
+                                    deadline,
+                                    span=eval_span,
+                                    m=m,
+                                    mode=mode,
+                                    offset=offset,
+                                    highlight=highlight,
+                                    with_context=with_context,
+                                )
+                            )
+                            if io_before is not None:
+                                eval_span.attach_io(
+                                    self._io_totals_locked().delta_since(
+                                        io_before
+                                    )
+                                )
+                            eval_span.set("hits", len(hits))
+                        self.metrics.observe_stage(
+                            "evaluate",
+                            (time.perf_counter() - evaluate_started) * 1000.0,
+                        )
+                        deadline_expired = deadline.expired
+                        degraded = deadline_expired or serve_kind != kind
+                        if not degraded:
+                            # Partial answers must not be replayed to clients
+                            # that did not ask for a tight deadline, and
+                            # fault-degraded answers must not be replayed at
+                            # all.
+                            self.result_cache.put(key, hits)
+                    if serve_kind != kind:
+                        extras["served_kind"] = serve_kind
+                        degraded = True
+                    if fault_note is not None:
+                        extras["fault"] = fault_note
+                    if degraded:
+                        span.event(
+                            "degraded",
+                            reason=(
+                                "deadline" if deadline_expired else "fallback"
+                            ),
+                        )
+            except Exception as exc:
+                self.metrics.record_error()
+                span.event("error", type=type(exc).__name__)
+                raise
+            finally:
+                self.admission.release()
         finally:
-            self.admission.release()
+            span.finish()
+            self.tracer.finish(span)
         latency_ms = (time.perf_counter() - started) * 1000.0
         self.metrics.record_search(latency_ms, cached=cached, degraded=degraded)
+        self.metrics.observe_stage("total", latency_ms)
+        if span.recording:
+            span.set("cached", cached)
+            if trace_ctx is not None:
+                # The upstream coordinator stitches this segment into its
+                # own trace; ship the finished tree in the payload.
+                extras["trace"] = trace_to_dict(span)
         return SearchResponse(
             hits=hits,
             degraded=degraded,
@@ -240,7 +317,7 @@ class XRankService:
             extras=extras,
         )
 
-    def _route_kind(self, kind: str):
+    def _route_kind(self, kind: str, span=NOOP_SPAN):
         """Pick the serving kind: the breaker may redirect to a fallback.
 
         Caller holds the read lock.  Returns ``(serve_kind, fault_note)``
@@ -252,12 +329,20 @@ class XRankService:
         if fallback is None or fallback not in self.engine._indexes:  # repro: ignore[lock-discipline]
             # Nowhere to go: let the query try the quarantined kind and
             # surface its typed error if the fault persists.
+            span.event("breaker_probe", kind=kind)
             return kind, None
         self.metrics.record_fault_fallback()
+        span.event("breaker_open", kind=kind, fallback=fallback)
         return fallback, f"circuit open for {kind!r}"
 
     def _search_hardened(
-        self, query: str, serve_kind: str, fault_note, deadline, **options
+        self,
+        query: str,
+        serve_kind: str,
+        fault_note,
+        deadline,
+        span=NOOP_SPAN,
+        **options,
     ):
         """One engine search with fault retry + breaker-mediated fallback.
 
@@ -267,17 +352,22 @@ class XRankService:
         """
         try:
             hits = self.engine.search(  # repro: ignore[lock-discipline]
-                query, kind=serve_kind, deadline=deadline, **options
+                query, kind=serve_kind, deadline=deadline, span=span, **options
             )
         except FaultError as exc:
             self.metrics.record_storage_fault()
             self.breaker.record_failure(serve_kind)
+            span.event(
+                "storage_fault", kind=serve_kind, error=type(exc).__name__
+            )
             fallback = FALLBACK_KIND.get(serve_kind)
             try:
                 # Transient faults (injected read errors) often clear on a
                 # retry; persistent corruption will fail again immediately.
+                span.event("retry", kind=serve_kind)
                 hits = self.engine.search(  # repro: ignore[lock-discipline]
-                    query, kind=serve_kind, deadline=deadline, **options
+                    query, kind=serve_kind, deadline=deadline, span=span,
+                    **options,
                 )
             except FaultError as retry_exc:
                 self.breaker.record_failure(serve_kind)
@@ -287,8 +377,12 @@ class XRankService:
                 ):
                     raise
                 self.metrics.record_fault_fallback()
+                span.event(
+                    "fault_fallback", kind=serve_kind, fallback=fallback
+                )
                 hits = self.engine.search(  # repro: ignore[lock-discipline]
-                    query, kind=fallback, deadline=deadline, **options
+                    query, kind=fallback, deadline=deadline, span=span,
+                    **options,
                 )
                 return hits, fallback, str(retry_exc)
             self.breaker.record_success(serve_kind)
@@ -368,6 +462,7 @@ class XRankService:
             generation = self.engine.generation
         payload = {
             "service": self.metrics.snapshot(queue_depth=self.admission.depth()),
+            "tracer": self.tracer.stats(),
             "caches": {
                 "results": self.result_cache.stats(),
                 "posting_lists": self.list_cache.stats(),

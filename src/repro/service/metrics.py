@@ -19,6 +19,51 @@ from typing import Dict, List, Optional, Sequence
 from .concurrency import GuardedLock
 
 
+#: Upper bucket bounds (milliseconds) for latency histograms.  Fixed and
+#: shared so per-stage histograms line up column-for-column on a
+#: dashboard; the final implicit bucket is +inf.
+HISTOGRAM_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (cumulative, Prometheus-style).
+
+    Not itself thread-safe: :class:`ServiceMetrics` mutates instances
+    only while holding its own lock.
+    """
+
+    __slots__ = ("counts", "count", "sum_ms")
+
+    def __init__(self):
+        self.counts = [0] * (len(HISTOGRAM_BUCKETS_MS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+
+    def observe(self, value_ms: float) -> None:
+        """Add one observation (milliseconds)."""
+        self.count += 1
+        self.sum_ms += value_ms
+        for position, bound in enumerate(HISTOGRAM_BUCKETS_MS):
+            if value_ms <= bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready cumulative view: ``le_<bound>`` buckets + count/sum."""
+        buckets: Dict[str, int] = {}
+        running = 0
+        for position, bound in enumerate(HISTOGRAM_BUCKETS_MS):
+            running += self.counts[position]
+            buckets[f"le_{bound}ms"] = running
+        buckets["le_inf"] = running + self.counts[-1]
+        return {
+            "count": self.count,
+            "sum_ms": self.sum_ms,
+            "buckets": buckets,
+        }
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The q-th percentile (0..100) by linear interpolation; 0.0 if empty."""
     if not values:
@@ -51,6 +96,7 @@ class ServiceMetrics:
         self.errors = 0  # guarded by: self._lock
         self.storage_faults = 0  # guarded by: self._lock
         self.fault_fallbacks = 0  # guarded by: self._lock
+        self._stages: Dict[str, Histogram] = {}  # guarded by: self._lock
 
     # -- recording -------------------------------------------------------------
 
@@ -95,6 +141,20 @@ class ServiceMetrics:
         with self._lock:
             self.fault_fallbacks += 1
 
+    def observe_stage(self, stage: str, latency_ms: float) -> None:
+        """Add one observation to a named per-stage latency histogram.
+
+        Stages mirror the span taxonomy (``admission``, ``evaluate``,
+        ``total``; the coordinator adds ``scatter`` and ``merge``), so
+        the aggregate /metrics breakdown and a sampled trace tell the
+        same story at different zoom levels.
+        """
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = Histogram()
+            histogram.observe(latency_ms)
+
     # -- derived figures --------------------------------------------------------
 
     def qps(self, window_s: float = 60.0) -> float:
@@ -131,12 +191,20 @@ class ServiceMetrics:
                     self.result_cache_hits / lookups if lookups else 0.0
                 ),
                 "degraded": self.degraded,
+                # Stable alias scrapers can share with the coordinator's
+                # cluster section (xrank_service_degraded_total).
+                "degraded_total": self.degraded,
                 "rejected": self.rejected,
                 "errors": self.errors,
                 "storage_faults": self.storage_faults,
                 "fault_fallbacks": self.fault_fallbacks,
                 "uptime_s": uptime,
             }
+            if self._stages:
+                counters["stages"] = {
+                    stage: histogram.as_dict()
+                    for stage, histogram in sorted(self._stages.items())
+                }
         counters.update(self.latency_percentiles())
         counters["qps_60s"] = self.qps(60.0)
         if queue_depth is not None:

@@ -12,8 +12,13 @@ Endpoints:
 * ``GET /stats`` — serving metrics, cache counters, I/O totals and
   engine statistics.
 * ``GET /metrics`` — the same figures in Prometheus text exposition
-  format (QPS, latency percentiles, cache hit rate, breaker state) for
-  scrapers; works against workers and cluster coordinators alike.
+  format (QPS, latency percentiles, per-stage histograms, cache hit
+  rate, breaker state, ``degraded_total``) for scrapers; works against
+  workers and cluster coordinators alike (a coordinator additionally
+  exposes ``missing_shards_total``).
+* ``GET /traces`` — the tracer's retained span trees as full JSON
+  (ids, durations, I/O deltas); the fetch path behind
+  ``repro trace --url``.  404 when the service has no tracer.
 * ``GET /healthz`` — cheap liveness probe.
 
 Error mapping: malformed requests → 400, unknown paths → 404, admission
@@ -37,6 +42,8 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import FaultError, ServiceOverloadedError, XRankError
+from ..obs.render import to_dict as trace_to_dict
+from ..obs.trace import TraceContext
 from .core import XRankService
 
 logger = logging.getLogger(__name__)
@@ -74,6 +81,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._introspect(self.service.stats)
         elif parsed.path == "/metrics":
             self._metrics()
+        elif parsed.path == "/traces":
+            self._traces()
         elif parsed.path == "/search":
             params = {
                 key: values[0]
@@ -112,6 +121,7 @@ class _Handler(BaseHTTPRequestHandler):
                 highlight=_truthy(params.get("highlight")),
                 with_context=_truthy(params.get("context")),
                 deadline_ms=_optional_float(params.get("deadline_ms")),
+                trace_ctx=TraceContext.from_headers(self.headers),
             )
         except ServiceOverloadedError as exc:
             self._send_json(503, {"error": str(exc)})
@@ -166,6 +176,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    def _traces(self) -> None:
+        """GET /traces: the tracer's retained span trees (full JSON)."""
+        tracer = getattr(self.service, "tracer", None)
+        if tracer is None:
+            self._send_json(404, {"error": "no tracer on this service"})
+            return
+        try:
+            payload = {
+                "tracer": tracer.stats(),
+                "traces": [
+                    trace_to_dict(root) for root in tracer.buffer.traces()
+                ],
+            }
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
+            return
+        self._send_json(200, payload)
 
     def _introspect(self, probe) -> None:
         try:

@@ -292,6 +292,8 @@ def _storm_service(seed: int, ops: int, threads: int) -> ScenarioResult:
     from .engine import XRankEngine
     from .service.core import XRankService
 
+    from .obs import Tracer, validate_trace
+
     detector = RaceDetector()
     tracer = LockTracer(race_detector=detector)
     errors: List[str] = []
@@ -301,7 +303,11 @@ def _storm_service(seed: int, ops: int, threads: int) -> ScenarioResult:
         engine.add_xml(source, uri=uri)
     engine.build(kinds=("dil", "hdil"))
     service = XRankService(
-        engine, result_cache_size=32, list_cache_size=32, max_concurrent=8
+        engine, result_cache_size=32, list_cache_size=32, max_concurrent=8,
+        # Trace every stormed query: the span machinery runs under the
+        # same detector scrutiny, and every captured tree is held to the
+        # structural invariants below.
+        tracer=Tracer(sample="always", buffer_size=512),
     )
     service.lock = tracer.wrap(service.lock, "service.lock")
 
@@ -342,6 +348,9 @@ def _storm_service(seed: int, ops: int, threads: int) -> ScenarioResult:
     _run_threads(detector, bodies, errors)
     service.stats()
     service.healthz()
+    for root in service.tracer.buffer.traces():
+        for problem in validate_trace(root):
+            errors.append(f"trace invariant: {problem}")
     result = _finish(
         "service", threads, ops * (threads - 1) + max(1, ops // 3),
         watched, detector, tracer, errors,

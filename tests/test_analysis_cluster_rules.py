@@ -91,6 +91,77 @@ class TestClusterDeadlineRPC:
         assert "cluster-deadline-rpc" not in rule_ids(violations)
 
 
+class TestClusterTraceRPC:
+    def test_search_without_trace_ctx_fires(self, linter):
+        violations = lint(
+            linter,
+            """
+            def query_replica(client, query, deadline):
+                return client.search(
+                    query, m=10, deadline_ms=deadline.remaining_ms()
+                )
+            """,
+        )
+        assert "cluster-trace-rpc" in rule_ids(violations)
+
+    def test_forwarding_trace_ctx_is_clean(self, linter):
+        violations = lint(
+            linter,
+            """
+            def query_replica(client, query, deadline, ctx):
+                return client.search(
+                    query, m=10, deadline_ms=deadline.remaining_ms(),
+                    trace_ctx=ctx,
+                )
+            """,
+        )
+        assert "cluster-trace-rpc" not in rule_ids(violations)
+
+    def test_explicit_none_counts_as_plumbing(self, linter):
+        violations = lint(
+            linter,
+            """
+            def untraced_probe(client, query, deadline):
+                return client.search(
+                    query, m=1, deadline_ms=deadline.remaining_ms(),
+                    trace_ctx=None,
+                )
+            """,
+        )
+        assert "cluster-trace-rpc" not in rule_ids(violations)
+
+    def test_non_client_receiver_is_exempt(self, linter):
+        violations = lint(
+            linter,
+            """
+            def local_lookup(engine, query):
+                return engine.search(query, m=5)
+            """,
+        )
+        assert "cluster-trace-rpc" not in rule_ids(violations)
+
+    def test_rule_is_scoped_to_cluster_paths(self, linter):
+        violations = lint(
+            linter,
+            """
+            def elsewhere(client, query):
+                return client.search(query, m=5)
+            """,
+            path=QUERY_PATH,
+        )
+        assert "cluster-trace-rpc" not in rule_ids(violations)
+
+    def test_suppression_comment_works(self, linter):
+        violations = lint(
+            linter,
+            """
+            def fire_and_forget(client, query):
+                return client.search(query, m=5)  # repro: ignore[cluster-deadline-rpc,cluster-trace-rpc]
+            """,
+        )
+        assert "cluster-trace-rpc" not in rule_ids(violations)
+
+
 class TestFaultScopeExtension:
     def test_fault_typed_errors_applies_to_cluster(self, linter):
         violations = lint(

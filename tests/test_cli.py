@@ -153,3 +153,32 @@ class TestExplainCommand:
         assert "r(xql)" in text
         assert "proximity" in text
         assert "ElemRank(element)" in text
+
+
+class TestTraceCommand:
+    def test_seeded_workload_renders_trees(self, capsys):
+        code = main(["trace", "--papers", "8", "--queries", "1"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "trace t000001" in text
+        assert "service.search" in text
+
+    def test_canonical_json_is_byte_stable(self, capsys):
+        runs = []
+        for _ in range(2):
+            code = main(
+                ["trace", "--papers", "8", "--queries", "2", "--json"]
+            )
+            assert code == 0
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+        import json as json_module
+
+        parsed = json_module.loads(runs[0])
+        assert len(parsed) == 2
+        assert all(tree["name"] == "service.search" for tree in parsed)
+
+    def test_check_mode_validates_invariants(self, capsys):
+        code = main(["trace", "--papers", "8", "--queries", "1", "--check"])
+        assert code == 0
+        assert "trace check over 1 trace(s): ok" in capsys.readouterr().out

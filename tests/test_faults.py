@@ -298,7 +298,7 @@ class _ScriptedClient(ServiceClient):
     def record_sleep(self, seconds):
         self.sleeps.append(seconds)
 
-    def _request_once(self, method, path, body):
+    def _request_once(self, method, path, body, headers=None):
         self.calls += 1
         outcome = self._script.pop(0)
         if isinstance(outcome, Exception):

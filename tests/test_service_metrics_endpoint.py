@@ -82,6 +82,25 @@ class TestMetricsEndpoint:
         assert 'xrank_breaker_cooldown_remaining{kind="hdil"} 5' in text
         assert 'xrank_breaker_open{kind="dil",state="closed"} 0' in text
 
+    def test_degraded_total_and_stage_histograms_surface(self, served):
+        port, service = served
+        service.search("alpha", m=5)
+        service.search("alpha beta", m=5, deadline_ms=0.0)  # degrades
+        _, _, body = scrape(port)
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in body.decode("utf-8").splitlines()
+            if line and not line.startswith("#")
+        )
+        assert float(lines["xrank_service_degraded_total"]) >= 1
+        # Per-stage latency histograms flatten into cumulative le_* gauges.
+        assert float(lines["xrank_service_stages_total_count"]) >= 2
+        assert (
+            float(lines["xrank_service_stages_total_buckets_le_inf"])
+            == float(lines["xrank_service_stages_total_count"])
+        )
+        assert "xrank_service_stages_evaluate_count" in lines
+
     def test_every_sample_line_is_well_formed(self, served):
         port, _ = served
         _, _, body = scrape(port)
