@@ -17,7 +17,13 @@ Plain ``repro check`` lints the source tree with the project rules.
 * runs the cluster identity battery
   (:func:`repro.cluster.verify.verify_cluster_identity`): sharded
   serving at shard counts 1/2/4 must return bit-for-bit the single-node
-  engine's ranked answers.
+  engine's ranked answers;
+* runs a reduced durability battery
+  (:func:`repro.durability.verify.check_durability`): the snapshot
+  writer is crashed at structural boundaries, seeded byte offsets and
+  every write-side fault site, and every crash point must recover the
+  new generation or fall back to the previous one with bit-identical
+  answers — never a mixed state.
 
 ``--json PATH`` writes the full machine-readable report; ``--github``
 re-prints each finding as a GitHub Actions ``::error`` workflow command
@@ -428,6 +434,22 @@ def run_check(
         print(
             f"cluster-identity: {len(cluster_violations)} violation(s) "
             "(shards 1/2/4 vs single-node, bit-for-bit)",
+            file=out,
+        )
+
+        from ..durability.verify import check_durability
+
+        # A reduced crash-point sweep: structural boundaries + a few
+        # seeded interior offsets + every write-side fault site, each
+        # proving recover-or-fallback with bit-identical answers.
+        durability_failures = check_durability()
+        for failure in durability_failures:
+            print(failure, file=out)
+        failures += len(durability_failures)
+        gates["durability"] = list(durability_failures)
+        print(
+            f"durability: {len(durability_failures)} failure(s) "
+            "(crash-point sweep, recover-or-fallback)",
             file=out,
         )
 

@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..linter import LintConfig, LintRule
 from .cluster import ClusterDeadlineRPCRule
 from .deadline import DeadlineDisciplineRule
+from .durable import DurableWriteRule
 from .faults import FaultTypedErrorsRule
 from .general import BareExceptRule, MutableDefaultRule, WallClockRule
 from .generation import CacheGenerationRule
@@ -33,6 +34,7 @@ ALL_RULES: List[LintRule] = [
     FaultTypedErrorsRule(),
     ClusterDeadlineRPCRule(),
     ClusterTraceRPCRule(),
+    DurableWriteRule(),
 ]
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "ClusterDeadlineRPCRule",
     "ClusterTraceRPCRule",
     "DeadlineDisciplineRule",
+    "DurableWriteRule",
     "FaultTypedErrorsRule",
     "GuardedByRule",
     "LockDisciplineRule",

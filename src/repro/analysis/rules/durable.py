@@ -1,0 +1,95 @@
+"""Durable-write rule: fsync before rename in snapshot/manifest writers.
+
+The snapshot layer's crash safety rests on one ordering: a file's
+contents must be fsynced *before* it is renamed into its final name
+(and the rename itself sealed with a directory fsync afterwards).  An
+``os.replace`` with no preceding fsync is the classic silent durability
+bug — the rename is atomic against concurrent readers, but after a
+power cut the directory entry can point at a file whose bytes never
+left the page cache, which is exactly the torn state recovery exists to
+prevent and exactly the state a tidy-looking writer produces.
+
+``durable-write`` therefore flags any ``os.replace`` / ``os.rename``
+call in the persistence packages (``storage/``, ``durability/``) whose
+enclosing function performs no fsync-like call (``os.fsync``, a
+``.fsync()`` method, :func:`~repro.durability.io.fsync_dir`) before the
+rename.  Writers should go through :func:`~repro.durability.io.
+atomic_write_bytes`, which encodes the full ordering once; the crash
+simulator's own bookkeeping renames carry
+``# repro: ignore[durable-write]`` suppressions with justifications.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+
+#: Call names that count as making bytes durable.
+_FSYNC_NAMES = {"fsync", "fsync_dir"}
+
+#: os-module functions that move a file to its final name.
+_RENAME_NAMES = {"replace", "rename", "renames", "link"}
+
+
+def _call_name(node: ast.Call) -> str:
+    """The attribute or bare name being called (``os.replace`` -> ``replace``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_os_qualified(node: ast.Call) -> bool:
+    """True for ``os.something(...)`` calls (not ``str.replace`` etc.)."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+    )
+
+
+class DurableWriteRule(LintRule):
+    rule_id = "durable-write"
+    description = (
+        "os.replace/os.rename without a preceding fsync in the same "
+        "function: the renamed file may not be durable"
+    )
+    scopes = ("storage/", "durability/")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            calls = sorted(
+                (
+                    node
+                    for node in ast.walk(func)
+                    if isinstance(node, ast.Call)
+                ),
+                key=lambda node: (node.lineno, node.col_offset),
+            )
+            fsynced = False
+            for call in calls:
+                name = _call_name(call)
+                if name in _FSYNC_NAMES:
+                    fsynced = True
+                elif name in _RENAME_NAMES and _is_os_qualified(call):
+                    if not fsynced:
+                        violations.append(
+                            self.violation(
+                                path,
+                                call,
+                                f"os.{name} with no fsync earlier in "
+                                f"{func.name}(): after a power cut the "
+                                "renamed file's contents may be lost — "
+                                "fsync first, or route the write through "
+                                "repro.durability.io.atomic_write_bytes",
+                            )
+                        )
+        return violations

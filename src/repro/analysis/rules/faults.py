@@ -45,7 +45,15 @@ class FaultTypedErrorsRule(LintRule):
         "fault site raises a builtin exception instead of a typed "
         "ReproError subclass"
     )
-    scopes = ("storage/", "service/", "build/", "cluster/", "faults", "chaos")
+    scopes = (
+        "storage/",
+        "service/",
+        "build/",
+        "cluster/",
+        "durability/",
+        "faults",
+        "chaos",
+    )
 
     def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
         violations: List[Violation] = []

@@ -10,6 +10,10 @@ Usage::
     python -m repro stats corpus.xrank
     python -m repro serve corpus.xrank --port 8712
     python -m repro serve --check
+    python -m repro snapshot save snaps/ --index corpus.xrank
+    python -m repro snapshot load snaps/ --query "xql language"
+    python -m repro snapshot verify --json
+    python -m repro fsck snaps/
     python -m repro check --strict
     python -m repro demo
 
@@ -401,6 +405,7 @@ def _cluster_chaos(
         kind=args.kind,
         kill_rate=args.kill_rate,
         rpc_fault_rate=args.rpc_fault_rate,
+        rejoin_rate=args.rejoin_rate,
     )
     if args.json:
         print(report.to_json())
@@ -414,7 +419,12 @@ def _cluster_chaos(
             print(f"  {name:>14}: {count}")
         print(
             f"  kills: {report.kills}  restarts: {report.restarts}  "
+            f"rejoins: {report.rejoins}  "
             f"rpc faults: {report.rpc_faults_injected}"
+        )
+        print(
+            f"  snapshot recoveries: {report.snapshot_recoveries}  "
+            f"snapshot fallbacks: {report.snapshot_fallbacks}"
         )
         print(
             f"  failovers: {report.failovers}  "
@@ -594,6 +604,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(render_trace(root))
             print()
     return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Save to / recover from / verify a generational snapshot store."""
+    from .durability import SnapshotStore
+
+    if args.snapshot_action == "save":
+        engine = _load_engine(args.index)
+        store = SnapshotStore(args.dir, keep=args.keep)
+        info = store.save(engine)
+        print(
+            f"committed generation {info.number} "
+            f"({info.parts} part(s), {info.bytes} bytes) -> {info.path}"
+        )
+        return 0
+
+    if args.snapshot_action == "load":
+        store = SnapshotStore(args.dir)
+        engine, info = store.recover()
+        counters = store.counters()
+        fell_back = counters["fallbacks"] > 0
+        print(
+            f"recovered generation {info.number} from {args.dir}"
+            + (
+                f" (fell back past {counters['generations_rejected']} "
+                "rejected generation(s))"
+                if fell_back
+                else ""
+            )
+        )
+        for key, value in engine.stats().items():
+            print(f"  {key}: {value}")
+        if args.query:
+            hits = engine.search(args.query, m=args.m, kind=args.kind)
+            print(f"  query {args.query!r} -> {len(hits)} result(s)")
+            for position, hit in enumerate(hits, start=1):
+                print(f"  {position:>2}. [{hit.rank:.6f}] <{hit.tag}> {hit.path}")
+        return 0
+
+    # verify: the crash-point battery (recover-or-fallback proof).
+    from .durability import verify_durability
+
+    report = verify_durability(
+        seed=args.seed,
+        interior_offsets=args.offsets,
+        keep_dir=args.keep_dir,
+    )
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(
+            f"durability verify seed={report.seed}: {report.cases} crash "
+            f"cases over {report.offsets_swept} byte offsets + "
+            f"{max(0, report.cases - 2 * report.offsets_swept)} "
+            "seeded fault-site runs"
+        )
+        print(
+            f"  recovered new generation: {report.recovered_new}   "
+            f"fell back to previous: {report.recovered_previous}"
+        )
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        print(
+            "ok: every crash point recovered or fell back cleanly"
+            if report.ok
+            else "FAILED: mixed or silently wrong state detected"
+        )
+    return 0 if report.ok else 1
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Validate every generation in a snapshot store, offline."""
+    from .durability import SnapshotStore
+
+    store = SnapshotStore(args.dir)
+    report = store.fsck()
+    if args.json:
+        print(report.to_json(), end="")
+        return 0 if report.ok else 1
+    if not report.generations:
+        print(f"{args.dir}: no snapshot generations")
+        return 1
+    for info in sorted(report.generations, key=lambda gen: gen.number):
+        status = "ok" if info.ok else "CORRUPT"
+        print(
+            f"gen-{info.number:07d}: {status} "
+            f"({info.parts} part(s), {info.bytes} bytes)"
+        )
+        for problem in info.problems:
+            print(f"    {problem}")
+    if report.ok:
+        print(f"newest recoverable generation: {report.newest_valid}")
+        return 0
+    print("no recoverable generation: a restart would need a rebuild")
+    return 1
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -849,6 +954,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-RPC probability of an injected in-flight fault "
         "(--cluster)",
     )
+    chaos_cmd.add_argument(
+        "--rejoin-rate", type=float, default=0.5,
+        help="fraction of revivals that take the full crash path — "
+        "recover the shard from its snapshot store, re-verify stats "
+        "coverage, re-register (--cluster)",
+    )
     chaos_cmd.set_defaults(handler=cmd_chaos)
 
     cluster_cmd = commands.add_parser(
@@ -939,6 +1050,78 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of running the seeded workload",
     )
     trace_cmd.set_defaults(handler=cmd_trace)
+
+    snapshot_cmd = commands.add_parser(
+        "snapshot",
+        help="save to / recover from / crash-test a generational "
+        "snapshot store (repro.durability)",
+    )
+    snapshot_sub = snapshot_cmd.add_subparsers(
+        dest="snapshot_action", required=True
+    )
+    snap_save = snapshot_sub.add_parser(
+        "save", help="commit an engine file as the next generation"
+    )
+    snap_save.add_argument("dir", help="snapshot store directory")
+    snap_save.add_argument(
+        "--index", required=True, help="engine file from `repro index`"
+    )
+    snap_save.add_argument(
+        "--keep", type=int, default=2,
+        help="intact generations to retain after the save",
+    )
+    snap_save.set_defaults(handler=cmd_snapshot)
+    snap_load = snapshot_sub.add_parser(
+        "load",
+        help="recover the newest intact generation (falling back past "
+        "crash wreckage) and print its statistics",
+    )
+    snap_load.add_argument("dir", help="snapshot store directory")
+    snap_load.add_argument(
+        "--query", default=None, help="also answer one query"
+    )
+    snap_load.add_argument("-m", type=int, default=5, help="result count")
+    snap_load.add_argument(
+        "--kind", default="hdil", choices=list(INDEX_KINDS)
+    )
+    snap_load.set_defaults(handler=cmd_snapshot)
+    snap_verify = snapshot_sub.add_parser(
+        "verify",
+        help="crash the snapshot writer at every structural boundary, "
+        "seeded byte offsets and every write-side fault site; prove "
+        "recover-or-fallback with bit-identical answers (exit 1 on any "
+        "mixed state)",
+    )
+    snap_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the interior crash offsets and the fault plans",
+    )
+    snap_verify.add_argument(
+        "--offsets", type=int, default=12,
+        help="seeded interior crash offsets beyond the structural "
+        "boundaries",
+    )
+    snap_verify.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON report (bit-for-bit comparable)",
+    )
+    snap_verify.add_argument(
+        "--keep-dir", default=None,
+        help="keep working state under this directory (CI artifacts)",
+    )
+    snap_verify.set_defaults(handler=cmd_snapshot)
+
+    fsck_cmd = commands.add_parser(
+        "fsck",
+        help="validate every generation in a snapshot store offline "
+        "(exit 1 if nothing is recoverable)",
+    )
+    fsck_cmd.add_argument("dir", help="snapshot store directory")
+    fsck_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON report",
+    )
+    fsck_cmd.set_defaults(handler=cmd_fsck)
 
     demo_cmd = commands.add_parser("demo", help="run a tiny built-in demo")
     demo_cmd.set_defaults(handler=cmd_demo)

@@ -4,7 +4,9 @@ Same philosophy as the single-node harness (:mod:`repro.chaos`): build a
 fault-free single-node oracle, run the same seeded workload through a
 cluster while injecting failures, and classify every answer.  The
 failure vocabulary here is the distributed one — replica processes dying
-mid-workload, replicas coming back, RPCs failing in flight — and the
+mid-workload, replicas coming back (sometimes the easy way, sometimes by
+recovering their shard from its snapshot store and rejoining), RPCs
+failing in flight — and the
 invariant is the same hard line: **zero silent wrong answers**.  Every
 cluster response is either bit-identical to the oracle (``match``),
 honestly flagged (``degraded`` with named missing shards), or a typed
@@ -117,6 +119,9 @@ class ClusterChaosReport:
     violations: List[Dict[str, object]] = field(default_factory=list)
     kills: int = 0
     restarts: int = 0
+    rejoins: int = 0
+    snapshot_recoveries: int = 0
+    snapshot_fallbacks: int = 0
     rpc_faults_injected: int = 0
     failovers: int = 0
     breaker_trips: int = 0
@@ -137,6 +142,9 @@ class ClusterChaosReport:
             "violations": list(self.violations),
             "kills": self.kills,
             "restarts": self.restarts,
+            "rejoins": self.rejoins,
+            "snapshot_recoveries": self.snapshot_recoveries,
+            "snapshot_fallbacks": self.snapshot_fallbacks,
             "rpc_faults_injected": self.rpc_faults_injected,
             "failovers": self.failovers,
             "breaker_trips": self.breaker_trips,
@@ -160,6 +168,7 @@ def run_cluster_chaos(
     kill_rate: float = 0.15,
     restart_rate: float = 0.3,
     rpc_fault_rate: float = 0.05,
+    rejoin_rate: float = 0.5,
 ) -> ClusterChaosReport:
     """One seeded storm of replica kills and RPC faults vs the oracle.
 
@@ -168,7 +177,17 @@ def run_cluster_chaos(
     per-replica stream) fail in flight.  Answers are classified against
     the fault-free single-node oracle; ``report.ok`` is False iff a
     silent wrong answer or an untyped error occurred.
+
+    Revivals split (seeded, ``rejoin_rate``) between a listener restart
+    (the engine never left memory) and the full crash path — the worker
+    object is discarded and :meth:`LocalCluster.restart_from_snapshot`
+    recovers the shard from its on-disk snapshot store, re-verifies
+    global-stats coverage, and re-registers with the coordinator.  A
+    rejoined replica's answers flow through the same oracle
+    classification, so a recovery that resurrected wrong state would
+    surface as a ``mismatch`` violation.
     """
+    import tempfile
     specs, queries = default_cluster_corpus(num_papers, seed=seed % 1000 + 3)
     if num_queries > len(queries):
         queries = [
@@ -193,6 +212,7 @@ def run_cluster_chaos(
         outcomes={outcome: 0 for outcome in OUTCOMES},
     )
 
+    snapshot_scratch = tempfile.TemporaryDirectory(prefix="repro-chaos-snap-")
     cluster = LocalCluster(
         specs,
         num_shards=shards,
@@ -205,9 +225,10 @@ def run_cluster_chaos(
             "breaker_threshold": 2,
             "breaker_cooldown": 4,
         },
+        snapshot_root=snapshot_scratch.name,
     )
     dead: List[tuple] = []
-    with cluster:
+    with snapshot_scratch, cluster:
         alive = [
             (group_id, worker.replica_id)
             for group_id, group in enumerate(cluster.workers)
@@ -226,7 +247,12 @@ def run_cluster_chaos(
                 report.kills += 1
             if dead and scheduler.random() < restart_rate:
                 revived = dead.pop(scheduler.randrange(len(dead)))
-                cluster.restart(*revived)
+                if scheduler.random() < rejoin_rate:
+                    # Full crash path: recover the shard from disk.
+                    cluster.restart_from_snapshot(*revived)
+                    report.rejoins += 1
+                else:
+                    cluster.restart(*revived)
                 alive.append(revived)
                 report.restarts += 1
 
@@ -279,6 +305,10 @@ def run_cluster_chaos(
         coordinator = cluster.coordinator
         report.failovers = coordinator.failovers
         report.breaker_trips = coordinator.breaker.trips
+        for store in cluster.stores.values():
+            counters = store.counters()
+            report.snapshot_recoveries += counters["recoveries"]
+            report.snapshot_fallbacks += counters["fallbacks"]
     report.rpc_faults_injected = injector.injected
     report.ok = (
         report.outcomes["mismatch"] == 0

@@ -47,7 +47,16 @@ class LocalCluster:
         config: Optional[XRankConfig] = None,
         independent_engines: bool = False,
         coordinator_options: Optional[Dict[str, object]] = None,
+        snapshot_root: Optional[str] = None,
     ):
+        """Args:
+            snapshot_root: enable the restart–rejoin path — each shard
+                gets a generational :class:`~repro.durability.
+                SnapshotStore` under this directory, seeded with one
+                committed generation at build time, and
+                :meth:`restart_from_snapshot` can then resurrect a
+                replica from disk instead of from the in-process engine.
+        """
         if replicas < 1:
             raise ClusterError(f"replicas must be >= 1, got {replicas}")
         self.specs = list(specs)
@@ -57,6 +66,9 @@ class LocalCluster:
         self.config = config
         self.replicas = replicas
         self.coordinator_options = dict(coordinator_options or {})
+        self.snapshot_root = Path(snapshot_root) if snapshot_root else None
+        self.stores: Dict[int, object] = {}
+        self.rejoins = 0
 
         # 1. Shard plan: the same deterministic LPT partition the parallel
         #    build uses (doc ids were assigned before sharding).
@@ -76,8 +88,20 @@ class LocalCluster:
             engine = build_shard_engine(
                 shard, self.stats, kinds=self.kinds, config=config
             )
+            if self.snapshot_root is not None:
+                from ..durability import SnapshotStore
+
+                store = SnapshotStore(self.snapshot_root / f"shard-{shard_id}")
+                store.save(engine)
+                self.stores[shard_id] = store
+            shard_store = self.stores.get(shard_id)
             group: List[ShardWorker] = [
-                ShardWorker(engine, shard_id=shard_id, replica_id=0)
+                ShardWorker(
+                    engine,
+                    shard_id=shard_id,
+                    replica_id=0,
+                    snapshot_store=shard_store,
+                )
             ]
             for replica_id in range(1, replicas):
                 if independent_engines:
@@ -97,6 +121,7 @@ class LocalCluster:
                             engine,
                             shard_id=shard_id,
                             replica_id=replica_id,
+                            snapshot_store=shard_store,
                         )
                     )
             self.workers.append(group)
@@ -179,6 +204,44 @@ class LocalCluster:
             self.coordinator.replace_endpoint(endpoint)
         return endpoint
 
+    def restart_from_snapshot(
+        self, shard_id: int, replica_id: int, span=None
+    ) -> ReplicaEndpoint:
+        """Resurrect a replica from its shard's snapshot store.
+
+        The hard-crash restart path: unlike :meth:`restart` (which
+        reuses the still-in-memory engine, i.e. a listener blip), this
+        discards the old worker object entirely and goes through the
+        full crash→recover→re-verify→re-register cycle —
+        :meth:`~repro.cluster.worker.ShardWorker.rejoin_from_store`
+        recovers the newest intact generation, re-checks global-stats
+        coverage, and the fresh worker's new endpoint is announced to
+        the coordinator.
+        """
+        if self.snapshot_root is None:
+            raise ClusterError(
+                "cluster was built without snapshot_root; "
+                "there is nothing on disk to rejoin from"
+            )
+        old = self.worker(shard_id, replica_id)
+        if old.running:
+            old.kill()
+        worker = ShardWorker.rejoin_from_store(
+            self.stores[shard_id],
+            shard_id=shard_id,
+            replica_id=replica_id,
+            stats=self.stats,
+            span=span,
+        )
+        group = self.workers[shard_id]
+        group[group.index(old)] = worker
+        worker.start()
+        self.rejoins += 1
+        endpoint = self._endpoint(worker)
+        if self.coordinator is not None:
+            self.coordinator.replace_endpoint(endpoint)
+        return endpoint
+
     # -- queries ---------------------------------------------------------------------
 
     def search(self, query: str, **options):
@@ -202,6 +265,11 @@ class LocalCluster:
                 [worker.describe() for worker in group]
                 for group in self.workers
             ],
+            "rejoins": self.rejoins,
+            "snapshot_stores": {
+                str(shard_id): store.counters()
+                for shard_id, store in sorted(self.stores.items())
+            },
         }
 
     @staticmethod

@@ -147,10 +147,12 @@ class ShardWorker:
         result_cache_size: int = 256,
         list_cache_size: int = 256,
         tracer=None,
+        snapshot_store=None,
     ):
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.engine = engine
+        self.snapshot_store = snapshot_store
         self.service = XRankService(
             engine,
             kinds=tuple(kinds) if kinds else None,
@@ -158,6 +160,7 @@ class ShardWorker:
             list_cache_size=list_cache_size,
             default_deadline_ms=default_deadline_ms,
             tracer=tracer,
+            snapshot_store=snapshot_store,
         )
         self._host = host
         self._requested_port = port
@@ -241,6 +244,67 @@ class ShardWorker:
             port=port,
             **service_options,
         )
+
+    def persist(self, store=None, span=None):
+        """Commit this worker's engine as the next snapshot generation."""
+        store = store if store is not None else self.snapshot_store
+        if store is None:
+            raise ClusterError(
+                f"worker {self.name} has no snapshot store to persist to"
+            )
+        return store.save(self.engine, span=span)
+
+    @classmethod
+    def rejoin_from_store(
+        cls,
+        store,
+        shard_id: int,
+        replica_id: int,
+        stats: Optional[GlobalStats] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        span=None,
+        **service_options,
+    ) -> "ShardWorker":
+        """Restart-after-crash: recover the shard from its snapshot store.
+
+        The full rejoin contract, in order:
+
+        1. recover the newest intact generation from ``store`` (falling
+           back past crash wreckage — see
+           :meth:`~repro.durability.SnapshotStore.recover`);
+        2. re-verify the global-statistics coverage check against the
+           recovered graph, so a stale snapshot that no longer covers
+           the shard fails loudly (:class:`~repro.errors.
+           StatsExchangeError`) instead of serving rankings that are no
+           longer globally comparable;
+        3. construct the replacement worker (the caller starts it and
+           re-registers the endpoint with the coordinator).
+
+        Traced as a ``worker.rejoin`` span with the recovered generation
+        and whether recovery had to fall back.
+        """
+        from ..obs import NOOP_SPAN
+
+        span = (span if span is not None else NOOP_SPAN).child(
+            "worker.rejoin", shard=shard_id, replica=replica_id
+        )
+        with span:
+            engine, info = store.recover(span=span)
+            if stats is not None:
+                stats.require_coverage(engine.graph)
+                span.event("coverage_reverified")
+            worker = cls(
+                engine,
+                shard_id=shard_id,
+                replica_id=replica_id,
+                host=host,
+                port=port,
+                snapshot_store=store,
+                **service_options,
+            )
+            span.event("rejoined", generation=info.number)
+        return worker
 
     # -- introspection ---------------------------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Crash-safe snapshot persistence and recovery (``repro.durability``).
+
+The subsystem that turns :meth:`~repro.engine.XRankEngine.save` from a
+bare pickle into something a production process can die on top of:
+
+* :mod:`~repro.durability.format` — the versioned, checksummed part
+  framing (magic, format version, config digest, CRC32C trailer);
+* :mod:`~repro.durability.io` — crash-faithful file I/O: the
+  :class:`CrashSimulator` loss model, :class:`DurableFile`, and the one
+  canonical :func:`atomic_write_bytes` (temp -> fsync -> rename -> dir
+  fsync);
+* :mod:`~repro.durability.store` — the generational
+  :class:`SnapshotStore` with manifest-commit writes, newest-intact
+  recovery with fallback, and offline :meth:`~SnapshotStore.fsck`;
+* :mod:`~repro.durability.verify` — the crash-point battery proving
+  recover-or-fallback at every seeded fault site and byte offset.
+"""
+
+from .format import (
+    FORMAT_VERSION,
+    FRAME_OVERHEAD,
+    HEADER_SIZE,
+    MAGIC,
+    config_digest,
+    decode_part,
+    encode_part,
+)
+from .io import CrashSimulator, DurableFile, atomic_write_bytes, fsync_dir
+from .store import FsckReport, GenerationInfo, SnapshotStore
+from .verify import DurabilityReport, check_durability, verify_durability
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FRAME_OVERHEAD",
+    "HEADER_SIZE",
+    "MAGIC",
+    "config_digest",
+    "decode_part",
+    "encode_part",
+    "CrashSimulator",
+    "DurableFile",
+    "atomic_write_bytes",
+    "fsync_dir",
+    "FsckReport",
+    "GenerationInfo",
+    "SnapshotStore",
+    "DurabilityReport",
+    "check_durability",
+    "verify_durability",
+]

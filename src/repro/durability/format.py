@@ -1,0 +1,123 @@
+"""The on-disk snapshot part format (``repro.durability``).
+
+Every durable artifact the snapshot layer writes — the engine file
+``repro index --out`` produces, and each ``part-NNNNN.bin`` chunk inside
+a generation directory — is a single self-validating *part*::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+         0     8  magic            b"XRSNAP1\\0"
+         8     2  format version   u16 LE (currently 1)
+        10     2  flags            u16 LE (reserved, 0)
+        12     4  config digest    u32 LE (CRC32C of the engine's
+                                   structural config, see
+                                   :func:`config_digest`)
+        16     8  payload length   u64 LE
+        24     n  payload          opaque bytes (pickle stream or chunk)
+      24+n     4  CRC32C           u32 LE over header + payload
+
+The framing is deliberately boring: fixed little-endian header, length
+before payload, checksum last.  :func:`decode_part` refuses to hand back
+a single payload byte unless the magic, version, declared length and
+trailing CRC32C all check out — a mismatched version raises
+:class:`~repro.errors.SnapshotVersionError` (typed, recoverable) instead
+of feeding a foreign pickle stream to the unpickler, and any truncation
+or bit rot raises :class:`~repro.errors.SnapshotCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Tuple
+
+from ..errors import SnapshotCorruptError, SnapshotVersionError
+from ..storage.checksum import crc32c
+
+#: Eight bytes of magic: file(1)-greppable, NUL-terminated.
+MAGIC = b"XRSNAP1\0"
+
+#: Bump on any incompatible layout change; readers accept exactly this.
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHIQ")
+_FOOTER = struct.Struct("<I")
+
+#: Fixed framing overhead of one part, in bytes.
+HEADER_SIZE = _HEADER.size
+FOOTER_SIZE = _FOOTER.size
+FRAME_OVERHEAD = HEADER_SIZE + FOOTER_SIZE
+
+
+def config_digest(engine: object) -> int:
+    """CRC32C over the engine's *structural* configuration.
+
+    Two snapshots are load-compatible only if they were produced by
+    engines whose ranking semantics match; the digest pins the knobs
+    that change what the pickled state *means* (scorer, ElemRank
+    variant, stopword policy, the full config dataclass) without pinning
+    volatile state like generation counters.  Stored in every part
+    header and re-checked after unpickling, so a snapshot written under
+    one configuration regime cannot silently rank under another.
+    """
+    description = {
+        "class": type(engine).__name__,
+        "config": repr(getattr(engine, "config", None)),
+        "drop_stopwords": bool(getattr(engine, "drop_stopwords", False)),
+        "elemrank_variant": str(getattr(engine, "elemrank_variant", "")),
+        "scorer": str(getattr(engine, "scorer", "")),
+    }
+    canonical = json.dumps(description, sort_keys=True).encode("utf-8")
+    return crc32c(canonical)
+
+
+def encode_part(payload: bytes, digest: int = 0) -> bytes:
+    """Frame ``payload`` as one part: header + payload + CRC32C footer."""
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, 0, digest & 0xFFFFFFFF, len(payload)
+    )
+    return header + payload + _FOOTER.pack(crc32c(payload, crc32c(header)))
+
+
+def decode_part(blob: bytes, path: str = "") -> Tuple[bytes, int]:
+    """Validate one part and return ``(payload, config_digest)``.
+
+    Raises:
+        SnapshotVersionError: bad magic (not a snapshot at all) or a
+            format version this build does not read.
+        SnapshotCorruptError: truncated framing, length mismatch, or a
+            CRC32C that does not match — torn write or bit rot.
+    """
+    where = f" in {path}" if path else ""
+    if len(blob) < HEADER_SIZE:
+        raise SnapshotCorruptError(
+            f"snapshot part truncated{where}: {len(blob)} bytes is "
+            f"smaller than the {HEADER_SIZE}-byte header"
+        )
+    magic, version, _flags, digest, length = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise SnapshotVersionError(
+            f"not a snapshot part{where}: bad magic {magic!r} "
+            f"(expected {MAGIC!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"snapshot part{where} is format v{version}; "
+            f"this build reads v{FORMAT_VERSION}"
+        )
+    expected = HEADER_SIZE + length + FOOTER_SIZE
+    if len(blob) != expected:
+        raise SnapshotCorruptError(
+            f"snapshot part truncated{where}: header declares "
+            f"{length} payload bytes ({expected} framed), got {len(blob)}"
+        )
+    payload = blob[HEADER_SIZE : HEADER_SIZE + length]
+    (stored_crc,) = _FOOTER.unpack_from(blob, HEADER_SIZE + length)
+    actual_crc = crc32c(payload, crc32c(blob[:HEADER_SIZE]))
+    if stored_crc != actual_crc:
+        raise SnapshotCorruptError(
+            f"snapshot part{where} failed its CRC32C check "
+            f"(stored {stored_crc:#010x}, computed {actual_crc:#010x}): "
+            "torn write or bit rot"
+        )
+    return payload, digest

@@ -1,0 +1,310 @@
+"""Crash-faithful file I/O for the snapshot writer (``repro.durability``).
+
+Real durability bugs live in the gap between ``write()`` returning and
+the bytes being on the platter.  This module makes that gap explicit and
+injectable: every byte the snapshot writer emits flows through a
+:class:`DurableFile` bound to a :class:`CrashSimulator`, which tracks —
+per file — how much is *durable* (covered by a successful fsync) versus
+merely *written* (sitting in the simulated page cache), and which
+renames have been *sealed* by a directory fsync versus still being
+volatile directory-entry updates.
+
+When the simulator "cuts the power" (a seeded :data:`~repro.faults.
+SITE_POWERCUT` fire, an absolute ``crash_at_byte`` offset from the
+verification sweep, or an explicit :meth:`CrashSimulator.crash` call) it
+applies the loss model to the real filesystem: unsynced suffixes are
+truncated away and unsealed renames are undone.  What survives is
+exactly what a crash-consistent disk would have kept, so the recovery
+scan can be tested against honest wreckage instead of tidy files.
+
+The writer-side discipline this enforces (and the ``durable-write`` lint
+rule polices statically) is the classic sequence::
+
+    write temp file -> fsync(temp) -> rename(temp, final) -> fsync(dir)
+
+encapsulated once in :func:`atomic_write_bytes` so every caller gets the
+ordering right by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PowerCutError, SnapshotWriteError
+from ..faults import (
+    NO_FAULTS,
+    SITE_FSYNC_DROPPED,
+    SITE_POWERCUT,
+    SITE_WRITE_ERROR,
+    SITE_WRITE_TORN,
+    FaultPlan,
+)
+
+
+class _FileState:
+    """Written-vs-durable bookkeeping for one file."""
+
+    __slots__ = ("size", "synced")
+
+    def __init__(self) -> None:
+        self.size = 0  # bytes written through DurableFile
+        self.synced = 0  # bytes covered by a successful fsync
+
+
+class CrashSimulator:
+    """Deterministic power-cut model threaded through snapshot writes.
+
+    One simulator models one "volume" for the duration of one save
+    attempt.  It decides *when* the power dies — via the seeded write
+    sites of a :class:`~repro.faults.FaultPlan` or an absolute
+    ``crash_at_byte`` offset into the cumulative write stream — and
+    *what survives*:
+
+    * file contents survive up to the last successful fsync, plus a
+      seeded slice of the unsynced suffix (``keep_unsynced=True`` keeps
+      all of it, modelling an OS that happened to flush; the default
+      drops it, modelling the worst case);
+    * renames survive only once a directory fsync has sealed them.
+
+    After the first crash the simulator is dead: every further I/O call
+    raises :class:`~repro.errors.PowerCutError`, so a writer cannot
+    accidentally keep going on a volume that no longer exists.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        crash_at_byte: Optional[int] = None,
+        keep_unsynced: bool = False,
+    ):
+        self.plan = plan if plan is not None else NO_FAULTS
+        self.crash_at_byte = crash_at_byte
+        self.keep_unsynced = keep_unsynced
+        self.written = 0  # cumulative bytes across all files
+        self.crashed = False
+        self.dropped_fsyncs = 0
+        self._files: Dict[str, _FileState] = {}
+        # Renames performed but not yet sealed by a directory fsync,
+        # in order: (final_path, original_tmp_path).
+        self._volatile_renames: List[Tuple[str, str]] = []
+
+    # -- registration (used by DurableFile) ---------------------------------
+
+    def _register(self, path: str) -> _FileState:
+        self._check_alive(path)
+        state = _FileState()
+        self._files[path] = state
+        return state
+
+    def _check_alive(self, path: str) -> None:
+        if self.crashed:
+            raise PowerCutError(
+                f"volume is dead after a power cut; refusing I/O on {path}"
+            )
+
+    # -- rename + directory-fsync model -------------------------------------
+
+    def rename(self, tmp: str, dst: str) -> None:
+        """Atomically rename ``tmp`` to ``dst`` — volatile until sealed.
+
+        The rename is a directory-entry update: it is atomic (readers see
+        either the old file or the new one, never a mix) but *not
+        durable* until :func:`fsync_dir` seals the parent directory.  A
+        crash before the seal undoes it.
+        """
+        self._check_alive(tmp)
+        if self.plan.should_fire(SITE_POWERCUT):
+            self.crash()
+            raise PowerCutError(
+                f"simulated power cut before renaming {tmp} into place"
+            )
+        os.replace(tmp, dst)  # repro: ignore[durable-write] — durability is modelled here: the rename stays volatile until fsync_dir() seals it, and crash() undoes unsealed renames
+        if dst in self._files:
+            # Overwrote a tracked file; the old bytes are gone either way.
+            del self._files[dst]
+        if tmp in self._files:
+            self._files[dst] = self._files.pop(tmp)
+        self._volatile_renames.append((dst, tmp))
+
+    def seal_renames(self, dirpath: str) -> None:
+        """A directory fsync succeeded: renames under ``dirpath`` are durable."""
+        dirpath = os.path.abspath(dirpath)
+        kept = []
+        for dst, tmp in self._volatile_renames:
+            if os.path.abspath(os.path.dirname(dst)) == dirpath:
+                continue  # sealed
+            kept.append((dst, tmp))
+        self._volatile_renames = kept
+
+    # -- the crash itself ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Cut the power: apply the loss model to the real filesystem.
+
+        Unsealed renames are undone newest-first (the directory entry
+        never reached the platter), then every file loses its unsynced
+        suffix — entirely by default, or down to a seeded survival point
+        when the plan's ``snapshot.powercut`` stream says some of the
+        page cache happened to be flushed.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for dst, tmp in reversed(self._volatile_renames):
+            if os.path.exists(dst):
+                os.replace(dst, tmp)  # repro: ignore[durable-write] — undoing a rename that never became durable; this *is* the crash
+                if dst in self._files:
+                    self._files[tmp] = self._files.pop(dst)
+        self._volatile_renames.clear()
+        if self.keep_unsynced:
+            return
+        for path in sorted(self._files):
+            state = self._files[path]
+            if state.size <= state.synced or not os.path.exists(path):
+                continue
+            unsynced = state.size - state.synced
+            # NO_FAULTS.choose() returns 0: worst case, the whole
+            # unsynced suffix is lost.  A seeded plan may let a prefix
+            # of it survive (partial page-cache flush).
+            extra = self.plan.choose(SITE_POWERCUT, unsynced + 1)
+            survive = min(state.size, state.synced + extra)
+            with open(path, "r+b") as handle:
+                handle.truncate(survive)
+            state.size = survive
+
+    # -- introspection -------------------------------------------------------
+
+    def durable_bytes(self, path: str) -> int:
+        """How many bytes of ``path`` would survive a crash right now."""
+        state = self._files.get(str(path))
+        return state.synced if state is not None else 0
+
+
+class DurableFile:
+    """A write-only file whose bytes flow through a :class:`CrashSimulator`.
+
+    Supports exactly what the snapshot writer needs: ``write``,
+    ``fsync``, ``close``, and use as a context manager.  Every write
+    consults the simulator's fault plan; a fired write-site either
+    raises a typed error (``disk.write.error``) or lands a seeded prefix
+    and kills the volume (``disk.write.torn``, ``snapshot.powercut``).
+    """
+
+    def __init__(self, path: str, sim: Optional[CrashSimulator] = None):
+        self.path = str(path)
+        self.sim = sim if sim is not None else CrashSimulator()
+        self._state = self.sim._register(self.path)
+        self._handle = open(self.path, "wb")
+
+    def write(self, data: bytes) -> int:
+        sim = self.sim
+        sim._check_alive(self.path)
+        plan = sim.plan
+        if plan.should_fire(SITE_WRITE_ERROR):
+            raise SnapshotWriteError(
+                f"injected write error on {self.path} "
+                f"(after {sim.written} bytes)"
+            )
+        cut: Optional[int] = None
+        if (
+            sim.crash_at_byte is not None
+            and sim.written + len(data) > sim.crash_at_byte
+        ):
+            cut = max(0, sim.crash_at_byte - sim.written)
+        elif plan.should_fire(SITE_WRITE_TORN):
+            cut = plan.choose(SITE_WRITE_TORN, len(data))
+        elif plan.should_fire(SITE_POWERCUT):
+            cut = plan.choose(SITE_POWERCUT, len(data) + 1)
+        if cut is None:
+            self._handle.write(data)
+            self._state.size += len(data)
+            sim.written += len(data)
+            return len(data)
+        self._handle.write(data[:cut])
+        self._state.size += cut
+        sim.written += cut
+        self._handle.flush()
+        self._handle.close()
+        sim.crash()
+        raise PowerCutError(
+            f"simulated power cut after {sim.written} bytes "
+            f"(mid-write of {self.path})"
+        )
+
+    def fsync(self) -> None:
+        """Make everything written so far durable — unless the fault
+        plan silently drops the fsync, in which case the bytes stay in
+        the page cache and a later crash eats them."""
+        sim = self.sim
+        sim._check_alive(self.path)
+        if sim.plan.should_fire(SITE_FSYNC_DROPPED):
+            sim.dropped_fsyncs += 1
+            return
+        if sim.plan.should_fire(SITE_POWERCUT):
+            self._handle.flush()
+            self._handle.close()
+            sim.crash()
+            raise PowerCutError(
+                f"simulated power cut during fsync of {self.path}"
+            )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._state.synced = self._state.size
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "DurableFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def fsync_dir(dirpath: str, sim: Optional[CrashSimulator] = None) -> None:
+    """fsync a directory, sealing renames performed under it.
+
+    Without this, a rename is an in-memory directory-entry update that a
+    crash can undo — the classic "my atomic rename wasn't durable" bug.
+    The simulator's ``snapshot.fsync.dropped`` site models exactly that:
+    the call returns but the renames stay volatile.
+    """
+    if sim is not None:
+        sim._check_alive(dirpath)
+        if sim.plan.should_fire(SITE_FSYNC_DROPPED):
+            sim.dropped_fsyncs += 1
+            return
+        if sim.plan.should_fire(SITE_POWERCUT):
+            sim.crash()
+            raise PowerCutError(
+                f"simulated power cut during directory fsync of {dirpath}"
+            )
+    fd = os.open(dirpath, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    if sim is not None:
+        sim.seal_renames(dirpath)
+
+
+def atomic_write_bytes(
+    path: str, blob: bytes, sim: Optional[CrashSimulator] = None
+) -> None:
+    """Durably replace ``path`` with ``blob``: temp -> fsync -> rename -> dir fsync.
+
+    This is the one place the write-temp/fsync/rename/fsync-dir ordering
+    lives; the ``durable-write`` lint rule keeps ad-hoc ``os.replace``
+    calls from creeping in elsewhere.
+    """
+    path = str(path)
+    sim = sim if sim is not None else CrashSimulator()
+    tmp = path + ".tmp"
+    with DurableFile(tmp, sim) as handle:
+        handle.write(blob)
+        handle.fsync()
+    sim.rename(tmp, path)
+    fsync_dir(os.path.dirname(path) or ".", sim)

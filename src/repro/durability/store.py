@@ -1,0 +1,443 @@
+"""Generational crash-safe snapshot store (``repro.durability``).
+
+A :class:`SnapshotStore` owns one directory tree::
+
+    <root>/
+      gen-0000001/
+        part-00000.bin      framed chunks of the pickled engine
+        part-00001.bin      (header + payload + CRC32C each, see format.py)
+        ...
+        MANIFEST.json       written LAST, via temp -> fsync -> rename -> dir fsync
+      gen-0000002/
+        ...
+
+The write protocol makes the manifest the commit point: part files are
+written and fsynced first, the generation directory is fsynced so their
+entries are durable, and only then is the manifest atomically renamed
+into place and sealed.  A generation without an intact manifest never
+existed as far as recovery is concerned — so a crash at *any* byte of
+the write leaves either the new generation fully committed or the
+previous one untouched, never a half-state.
+
+Recovery (:meth:`SnapshotStore.recover`) scans generations newest-first
+and loads the first one that survives full validation: manifest present
+and parseable, every part present with the declared size, every part's
+framing, version, config digest and CRC32C intact, and the reassembled
+payload unpickling into an engine.  Anything less rejects the
+generation and falls back; when nothing survives, the scan raises
+:class:`~repro.errors.NoValidSnapshotError` (or
+:class:`~repro.errors.SnapshotVersionError` when the only intact
+generations are version-skewed) so callers rebuild from source instead
+of serving partial state.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import os
+import pickle
+import shutil
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import (
+    NoValidSnapshotError,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+)
+from ..faults import FaultPlan
+from ..obs import NOOP_SPAN
+from ..storage.checksum import crc32c
+from .format import FORMAT_VERSION, config_digest, decode_part, encode_part
+from .io import CrashSimulator, DurableFile, atomic_write_bytes, fsync_dir
+
+MANIFEST_NAME = "MANIFEST.json"
+_GEN_PREFIX = "gen-"
+_PART_PREFIX = "part-"
+
+
+@dataclass
+class GenerationInfo:
+    """One generation directory as the recovery scan saw it."""
+
+    number: int
+    path: str
+    ok: bool = False
+    parts: int = 0
+    bytes: int = 0
+    config_digest: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "number": self.number,
+            "ok": self.ok,
+            "parts": self.parts,
+            "bytes": self.bytes,
+            "config_digest": self.config_digest,
+            "problems": list(self.problems),
+        }
+
+
+@dataclass
+class FsckReport:
+    """Offline integrity check over every generation in a store."""
+
+    root: str
+    generations: List[GenerationInfo] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """At least one generation would survive recovery."""
+        return any(gen.ok for gen in self.generations)
+
+    @property
+    def newest_valid(self) -> Optional[int]:
+        valid = [gen.number for gen in self.generations if gen.ok]
+        return max(valid) if valid else None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "newest_valid": self.newest_valid,
+            "generations": [
+                gen.to_dict()
+                for gen in sorted(self.generations, key=lambda g: g.number)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, stable ordering) for diffing."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+class SnapshotStore:
+    """Crash-safe, generational persistence for one engine.
+
+    Thread-safe: one internal lock serializes writers and guards the
+    recovery counters surfaced on ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        keep: int = 2,
+        part_bytes: int = 1 << 20,
+        plan: Optional[FaultPlan] = None,
+    ):
+        """Args:
+            root: store directory (created if missing).
+            keep: how many intact generations to retain after a save.
+            part_bytes: payload bytes per part file — small values force
+                multi-part generations, which the tests use to place
+                crash points on structural boundaries.
+            plan: default fault plan for writes (chaos harness hook).
+        """
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep = max(1, keep)
+        self.part_bytes = max(1, part_bytes)
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "writes": 0,
+            "write_failures": 0,
+            "recoveries": 0,
+            "fallbacks": 0,
+            "generations_rejected": 0,
+            "generations_pruned": 0,
+        }  # guarded by: self._lock
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Copy of the recovery/write counters (``/metrics`` material)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += amount
+
+    def generation_numbers(self) -> List[int]:
+        """Generation numbers present on disk, ascending."""
+        numbers = []
+        for entry in self.root.iterdir() if self.root.exists() else ():
+            name = entry.name
+            if entry.is_dir() and name.startswith(_GEN_PREFIX):
+                suffix = name[len(_GEN_PREFIX):]
+                if suffix.isdigit():
+                    numbers.append(int(suffix))
+        return sorted(numbers)
+
+    def _gen_dir(self, number: int) -> Path:
+        return self.root / f"{_GEN_PREFIX}{number:07d}"
+
+    # -- writing -------------------------------------------------------------
+
+    def save(
+        self,
+        engine: object,
+        span: object = None,
+        sim: Optional[CrashSimulator] = None,
+    ) -> GenerationInfo:
+        """Write the next generation durably; prune old ones on success.
+
+        The manifest is the commit point: until its atomic rename is
+        sealed by the directory fsync, the generation does not exist to
+        recovery.  Raises a typed :class:`~repro.errors.SnapshotError`
+        subclass on injected write faults, leaving the store exactly as
+        it was.
+        """
+        span = (span if span is not None else NOOP_SPAN).child("snapshot.write")
+        sim = sim if sim is not None else CrashSimulator(plan=self.plan)
+        try:
+            with span:
+                numbers = self.generation_numbers()
+                number = (numbers[-1] + 1) if numbers else 1
+                gen_dir = self._gen_dir(number)
+                span.set("generation", number)
+                gen_dir.mkdir()
+                payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+                digest = config_digest(engine)
+                parts = []
+                for index in range(0, max(1, -(-len(payload) // self.part_bytes))):
+                    chunk = payload[
+                        index * self.part_bytes : (index + 1) * self.part_bytes
+                    ]
+                    blob = encode_part(chunk, digest)
+                    name = f"{_PART_PREFIX}{index:05d}.bin"
+                    with DurableFile(str(gen_dir / name), sim) as handle:
+                        handle.write(blob)
+                        handle.fsync()
+                    parts.append(
+                        {
+                            "name": name,
+                            "bytes": len(blob),
+                            "payload_bytes": len(chunk),
+                            "crc32c": crc32c(blob),
+                        }
+                    )
+                    span.event("part_written", part=name, bytes=len(blob))
+                # Part directory entries must be durable before the
+                # manifest can commit the generation.
+                fsync_dir(str(gen_dir), sim)
+                manifest = {
+                    "format_version": FORMAT_VERSION,
+                    "generation": number,
+                    "config_digest": digest,
+                    "payload_bytes": len(payload),
+                    "parts": parts,
+                }
+                blob = json.dumps(manifest, sort_keys=True, indent=2).encode(
+                    "utf-8"
+                )
+                atomic_write_bytes(str(gen_dir / MANIFEST_NAME), blob, sim)
+                span.event("manifest_committed", bytes=len(blob))
+                info = GenerationInfo(
+                    number=number,
+                    path=str(gen_dir),
+                    ok=True,
+                    parts=len(parts),
+                    bytes=sum(part["bytes"] for part in parts) + len(blob),
+                    config_digest=digest,
+                )
+        except SnapshotError:
+            self._bump("write_failures")
+            raise
+        self._bump("writes")
+        self._prune()
+        return info
+
+    def _prune(self) -> None:
+        """Drop generations older than the ``keep`` newest intact ones.
+
+        Only runs after a successful save, so the newest generation is
+        known-good; crashed attempts *between* surviving generations are
+        left for fsck to report, bounded by the next successful save.
+        """
+        valid = [
+            number
+            for number in reversed(self.generation_numbers())
+            if self._validate(number)[0] is not None
+        ]
+        if len(valid) <= self.keep:
+            return
+        horizon = valid[self.keep - 1]
+        for number in self.generation_numbers():
+            if number < horizon:
+                shutil.rmtree(self._gen_dir(number), ignore_errors=True)
+                self._bump("generations_pruned")
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(
+        self, number: int
+    ) -> Tuple[Optional[bytes], GenerationInfo]:
+        """Fully validate one generation; return (payload or None, info)."""
+        gen_dir = self._gen_dir(number)
+        info = GenerationInfo(number=number, path=str(gen_dir))
+        manifest_path = gen_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            info.problems.append("manifest missing (write never committed)")
+            return None, info
+        try:
+            manifest = json.loads(manifest_path.read_bytes())
+        except (ValueError, OSError) as exc:
+            info.problems.append(f"manifest unreadable: {exc}")
+            return None, info
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            info.problems.append(
+                f"format version {version} (this build reads v{FORMAT_VERSION})"
+            )
+            return None, info
+        digest = manifest.get("config_digest", 0)
+        info.config_digest = digest
+        assembled = _io.BytesIO()
+        for part in manifest.get("parts", ()):
+            name = str(part.get("name", ""))
+            part_path = gen_dir / name
+            if os.sep in name or not name.startswith(_PART_PREFIX):
+                info.problems.append(f"manifest names a foreign part {name!r}")
+                continue
+            if not part_path.exists():
+                info.problems.append(f"{name}: missing")
+                continue
+            blob = part_path.read_bytes()
+            if len(blob) != part.get("bytes"):
+                info.problems.append(
+                    f"{name}: {len(blob)} bytes on disk, manifest declares "
+                    f"{part.get('bytes')}"
+                )
+                continue
+            if crc32c(blob) != part.get("crc32c"):
+                info.problems.append(
+                    f"{name}: framed CRC32C does not match the manifest"
+                )
+                continue
+            try:
+                payload, part_digest = decode_part(blob, path=name)
+            except SnapshotError as exc:
+                info.problems.append(f"{name}: {exc}")
+                continue
+            if part_digest != digest:
+                info.problems.append(
+                    f"{name}: config digest {part_digest:#010x} does not "
+                    f"match the manifest's {digest:#010x}"
+                )
+                continue
+            info.parts += 1
+            info.bytes += len(blob)
+            assembled.write(payload)
+        if info.problems:
+            return None, info
+        payload = assembled.getvalue()
+        if len(payload) != manifest.get("payload_bytes"):
+            info.problems.append(
+                f"reassembled payload is {len(payload)} bytes, manifest "
+                f"declares {manifest.get('payload_bytes')}"
+            )
+            return None, info
+        info.ok = True
+        info.bytes += len(manifest_path.read_bytes())
+        return payload, info
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, span: object = None) -> Tuple[object, GenerationInfo]:
+        """Load the newest fully-intact generation.
+
+        Scans newest-first; every rejected generation is recorded (a
+        span event plus the ``generations_rejected`` counter) and the
+        scan falls back to the next older one.  Raises
+        :class:`~repro.errors.NoValidSnapshotError` when nothing
+        survives, or :class:`~repro.errors.SnapshotVersionError` when
+        the only structurally-intact generations are version-skewed.
+        """
+        from ..engine import XRankEngine  # runtime import: engine pulls in durability lazily too
+
+        span = (span if span is not None else NOOP_SPAN).child(
+            "snapshot.recover"
+        )
+        with span:
+            numbers = list(reversed(self.generation_numbers()))
+            span.set("generations_on_disk", len(numbers))
+            rejected = 0
+            version_skew = False
+            for number in numbers:
+                payload, info = self._validate(number)
+                if payload is None:
+                    rejected += 1
+                    version_skew = version_skew or any(
+                        "format version" in problem for problem in info.problems
+                    )
+                    span.event(
+                        "generation_rejected",
+                        generation=number,
+                        reason=info.problems[0] if info.problems else "unknown",
+                    )
+                    continue
+                try:
+                    engine = pickle.loads(payload)
+                except Exception as exc:  # checksummed payload that still fails to unpickle is corruption, whatever pickle raises
+                    rejected += 1
+                    span.event(
+                        "generation_rejected",
+                        generation=number,
+                        reason=f"unpickle failed: {exc}",
+                    )
+                    continue
+                if not isinstance(engine, XRankEngine):
+                    rejected += 1
+                    span.event(
+                        "generation_rejected",
+                        generation=number,
+                        reason=f"payload is {type(engine).__name__}, not an engine",
+                    )
+                    continue
+                if config_digest(engine) != info.config_digest:
+                    rejected += 1
+                    span.event(
+                        "generation_rejected",
+                        generation=number,
+                        reason="config digest mismatch after unpickling",
+                    )
+                    continue
+                self._bump("recoveries")
+                if rejected:
+                    self._bump("fallbacks")
+                    self._bump("generations_rejected", rejected)
+                span.set("generation", number)
+                span.set("fell_back", rejected > 0)
+                span.event("recovered", generation=number, rejected=rejected)
+                return engine, info
+            if rejected:
+                self._bump("generations_rejected", rejected)
+            if version_skew:
+                raise SnapshotVersionError(
+                    f"every intact generation under {self.root} is "
+                    "version-skewed; nothing this build can read"
+                )
+            if numbers:
+                raise NoValidSnapshotError(
+                    f"no intact generation under {self.root} "
+                    f"({rejected} rejected); rebuild from source"
+                )
+            raise NoValidSnapshotError(
+                f"no snapshot generations under {self.root}"
+            )
+
+    # -- offline checking ----------------------------------------------------
+
+    def fsck(self) -> FsckReport:
+        """Validate every generation without loading any of them."""
+        report = FsckReport(root=str(self.root))
+        for number in self.generation_numbers():
+            _payload, info = self._validate(number)
+            report.generations.append(info)
+        return report

@@ -741,20 +741,38 @@ class XRankEngine:
 
         Everything — parsed trees, ElemRanks, all simulated-disk pages — is
         pickled, so :meth:`load` restores a fully queryable engine without
-        re-parsing or re-indexing.
+        re-parsing or re-indexing.  The pickle stream rides inside the
+        versioned snapshot framing (magic, format version, config digest,
+        CRC32C trailer — see :mod:`repro.durability.format`) and the file
+        is replaced durably: temp -> fsync -> atomic rename -> dir fsync,
+        so a crash mid-save leaves the previous file intact.
         """
         import pickle
 
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle)
+        from .durability.format import config_digest, encode_part
+        from .durability.io import atomic_write_bytes
+
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(str(path), encode_part(payload, config_digest(self)))
 
     @classmethod
     def load(cls, path) -> "XRankEngine":
-        """Restore an engine persisted by :meth:`save`."""
+        """Restore an engine persisted by :meth:`save`.
+
+        Validates the snapshot framing before unpickling a single byte:
+        bad magic or a foreign format version raises
+        :class:`~repro.errors.SnapshotVersionError`, truncation or bit
+        rot raises :class:`~repro.errors.SnapshotCorruptError`.
+        """
         import pickle
 
+        from .durability.format import config_digest, decode_part
+        from .errors import SnapshotVersionError
+
         with open(path, "rb") as handle:
-            engine = pickle.load(handle)
+            blob = handle.read()
+        payload, digest = decode_part(blob, path=str(path))
+        engine = pickle.loads(payload)
         if not isinstance(engine, cls):
             raise XRankError(f"{path} does not contain a pickled XRankEngine")
         if not hasattr(engine, "generation"):  # pre-serving-layer pickles
@@ -762,6 +780,12 @@ class XRankEngine:
         if not hasattr(engine, "last_build_stats"):  # pre-repro.build pickles
             engine.last_build_stats = None
             engine.last_build_skipped = []
+        if config_digest(engine) != digest:
+            raise SnapshotVersionError(
+                f"{path}: header config digest {digest:#010x} does not match "
+                "the loaded engine's configuration — snapshot written under "
+                "a different config regime"
+            )
         return engine
 
     # -- stats -------------------------------------------------------------------------------------

@@ -91,6 +91,65 @@ class CorruptRunError(FaultError):
     """Raised when a build run file fails its per-block CRC32C check."""
 
 
+class SnapshotError(StorageError):
+    """Base class for durable-snapshot failures (repro.durability).
+
+    Everything the snapshot writer and the recovery scan raise derives
+    from here, so callers hardened against "persistence went wrong" can
+    catch one type and decide between retrying the save and falling back
+    to a rebuild.
+    """
+
+
+class SnapshotWriteError(SnapshotError):
+    """Raised when a snapshot write fails before any bytes land.
+
+    The injected ``disk.write.error`` site surfaces here: the write
+    syscall itself errors out, nothing reaches the platter, and the
+    in-progress generation directory is garbage the next recovery scan
+    will skip.
+    """
+
+
+class PowerCutError(SnapshotError):
+    """Raised when a simulated power cut interrupts a snapshot write.
+
+    Models the machine dying mid-write: bytes not covered by a
+    successful fsync are lost, renames not sealed by a directory fsync
+    are undone.  Everything after the crash point — including the crash
+    simulator itself — refuses further I/O on the dead "volume".
+    """
+
+
+class SnapshotCorruptError(SnapshotError):
+    """Raised when a snapshot part fails validation (CRC, size, framing).
+
+    Detection, not injection: every part carries a CRC32C trailer and a
+    length-bearing header, so torn writes and truncation surface here
+    instead of feeding garbage to the unpickler.  The recovery scan
+    treats this as "reject the generation and fall back".
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """Raised when a snapshot's magic, format version or config digest
+    does not match what this build reads.
+
+    A version-skewed snapshot is structurally intact but semantically
+    foreign; loading it would unpickle garbage (or worse, silently
+    rank with stale config), so it fails loudly instead.
+    """
+
+
+class NoValidSnapshotError(SnapshotError):
+    """Raised when the recovery scan finds no fully-intact generation.
+
+    Every generation under the store root was rejected (corrupt,
+    truncated, version-skewed, or missing its manifest); the caller must
+    rebuild from source rather than serve partial state.
+    """
+
+
 class BTreeError(StorageError):
     """Raised on B+-tree invariant violations (bad fanout, key order)."""
 

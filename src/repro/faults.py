@@ -17,7 +17,10 @@ Layers that accept a plan:
 * :mod:`repro.build.pipeline` — ``fault_plan=`` crashes workers and
   corrupts spilled run files (both retried per shard);
 * :class:`~repro.engine.XRankEngine` — :meth:`~repro.engine.XRankEngine.
-  set_fault_plan` attaches one plan to every built index's disk.
+  set_fault_plan` attaches one plan to every built index's disk;
+* :class:`~repro.durability.CrashSimulator` — write-side sites kill the
+  snapshot writer mid-stream (torn writes, dropped fsyncs, power cuts at
+  seeded byte offsets).
 
 Every fault a plan injects surfaces as a typed
 :class:`~repro.errors.ReproError` subclass (enforced by the
@@ -48,16 +51,37 @@ SITE_READ_SLOW = "disk.read.slow"
 SITE_WORKER_CRASH = "build.worker.crash"
 #: One spilled run file gets a byte flipped before the merge reads it.
 SITE_RUNFILE_CORRUPT = "build.runfile.corrupt"
+#: One snapshot write lands a seeded prefix, then the power dies (torn
+#: write; fatal to the write, survivable by recovery).
+SITE_WRITE_TORN = "disk.write.torn"
+#: One snapshot write fails outright before any bytes land (I/O error;
+#: transient).
+SITE_WRITE_ERROR = "disk.write.error"
+#: One fsync silently does nothing: the bytes stay in the (simulated)
+#: page cache and a later power cut drops them (silent; only checksums
+#: and recovery ordering can absorb it).
+SITE_FSYNC_DROPPED = "snapshot.fsync.dropped"
+#: The power dies at a seeded byte offset of the snapshot write stream;
+#: unsynced bytes are truncated and unsealed renames undone.
+SITE_POWERCUT = "snapshot.powercut"
 
 #: The storage-layer sites (what a "read-fault rate" applies to).
 READ_SITES = (SITE_READ_ERROR, SITE_READ_TORN, SITE_READ_BITFLIP)
+
+#: The snapshot-writer sites (what the durability battery storms).
+WRITE_SITES = (
+    SITE_WRITE_TORN,
+    SITE_WRITE_ERROR,
+    SITE_FSYNC_DROPPED,
+    SITE_POWERCUT,
+)
 
 #: Every site any layer consults.
 ALL_SITES = READ_SITES + (
     SITE_READ_SLOW,
     SITE_WORKER_CRASH,
     SITE_RUNFILE_CORRUPT,
-)
+) + WRITE_SITES
 
 
 @dataclass(frozen=True)

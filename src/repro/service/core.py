@@ -88,6 +88,7 @@ class XRankService:
         breaker_threshold: int = 3,
         breaker_cooldown: int = 32,
         tracer: Optional[Tracer] = None,
+        snapshot_store=None,
     ):
         """Args:
             engine: the engine to serve; built here if it has documents
@@ -107,6 +108,10 @@ class XRankService:
                 ``sample="never"`` tracer, so instrumentation costs one
                 branch per stage unless sampling is turned on (or a
                 remote caller forwards a trace context).
+            snapshot_store: optional :class:`~repro.durability.
+                SnapshotStore` backing this service; its write/recovery
+                counters ride on :meth:`stats` (and therefore
+                ``/metrics`` as ``xrank_snapshots_*`` gauges).
         """
         self.engine = engine
         self.lock = ReadWriteLock()
@@ -123,6 +128,7 @@ class XRankService:
         self.result_cache = GenerationalLRU(result_cache_size, name="results")
         self.list_cache = GenerationalLRU(list_cache_size, name="posting-lists")
         self.default_deadline_ms = default_deadline_ms
+        self.snapshot_store = snapshot_store
 
         if not engine._indexes and engine.graph.documents:
             engine.build(kinds=tuple(kinds) if kinds else ("hdil",))
@@ -473,6 +479,11 @@ class XRankService:
             "engine": engine_stats,
             "generation": generation,
         }
+        if self.snapshot_store is not None:
+            # Every numeric leaf becomes an xrank_snapshots_* gauge on
+            # /metrics (promfmt walks the payload), so recovery activity
+            # is scrapeable without a dedicated endpoint.
+            payload["snapshots"] = self.snapshot_store.counters()
         return payload
 
     def healthz(self) -> Dict[str, object]:

@@ -1,7 +1,6 @@
 """End-to-end tests for the ``repro build`` CLI (parallel build + verify)."""
 
 import json
-import pickle
 
 import pytest
 
@@ -46,8 +45,7 @@ class TestBuildCommand:
         captured = capsys.readouterr()
         assert "2 worker(s)" in captured.out
         assert "byte-identical" in captured.out
-        with open(out, "rb") as handle:
-            engine = pickle.load(handle)
+        engine = XRankEngine.load(out)
         assert isinstance(engine, XRankEngine)
         assert engine.search("xql", m=5)
 
@@ -59,10 +57,8 @@ class TestBuildCommand:
             ["build", str(corpus_dir), "--out", str(build_out), "--workers", "2"]
         ) == 0
         assert main(["index", str(corpus_dir), "--out", str(index_out)]) == 0
-        with open(build_out, "rb") as handle:
-            built = pickle.load(handle)
-        with open(index_out, "rb") as handle:
-            indexed = pickle.load(handle)
+        built = XRankEngine.load(build_out)
+        indexed = XRankEngine.load(index_out)
         for query in ("xql", "xql language", "keyword search"):
             assert [
                 (hit.dewey, hit.rank) for hit in built.search(query, m=5)

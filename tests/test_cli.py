@@ -32,15 +32,13 @@ class TestIndexCommand:
         captured = capsys.readouterr()
         assert "indexed 2 documents" in captured.out
         assert "skipping" in captured.err  # broken.xml reported, not fatal
-        with open(out, "rb") as handle:
-            engine = pickle.load(handle)
+        engine = XRankEngine.load(out)
         assert isinstance(engine, XRankEngine)
 
     def test_cross_file_links_resolve(self, corpus_dir, tmp_path):
         out = tmp_path / "engine.xrank"
         main(["index", str(corpus_dir), "--out", str(out)])
-        with open(out, "rb") as handle:
-            engine = pickle.load(handle)
+        engine = XRankEngine.load(out)
         assert engine.stats()["hyperlink_edges"] == 1
 
     def test_missing_path_errors(self, tmp_path):
@@ -131,8 +129,7 @@ class TestGeneratedCorpusIntegration:
         out = tmp_path / "engine.xrank"
         code = main(["index", str(corpus_dir), "--out", str(out)])
         assert code == 0
-        with open(out, "rb") as handle:
-            engine = pickle.load(handle)
+        engine = XRankEngine.load(out)
         # Inter-document citations must survive the disk round trip.
         assert engine.stats()["hyperlink_edges"] == len(
             corpus.graph.hyperlink_edges

@@ -218,3 +218,39 @@ class TestCoordinatorSurface:
         )
         cluster.coordinator.replace_endpoint(endpoint)
         assert cluster.coordinator.shard_groups[0][0].port == 1
+
+
+class TestRestartFromSnapshot:
+    """The hard-crash rejoin path: a killed replica comes back from the
+    shard's on-disk snapshot store, not the in-memory engine."""
+
+    def test_rejoin_serves_identical_answers(self, tmp_path):
+        with LocalCluster.from_sources(
+            CORPUS, num_shards=2, replicas=2,
+            snapshot_root=str(tmp_path / "snaps"),
+        ) as cluster:
+            before = cluster.search("shared", m=5).hits
+            cluster.kill(0, 1)
+            cluster.restart_from_snapshot(0, 1)
+            after = cluster.search("shared", m=5).hits
+            assert after == before
+            described = cluster.describe()
+            assert described["rejoins"] == 1
+            stores = described["snapshot_stores"]
+            assert stores["0"]["recoveries"] == 1
+            assert stores["0"]["writes"] == 1
+
+    def test_rejoined_worker_is_queryable_directly(self, tmp_path):
+        with LocalCluster.from_sources(
+            CORPUS, num_shards=1, replicas=2,
+            snapshot_root=str(tmp_path / "snaps"),
+        ) as cluster:
+            endpoint = cluster.restart_from_snapshot(0, 0)
+            client = ServiceClient(endpoint.host, endpoint.port)
+            answer = client.search("alpha", m=5, deadline_ms=5000)
+            assert answer["results"]
+
+    def test_rejoin_without_snapshot_root_is_typed(self):
+        with LocalCluster.from_sources(CORPUS, num_shards=1) as cluster:
+            with pytest.raises(ClusterError, match="snapshot_root"):
+                cluster.restart_from_snapshot(0, 0)

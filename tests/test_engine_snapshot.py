@@ -137,3 +137,60 @@ class TestDocIdWatermark:
             "<doc><p>two more</p></doc>", uri="e.xml"
         )
         assert second == first + 1
+
+
+class TestVersionedFormat:
+    """engine.save() now writes a framed, checksummed part — not a raw
+    pickle — so torn files and foreign snapshots fail typed, up front."""
+
+    def test_engine_file_starts_with_magic(self, tmp_path):
+        from repro.durability import MAGIC
+
+        path = tmp_path / "engine.xrank"
+        built_engine().save(path)
+        assert path.read_bytes().startswith(MAGIC)
+
+    def test_truncated_engine_file_is_typed_corruption(self, tmp_path):
+        from repro.errors import SnapshotCorruptError
+
+        path = tmp_path / "engine.xrank"
+        built_engine().save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotCorruptError):
+            XRankEngine.load(path)
+
+    def test_raw_pickle_is_a_version_error(self, tmp_path):
+        import pickle
+
+        from repro.errors import SnapshotVersionError
+
+        path = tmp_path / "engine.xrank"
+        with open(path, "wb") as handle:
+            pickle.dump(built_engine(), handle)
+        with pytest.raises(SnapshotVersionError, match="bad magic"):
+            XRankEngine.load(path)
+
+    def test_future_format_version_is_typed(self, tmp_path):
+        from repro.errors import SnapshotVersionError
+
+        path = tmp_path / "engine.xrank"
+        built_engine().save(path)
+        blob = bytearray(path.read_bytes())
+        blob[8] = 0xFE  # format version u16 LE at offset 8
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotVersionError, match="format v"):
+            XRankEngine.load(path)
+
+    def test_config_digest_mismatch_is_typed(self, tmp_path):
+        import pickle
+
+        from repro.durability import encode_part
+        from repro.errors import SnapshotVersionError
+
+        engine = built_engine()
+        path = tmp_path / "engine.xrank"
+        payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+        path.write_bytes(encode_part(payload, digest=0x12345678))
+        with pytest.raises(SnapshotVersionError, match="digest"):
+            XRankEngine.load(path)
