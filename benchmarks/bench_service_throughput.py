@@ -18,13 +18,23 @@ threads replaying a fixed query workload over a generated DBLP corpus:
   (interleaved untraced/traced passes of the same workload) but reported
   informationally: wall-clock A/B on shared runners is too noisy to
   gate at single-digit percentages.
+* **profile** phase — the cost-attribution tax, measured the same way.
+  The profiling-*disabled* plumbing (one ``is not None`` branch per
+  counter event) and the profiling-*enabled* plumbing (the increments
+  plus one registry fold per query) are microbenchmarked at the
+  workload's measured events-per-query rate and expressed as ratios
+  over the median unprofiled query; CI gates disabled at
+  ``PROFILE_DISABLED_BUDGET_RATIO`` (3%) and enabled at
+  ``PROFILE_ENABLED_BUDGET_RATIO`` (5%).  The within-run A/B ratio is
+  reported informationally, as with tracing.
 
-Results (QPS, p50/p95/p99 latency, cache hit rate, trace overhead) are
-written to ``BENCH_service.json`` at the repository root.
+Results (QPS, p50/p95/p99 latency, cache hit rate, trace and profile
+overhead) are written to ``BENCH_service.json`` at the repository root.
 
 Acceptance (asserted below): warm-cache QPS strictly exceeds cold-cache
 QPS on the same workload, the deadline-limited run degrades rather than
-erroring, and the tracing-disabled overhead fits the 3% budget.
+erroring, the tracing-disabled overhead fits the 3% budget, and the
+profiling overheads fit their 3%/5% budgets.
 """
 
 from __future__ import annotations
@@ -42,6 +52,12 @@ from repro.datasets.dblp import generate_dblp
 from repro.datasets.textgen import PlantedKeywords
 from repro.engine import XRankEngine
 from repro.obs import Tracer
+from repro.obs.profile import (
+    ProfileRegistry,
+    QueryProfile,
+    activate,
+    active_profile,
+)
 from repro.service.core import XRankService
 
 NUM_PAPERS = 150
@@ -52,6 +68,11 @@ TINY_REQUESTS_PER_THREAD = 10
 #: Allowed tracing-disabled overhead: the NOOP plumbing may cost at most
 #: 3% of the median untraced query.  CI gates ``trace.within_budget``.
 TRACE_BUDGET_RATIO = 1.03
+#: Allowed profiling overheads, same discipline: the disabled branch
+#: tax and the enabled counter/registry tax over the unprofiled query.
+#: CI gates ``profile.within_budget``.
+PROFILE_DISABLED_BUDGET_RATIO = 1.03
+PROFILE_ENABLED_BUDGET_RATIO = 1.05
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 
@@ -208,6 +229,103 @@ def _trace_overhead(
     }
 
 
+def _profile_plumbing_ns(
+    events: int, iterations: int = 4000
+) -> Dict[str, float]:
+    """Per-query cost of the profiling plumbing, disabled and enabled.
+
+    Replays the hot-loop pattern ``XRankService.search`` and the
+    evaluators use — capture the active profile once, then one
+    ``is not None`` branch per counter event (plus the increment, the
+    :class:`QueryProfile` allocation, and the registry fold when
+    enabled) — at the workload's measured events-per-query rate.
+    Microbenchmarked directly for the same reason as the NOOP tracing
+    plumbing: the disabled path cannot be A/B'd out of the build.
+    """
+    registry = ProfileRegistry()
+
+    def one_mode(enabled: bool) -> float:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            profile = QueryProfile() if enabled else None
+            with activate(profile):
+                captured = active_profile()
+                for _ in range(events):
+                    if captured is not None:
+                        captured.postings_scanned += 1
+            if profile is not None:
+                registry.record("hdil", "bench:1kw", 10, profile)
+        return (time.perf_counter() - started) / iterations * 1e9
+
+    return {"disabled_ns": one_mode(False), "enabled_ns": one_mode(True)}
+
+
+def _profile_overhead(
+    engine: XRankEngine, queries: List[str], repetitions: int
+) -> Dict[str, object]:
+    """The profile phase: disabled/enabled plumbing tax, both gated.
+
+    Same structure as :func:`_trace_overhead`: interleaved
+    single-threaded passes on uncached services give a per-query
+    baseline (and an informational A/B ratio), then the microbenchmarked
+    plumbing costs — scaled to the events-per-query the workload
+    actually generated — are divided by that baseline.
+    """
+    off_service = XRankService(engine, result_cache_size=0, list_cache_size=0)
+    on_service = XRankService(
+        engine, result_cache_size=0, list_cache_size=0, profile=True
+    )
+
+    def one_pass(service: XRankService) -> float:
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            for query in queries:
+                service.search(query, m=10)
+        return time.perf_counter() - started
+
+    one_pass(off_service)  # warm the page cache once for both services
+    off_totals: List[float] = []
+    on_totals: List[float] = []
+    for _ in range(3):
+        off_totals.append(one_pass(off_service))
+        on_totals.append(one_pass(on_service))
+
+    requests = repetitions * len(queries)
+    off_query_ns = min(off_totals) / requests * 1e9
+    snapshot = on_service.profile_snapshot()
+    total_ops = sum(
+        sum(entry["counters"].values()) for entry in snapshot["profiles"]
+    )
+    events_per_query = max(1, round(total_ops / max(1, snapshot["queries"])))
+    plumbing = _profile_plumbing_ns(events_per_query)
+    disabled_ratio = 1.0 + plumbing["disabled_ns"] / off_query_ns
+    enabled_ratio = 1.0 + plumbing["enabled_ns"] / off_query_ns
+    return {
+        "off": {
+            "total_s": round(min(off_totals), 4),
+            "per_query_us": round(off_query_ns / 1e3, 2),
+        },
+        "on": {
+            "total_s": round(min(on_totals), 4),
+            "queries_profiled": snapshot["queries"],
+            "aggregate_cells": len(snapshot["profiles"]),
+        },
+        "events_per_query": events_per_query,
+        "disabled_plumbing_ns_per_query": round(plumbing["disabled_ns"], 1),
+        "enabled_plumbing_ns_per_query": round(plumbing["enabled_ns"], 1),
+        "disabled_overhead_ratio": round(disabled_ratio, 5),
+        "enabled_overhead_ratio": round(enabled_ratio, 5),
+        # Informational only: within-run A/B of full profiling vs none.
+        "measured_overhead_ratio": round(min(on_totals) / min(off_totals), 4),
+        "disabled_budget_ratio": PROFILE_DISABLED_BUDGET_RATIO,
+        "enabled_budget_ratio": PROFILE_ENABLED_BUDGET_RATIO,
+        "within_budget": bool(
+            disabled_ratio <= PROFILE_DISABLED_BUDGET_RATIO
+            and enabled_ratio <= PROFILE_ENABLED_BUDGET_RATIO
+        ),
+    }
+
+
 def run_benchmark(
     engine: XRankEngine,
     num_papers: int = NUM_PAPERS,
@@ -245,6 +363,11 @@ def run_benchmark(
         engine, queries, repetitions=max(2, requests_per_thread // 4)
     )
 
+    # Profile: the cost-attribution tax, disabled and enabled both gated.
+    profile = _profile_overhead(
+        engine, queries, repetitions=max(2, requests_per_thread // 4)
+    )
+
     return {
         "benchmark": "service_throughput",
         "corpus": {"kind": "dblp", "papers": num_papers, "index": "hdil"},
@@ -258,6 +381,7 @@ def run_benchmark(
         "speedup": round(warm["qps"] / cold["qps"], 2) if cold["qps"] else None,
         "deadline": deadline,
         "trace": trace,
+        "profile": profile,
     }
 
 
@@ -284,18 +408,31 @@ def check_report(report: Dict[str, object]) -> List[str]:
         )
     if not report["trace"]["on"]["traces_retained"] > 0:
         failures.append("sample=always pass retained no traces")
+    if report["profile"]["within_budget"] is not True:
+        failures.append(
+            "profiling overhead disabled "
+            f"{report['profile']['disabled_overhead_ratio']} / enabled "
+            f"{report['profile']['enabled_overhead_ratio']} exceeds the "
+            f"{PROFILE_DISABLED_BUDGET_RATIO}/{PROFILE_ENABLED_BUDGET_RATIO} "
+            "budgets"
+        )
+    if not report["profile"]["on"]["queries_profiled"] > 0:
+        failures.append("profile=True pass recorded no query profiles")
     return failures
 
 
 def _summary_line(report: Dict[str, object]) -> str:
     cold, warm, trace = report["cold"], report["warm"], report["trace"]
+    profile = report["profile"]
     return (
         f"service throughput: cold {cold['qps']} qps "
         f"(p95 {cold['p95_ms']:.2f}ms) -> warm {warm['qps']} qps "
         f"(p95 {warm['p95_ms']:.4f}ms, hit rate "
         f"{warm['result_cache_hit_rate']:.0%}); trace off-tax "
         f"{(trace['off_overhead_ratio'] - 1) * 100:.3f}% "
-        f"(sampled {trace['sampled_overhead_ratio']}x)"
+        f"(sampled {trace['sampled_overhead_ratio']}x); profile tax "
+        f"off {(profile['disabled_overhead_ratio'] - 1) * 100:.3f}% / "
+        f"on {(profile['enabled_overhead_ratio'] - 1) * 100:.3f}%"
     )
 
 

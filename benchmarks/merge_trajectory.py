@@ -51,6 +51,10 @@ HEADLINE_PATHS: Dict[str, Sequence[str]] = {
         "trace.sampled_overhead_ratio",
         "trace.noop_plumbing_ns_per_query",
         "trace.within_budget",
+        "profile.disabled_overhead_ratio",
+        "profile.enabled_overhead_ratio",
+        "profile.events_per_query",
+        "profile.within_budget",
     ),
     "parallel_build": ("identical", "best_speedup"),
     "cluster": ("identical", "failover.failover_exercised"),

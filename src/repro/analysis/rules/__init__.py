@@ -20,6 +20,7 @@ from .general import BareExceptRule, MutableDefaultRule, WallClockRule
 from .generation import CacheGenerationRule
 from .guards import GuardedByRule
 from .locks import LockDisciplineRule, RawLockRule
+from .log import StructuredLogRule
 from .obs import ClusterTraceRPCRule
 
 ALL_RULES: List[LintRule] = [
@@ -35,6 +36,7 @@ ALL_RULES: List[LintRule] = [
     ClusterDeadlineRPCRule(),
     ClusterTraceRPCRule(),
     DurableWriteRule(),
+    StructuredLogRule(),
 ]
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "LockDisciplineRule",
     "MutableDefaultRule",
     "RawLockRule",
+    "StructuredLogRule",
     "WallClockRule",
     "default_rules",
 ]

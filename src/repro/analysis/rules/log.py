@@ -1,0 +1,76 @@
+"""structured-log: the serving tier narrates through the event log.
+
+``print()`` statements and module loggers in ``service/`` and
+``cluster/`` are the failure mode this PR's event log exists to kill:
+they are unbounded, unstructured, race with benchmark output on stderr,
+and — worst — cannot be joined back to the query that caused them.
+Operational narration belongs in :class:`repro.obs.log.EventLog`
+(``events.emit(kind, **fields)``), which is bounded, deterministic, and
+stamps every record with the ambient trace id.
+
+Flagged:
+
+* any ``print(...)`` call;
+* any ``logging.<anything>(...)`` call (``logging.info``,
+  ``logging.getLogger``, ...);
+* any call on a receiver *named* ``logger`` or ``log`` (the
+  conventional module-logger idiom: ``logger.debug(...)``).
+
+Genuine operator-facing CLI output (a startup banner) carries
+``# repro: ignore[structured-log]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..linter import LintRule, Violation
+
+_LOGGER_NAMES = frozenset({"logger", "log"})
+
+
+class StructuredLogRule(LintRule):
+    rule_id = "structured-log"
+    description = (
+        "raw print()/logging call in the serving tier: emit a structured "
+        "event (EventLog.emit) instead"
+    )
+    scopes = ("service/", "cluster/")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._diagnose(node.func)
+            if message is not None:
+                violations.append(self.violation(path, node, message))
+        return violations
+
+    @staticmethod
+    def _diagnose(func: ast.expr):
+        if isinstance(func, ast.Name) and func.id == "print":
+            return (
+                "print() in the serving tier: use the service's "
+                "EventLog (events.emit) so the record is bounded, "
+                "structured and trace-correlated"
+            )
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "logging":
+                return (
+                    "logging.* in the serving tier: module loggers are "
+                    "unstructured and cannot carry trace ids; emit an "
+                    "event via EventLog instead"
+                )
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in _LOGGER_NAMES
+            ):
+                return (
+                    f"{receiver.id}.{func.attr}() in the serving tier: "
+                    "replace the module logger with EventLog.emit so the "
+                    "record joins its query's trace"
+                )
+        return None

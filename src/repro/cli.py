@@ -27,6 +27,7 @@ files resolve into hyperlink edges for ElemRank.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional
@@ -279,6 +280,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ratio=args.trace_ratio,
             slow_ms=args.trace_slow_ms,
         ),
+        profile=args.profile,
     )
 
     if args.check:
@@ -606,6 +608,142 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a seeded profiled workload and render per-query cost profiles.
+
+    Default mode builds a single-node service with profiling enabled and
+    runs the seeded workload; ``--cluster`` boots a LocalCluster with
+    profiling on every worker and merges the shards' registries on the
+    coordinator.  ``--json`` prints the canonical export — timing
+    side-channels stripped, keys sorted — which is byte-identical across
+    two runs of the same seed and is what the obs-profile-smoke CI job
+    diffs.  ``--url`` fetches ``/profile`` from a running server.
+    """
+    from .obs.profile import ProfileRegistry, canonical_profile_json
+    from .obs.render import render_profile
+
+    if args.url:
+        from urllib.parse import urlparse
+
+        from .service.client import ServiceClient
+
+        parsed = urlparse(
+            args.url if "//" in args.url else f"http://{args.url}"
+        )
+        client = ServiceClient(parsed.hostname or "127.0.0.1", parsed.port or 80)
+        snapshot = client.profile()
+    else:
+        from .cluster.verify import default_cluster_corpus
+
+        specs, queries = default_cluster_corpus(args.papers, seed=args.seed)
+        workload = (queries * ((args.queries // len(queries)) + 1))[
+            : args.queries
+        ]
+        if args.cluster:
+            from .cluster.local import LocalCluster
+
+            with LocalCluster(
+                specs,
+                num_shards=args.shards,
+                replicas=args.replicas,
+                worker_options={"profile": True},
+            ) as cluster:
+                for query in workload:
+                    cluster.search(query, m=args.m)
+                snapshot = cluster.profile_snapshot()
+        else:
+            from .cluster.verify import single_node_oracle
+
+            service = single_node_oracle(specs)
+            service.profiles = ProfileRegistry()
+            for query in workload:
+                service.search(query, m=args.m)
+            snapshot = service.profile_snapshot()
+
+    if not snapshot.get("enabled"):
+        print("profiling is not enabled on the target", file=sys.stderr)
+        return 1
+    if args.json:
+        print(canonical_profile_json(snapshot))
+    else:
+        print(render_profile(snapshot, top=args.top))
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Run a seeded workload and report SLO burn rates (gate with --check).
+
+    Fault-free, the availability and latency budgets stay intact and
+    ``--check`` exits 0.  With ``--fault-rate`` above zero the corpus is
+    rebuilt on checksummed storage, a seeded read-fault storm is
+    injected (caches off, so repeats cannot hide behind the result
+    cache) and enough queries error out to blow the budget — the arm the
+    CI job asserts exits 1.
+    """
+    from .cluster.verify import default_cluster_corpus, single_node_oracle
+    from .errors import ReproError
+
+    specs, queries = default_cluster_corpus(args.papers, seed=args.seed)
+    workload = (queries * ((args.queries // len(queries)) + 1))[
+        : args.queries
+    ]
+    if args.fault_rate > 0:
+        from .cluster.worker import parse_spec
+        from .config import StorageParams, XRankConfig
+        from .engine import XRankEngine
+        from .faults import READ_SITES, FaultPlan
+        from .service.core import XRankService
+
+        engine = XRankEngine(
+            config=XRankConfig(storage=StorageParams(checksums=True))
+        )
+        for spec in sorted(specs, key=lambda s: s.doc_id):
+            engine.add_document(parse_spec(spec))
+        engine.build(kinds=("dil", "hdil"))
+        engine.set_fault_plan(
+            FaultPlan.uniform(args.seed, args.fault_rate, sites=READ_SITES)
+        )
+        service = XRankService(
+            engine,
+            kinds=("dil", "hdil"),
+            result_cache_size=0,
+            list_cache_size=0,
+        )
+    else:
+        service = single_node_oracle(specs)
+
+    errors = 0
+    for query in workload:
+        try:
+            service.search(query, m=args.m)
+        except ReproError:
+            errors += 1  # accounted by the service's SLO monitor
+
+    snapshot = service.metrics.slo_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(
+            f"slo over {len(workload)} queries "
+            f"(fault rate {args.fault_rate}, {errors} errors):"
+        )
+        for name in ("availability", "latency"):
+            part = snapshot[name]
+            print(
+                f"  {name:>12}: target={part['target']} "
+                f"fast_burn={part['fast_burn']:.2f} "
+                f"slow_burn={part['slow_burn']:.2f} "
+                f"bad={part['bad_total']} "
+                + ("BREACH" if part["breach"] else "ok")
+            )
+    if args.check:
+        if snapshot["breach"]:
+            print("slo check: FAILED (error budget burn over threshold)")
+            return 1
+        print("slo check: ok")
+    return 0
+
+
 def cmd_snapshot(args: argparse.Namespace) -> int:
     """Save to / recover from / verify a generational snapshot store."""
     from .durability import SnapshotStore
@@ -841,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-slow-ms", type=float, default=100.0,
         help="retention threshold under --trace-sample slow",
     )
+    serve_cmd.add_argument(
+        "--profile", action="store_true",
+        help="collect per-query cost profiles, served on /profile and "
+        "via `repro profile --url`",
+    )
     serve_cmd.set_defaults(handler=cmd_serve)
 
     check_cmd = commands.add_parser(
@@ -1050,6 +1193,81 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of running the seeded workload",
     )
     trace_cmd.set_defaults(handler=cmd_trace)
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run a seeded profiled workload (or fetch /profile from a "
+        "server) and render per-query cost profiles",
+    )
+    profile_cmd.add_argument(
+        "--cluster", action="store_true",
+        help="profile through a LocalCluster: per-worker registries "
+        "merged cell-wise on the coordinator",
+    )
+    profile_cmd.add_argument(
+        "--queries", type=int, default=12,
+        help="number of seeded workload queries to profile",
+    )
+    profile_cmd.add_argument("-m", type=int, default=5, help="top-m results")
+    profile_cmd.add_argument(
+        "--papers", type=int, default=36, help="seeded DBLP corpus size"
+    )
+    profile_cmd.add_argument(
+        "--seed", type=int, default=23, help="corpus/workload seed"
+    )
+    profile_cmd.add_argument(
+        "--shards", type=int, default=2, help="cluster shards (--cluster)"
+    )
+    profile_cmd.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (--cluster)",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=10,
+        help="aggregate cells to show in the text rendering",
+    )
+    profile_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (cpu timings stripped, keys sorted): "
+        "byte-identical across runs of the same seeded workload",
+    )
+    profile_cmd.add_argument(
+        "--url", default=None,
+        help="fetch /profile from a running server (host:port or URL) "
+        "instead of running the seeded workload",
+    )
+    profile_cmd.set_defaults(handler=cmd_profile)
+
+    slo_cmd = commands.add_parser(
+        "slo",
+        help="run a seeded workload and report multi-window SLO burn "
+        "rates; --check exits 1 when the error budget is blown",
+    )
+    slo_cmd.add_argument(
+        "--queries", type=int, default=48,
+        help="number of seeded workload queries",
+    )
+    slo_cmd.add_argument("-m", type=int, default=5, help="top-m results")
+    slo_cmd.add_argument(
+        "--papers", type=int, default=36, help="seeded DBLP corpus size"
+    )
+    slo_cmd.add_argument(
+        "--seed", type=int, default=23, help="corpus/workload/fault seed"
+    )
+    slo_cmd.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-read probability for each storage fault site; above "
+        "zero the workload runs on checksummed storage with caches off",
+    )
+    slo_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any SLO's fast AND slow burn rates are over "
+        "their thresholds",
+    )
+    slo_cmd.add_argument(
+        "--json", action="store_true", help="emit the SLO snapshot as JSON"
+    )
+    slo_cmd.set_defaults(handler=cmd_slo)
 
     snapshot_cmd = commands.add_parser(
         "snapshot",

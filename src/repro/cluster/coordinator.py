@@ -38,8 +38,12 @@ from ..errors import (
     ServiceHTTPError,
     ShardUnavailableError,
 )
+from ..config import SLOParams
 from ..obs import NOOP_SPAN, Tracer
+from ..obs.log import EventLog, bind_trace
+from ..obs.profile import merge_snapshots
 from ..obs.render import to_dict as trace_to_dict
+from ..obs.slo import SLOMonitor
 from ..obs.trace import TraceContext
 from ..service.admission import Deadline
 from ..service.breaker import CircuitBreaker
@@ -127,6 +131,7 @@ class ClusterCoordinator:
         rpc_timeout_s: float = 10.0,
         rpc_retries: int = 1,
         tracer: Optional[Tracer] = None,
+        slo_params: Optional[SLOParams] = None,
     ):
         """Args:
             shard_groups: ``shard_groups[s]`` lists shard ``s``'s replicas
@@ -144,6 +149,9 @@ class ClusterCoordinator:
             tracer: per-query trace sampler; a sampled query carries its
                 trace context to every shard RPC and stitches the
                 workers' span trees under the coordinator's scatter span.
+            slo_params: cluster-level SLO targets for burn-rate
+                monitoring over the coordinator's own request stream
+                (defaults to :class:`~repro.config.SLOParams`).
         """
         if not shard_groups or any(not group for group in shard_groups):
             raise ClusterError("every shard group needs at least one replica")
@@ -153,8 +161,11 @@ class ClusterCoordinator:
         self.default_kind = default_kind
         self.allow_partial = allow_partial
         self.default_deadline_ms = default_deadline_ms
+        self.events = EventLog()
         self.breaker = CircuitBreaker(
-            threshold=breaker_threshold, cooldown=breaker_cooldown
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            events=self.events,
         )
         self._client_factory = client_factory or (
             lambda endpoint: ServiceClient(
@@ -165,7 +176,9 @@ class ClusterCoordinator:
             )
         )
         self.tracer = tracer or Tracer()
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(
+            slo=SLOMonitor(slo_params or SLOParams())
+        )
         self._clients_lock = GuardedLock("coordinator.clients")
         self._stats_lock = GuardedLock("coordinator.stats")
         self._clients: Dict[str, ServiceClient] = {}  # guarded by: self._clients_lock
@@ -241,6 +254,11 @@ class ClusterCoordinator:
             m=m,
             mode=mode,
         )
+        # Event-log records caused by this query (failovers, breaker
+        # transitions, degraded answers) carry its trace id; the binding
+        # is re-established inside each fan-out thread because it is
+        # thread-local.
+        trace_id = span.trace_id if span.recording else None
         try:
             # Every shard must return its own top-(offset + m): the global
             # window [offset, offset+m) can in the worst case come entirely
@@ -267,7 +285,7 @@ class ClusterCoordinator:
             def run_shard(shard_id: int) -> None:
                 shard_span = shard_spans[shard_id]
                 try:
-                    with shard_span:
+                    with bind_trace(trace_id), shard_span:
                         outcomes[shard_id] = self._query_group(
                             shard_id,
                             query,
@@ -308,6 +326,8 @@ class ClusterCoordinator:
             ]
             for shard_id in missing:
                 span.event("missing_shard", shard=shard_id)
+                with bind_trace(trace_id):
+                    self.events.emit("missing_shard", shard=shard_id)
             if missing:
                 with self._stats_lock:
                     self.missing_shard_events += len(missing)
@@ -335,10 +355,10 @@ class ClusterCoordinator:
                 payload.get("degraded") for payload in answered
             )
             if degraded:
-                span.event(
-                    "degraded",
-                    reason="missing_shards" if missing else "shard_degraded",
-                )
+                reason = "missing_shards" if missing else "shard_degraded"
+                span.event("degraded", reason=reason)
+                with bind_trace(trace_id):
+                    self.events.emit("degraded_answer", reason=reason)
             with self._stats_lock:
                 self.queries += 1
                 if degraded:
@@ -408,6 +428,7 @@ class ClusterCoordinator:
                 continue
             if attempted:
                 span.event("failover", replica=endpoint.name)
+                self.events.emit("failover", replica=endpoint.name)
                 with self._stats_lock:
                     self.failovers += 1
             attempted = True
@@ -471,6 +492,35 @@ class ClusterCoordinator:
             "open_breakers": open_replicas,
         }
 
+    def profile_snapshot(self) -> Dict[str, object]:
+        """Cluster-wide cost profile: every worker's /profile, merged.
+
+        Workers are polled in (shard, replica) order and their registry
+        snapshots summed cell-wise with
+        :func:`~repro.obs.profile.merge_snapshots`, so two runs of the
+        same seeded workload produce byte-identical canonical output
+        regardless of RPC completion order.  Unreachable replicas are
+        skipped and named in ``unreachable`` rather than failing the
+        whole snapshot.
+        """
+        snapshots: List[Dict[str, object]] = []
+        polled: List[str] = []
+        unreachable: List[str] = []
+        for group in self.shard_groups:
+            for endpoint in sorted(group, key=lambda e: e.replica_id):
+                try:
+                    payload = self.client_for(endpoint).profile()
+                except (ServiceHTTPError, RetryBudgetExhaustedError):
+                    unreachable.append(endpoint.name)
+                    continue
+                polled.append(endpoint.name)
+                snapshots.append(payload)
+        merged = merge_snapshots(snapshots)
+        merged["role"] = "coordinator"
+        merged["workers"] = polled
+        merged["unreachable"] = unreachable
+        return merged
+
     def stats(self) -> Dict[str, object]:
         """Coordinator-local counters + per-replica breaker state."""
         with self._stats_lock:
@@ -489,6 +539,10 @@ class ClusterCoordinator:
             "role": "coordinator",
             "cluster": counters,
             "service": self.metrics.snapshot(),
+            # promfmt prefixes xrank_ and flattens: these surface as
+            # xrank_slo_* gauges and xrank_events_* counters.
+            "slo": self.metrics.slo_snapshot(),
+            "events": self.events.stats(),
             "tracer": self.tracer.stats(),
             "topology": [
                 [endpoint.name for endpoint in group]

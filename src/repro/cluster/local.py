@@ -47,9 +47,15 @@ class LocalCluster:
         config: Optional[XRankConfig] = None,
         independent_engines: bool = False,
         coordinator_options: Optional[Dict[str, object]] = None,
+        worker_options: Optional[Dict[str, object]] = None,
         snapshot_root: Optional[str] = None,
     ):
         """Args:
+            worker_options: extra keyword arguments for every
+                :class:`~repro.cluster.worker.ShardWorker` (e.g.
+                ``{"profile": True}`` to collect per-query cost profiles
+                on each replica); also applied to replicas resurrected
+                via :meth:`restart_from_snapshot`.
             snapshot_root: enable the restart–rejoin path — each shard
                 gets a generational :class:`~repro.durability.
                 SnapshotStore` under this directory, seeded with one
@@ -66,6 +72,7 @@ class LocalCluster:
         self.config = config
         self.replicas = replicas
         self.coordinator_options = dict(coordinator_options or {})
+        self.worker_options = dict(worker_options or {})
         self.snapshot_root = Path(snapshot_root) if snapshot_root else None
         self.stores: Dict[int, object] = {}
         self.rejoins = 0
@@ -101,6 +108,7 @@ class LocalCluster:
                     shard_id=shard_id,
                     replica_id=0,
                     snapshot_store=shard_store,
+                    **self.worker_options,
                 )
             ]
             for replica_id in range(1, replicas):
@@ -113,6 +121,7 @@ class LocalCluster:
                                 snapshot,
                                 shard_id=shard_id,
                                 replica_id=replica_id,
+                                **self.worker_options,
                             )
                         )
                 else:
@@ -122,6 +131,7 @@ class LocalCluster:
                             shard_id=shard_id,
                             replica_id=replica_id,
                             snapshot_store=shard_store,
+                            **self.worker_options,
                         )
                     )
             self.workers.append(group)
@@ -232,6 +242,7 @@ class LocalCluster:
             replica_id=replica_id,
             stats=self.stats,
             span=span,
+            **self.worker_options,
         )
         group = self.workers[shard_id]
         group[group.index(old)] = worker
@@ -248,6 +259,12 @@ class LocalCluster:
         if self.coordinator is None:
             raise ClusterError("cluster is not started")
         return self.coordinator.search(query, **options)
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """The coordinator-merged cluster-wide cost profile."""
+        if self.coordinator is None:
+            raise ClusterError("cluster is not started")
+        return self.coordinator.profile_snapshot()
 
     # -- introspection ---------------------------------------------------------------
 

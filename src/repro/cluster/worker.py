@@ -148,6 +148,7 @@ class ShardWorker:
         list_cache_size: int = 256,
         tracer=None,
         snapshot_store=None,
+        profile: bool = False,
     ):
         self.shard_id = shard_id
         self.replica_id = replica_id
@@ -161,6 +162,7 @@ class ShardWorker:
             default_deadline_ms=default_deadline_ms,
             tracer=tracer,
             snapshot_store=snapshot_store,
+            profile=profile,
         )
         self._host = host
         self._requested_port = port
@@ -304,6 +306,18 @@ class ShardWorker:
                 **service_options,
             )
             span.event("rejoined", generation=info.number)
+            # The rejoin predates the worker's own event log, so the
+            # recovery record lands there the moment the log exists.
+            worker.service.events.emit(
+                "snapshot_recovered",
+                shard=shard_id,
+                replica=replica_id,
+                generation=info.number,
+                fell_back=bool(getattr(info, "fell_back", False)),
+            )
+            worker.service.events.emit(
+                "worker_rejoin", shard=shard_id, replica=replica_id
+            )
         return worker
 
     # -- introspection ---------------------------------------------------------------

@@ -181,6 +181,56 @@ class HDILParams:
 
 
 @dataclass(frozen=True)
+class SLOParams:
+    """Service-level objectives and burn-rate alerting thresholds.
+
+    Consumed by :class:`repro.obs.slo.SLOMonitor`.  Windows are counted
+    in queries, not seconds, so seeded workloads burn deterministically
+    (see that module for the multi-window recipe).
+
+    Attributes:
+        availability_target: fraction of queries that must be answered
+            (not errored, not rejected); the error budget is
+            ``1 - availability_target``.
+        latency_target_ms: an answered query slower than this is bad
+            for the latency SLO.
+        latency_target_fraction: fraction of queries that must finish
+            within ``latency_target_ms``.
+        fast_window: size (in queries) of the fast-reacting window.
+        slow_window: size of the confirming window; must not be smaller
+            than the fast window.
+        fast_burn_threshold: minimum fast-window burn rate to alert.
+        slow_burn_threshold: minimum slow-window burn rate to alert —
+            both must exceed their thresholds for a breach.
+    """
+
+    availability_target: float = 0.999
+    latency_target_ms: float = 250.0
+    latency_target_fraction: float = 0.99
+    fast_window: int = 64
+    slow_window: int = 512
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in ("availability_target", "latency_target_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise QueryError(f"{name} must be in (0, 1), got {value}")
+        if self.latency_target_ms <= 0:
+            raise QueryError("latency_target_ms must be positive")
+        if self.fast_window < 1 or self.slow_window < 1:
+            raise QueryError("SLO windows must be positive")
+        if self.fast_window > self.slow_window:
+            raise QueryError(
+                "fast_window cannot exceed slow_window "
+                f"({self.fast_window} > {self.slow_window})"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise QueryError("burn thresholds must be positive")
+
+
+@dataclass(frozen=True)
 class XRankConfig:
     """Top-level configuration bundle used by :class:`repro.engine.XRankEngine`."""
 
@@ -188,3 +238,4 @@ class XRankConfig:
     ranking: RankingParams = field(default_factory=RankingParams)
     storage: StorageParams = field(default_factory=StorageParams)
     hdil: HDILParams = field(default_factory=HDILParams)
+    slo: SLOParams = field(default_factory=SLOParams)

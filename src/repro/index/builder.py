@@ -10,7 +10,6 @@ attributed cleanly per approach.
 
 from __future__ import annotations
 
-import logging
 from typing import Dict, Optional
 
 from ..config import ElemRankParams, HDILParams, StorageParams
@@ -32,9 +31,8 @@ from .postings import (
     attach_scores,
     extract_direct_postings,
 )
+from ..obs.log import default_event_log
 from .rdil import RDILIndex
-
-logger = logging.getLogger(__name__)
 
 
 def _override_result(
@@ -159,15 +157,17 @@ class IndexBuilder:
                 for keyword, postings in self.direct_postings.items()
                 if keyword not in STOPWORDS
             }
-        logger.info(
-            "corpus prepared: %d documents, %d elements, %d keywords, "
-            "ElemRank %s in %d iterations (scorer=%s)",
-            graph.num_documents,
-            len(graph.elements),
-            len(self.direct_postings),
-            "converged" if self.elemrank_result.converged else "NOT converged",
-            self.elemrank_result.iterations,
-            scorer,
+        # Build completion is a structured event, not a log line: every
+        # field is queryable, and when a traced rebuild triggers the
+        # build the record carries that query's trace id.
+        default_event_log().emit(
+            "corpus_prepared",
+            documents=graph.num_documents,
+            elements=len(graph.elements),
+            keywords=len(self.direct_postings),
+            elemrank_converged=self.elemrank_result.converged,
+            elemrank_iterations=self.elemrank_result.iterations,
+            scorer=scorer,
         )
 
     # -- per-flavour builders -------------------------------------------------------

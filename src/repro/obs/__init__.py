@@ -1,4 +1,4 @@
-"""repro.obs — end-to-end query tracing and profiling.
+"""repro.obs — end-to-end query tracing, profiling and event logging.
 
 Every layer of the serving stack (HTTP front end, cluster coordinator,
 shard workers, evaluators, simulated disk) reports into one per-query
@@ -7,6 +7,16 @@ instead of an aggregate-counter shrug.  See :mod:`repro.obs.trace` for
 the span model, :mod:`repro.obs.render` for the tree/canonical-JSON
 views, and :mod:`repro.obs.invariants` for the validity battery the
 tests and ``repro trace --check`` run over captured traces.
+
+Three sibling subsystems complete the picture:
+
+* :mod:`repro.obs.profile` — per-query deterministic cost counters
+  (postings scanned, Dewey comparisons, heap/B+-tree work, simulated
+  I/O) aggregated by evaluator, query shape and result bucket;
+* :mod:`repro.obs.slo` — multi-window burn-rate monitoring of
+  availability and latency SLOs over query-counted windows;
+* :mod:`repro.obs.log` — a bounded structured event log whose records
+  carry the trace id of the query that caused them.
 """
 
 from .trace import (
@@ -18,17 +28,39 @@ from .trace import (
     TRACE_ID_HEADER,
     PARENT_SPAN_HEADER,
 )
-from .render import render_trace, to_canonical_json, to_json
+from .render import render_profile, render_trace, to_canonical_json, to_json
 from .invariants import validate_trace
+from .log import EventLog, bind_trace, current_trace_id, default_event_log
+from .profile import (
+    ProfileRegistry,
+    QueryProfile,
+    activate,
+    active_profile,
+    canonical_profile_json,
+    merge_snapshots,
+)
+from .slo import SLOMonitor
 
 __all__ = [
+    "EventLog",
     "NOOP_SPAN",
     "PARENT_SPAN_HEADER",
+    "ProfileRegistry",
+    "QueryProfile",
+    "SLOMonitor",
     "Span",
     "TraceBuffer",
     "TraceContext",
     "Tracer",
     "TRACE_ID_HEADER",
+    "activate",
+    "active_profile",
+    "bind_trace",
+    "canonical_profile_json",
+    "current_trace_id",
+    "default_event_log",
+    "merge_snapshots",
+    "render_profile",
     "render_trace",
     "to_canonical_json",
     "to_json",

@@ -1,0 +1,157 @@
+"""Structured event log: bounded, deterministic, trace-correlated.
+
+The serving tier used to narrate operational events through ad-hoc
+``print`` calls and module loggers — unstructured, unbounded, and
+impossible to join back to the query that caused them.  This module
+replaces that with one discipline: components emit *events* (a kind
+plus sorted key/value fields) into a bounded :class:`EventLog`, and
+every event automatically carries the trace id of the query being
+served when it fired, so a log line joins to its PR 7 span tree with a
+single key lookup.
+
+Determinism rules, same as the canonical trace/profile exports:
+
+* **No timestamps.**  Events carry a monotonically increasing ``seq``
+  instead; ordering is causal, not wall-clock, so a seeded workload
+  produces a byte-identical ``to_jsonl()`` transcript.
+* **Deterministic fields only.**  Call sites must not put latencies,
+  ports, or host names in event fields — those belong on spans, where
+  the canonical renderer already strips them.
+
+Trace correlation is ambient: the service binds the active query's
+trace id around request handling (:func:`bind_trace`), and every
+``emit`` on that thread — from the admission controller, the circuit
+breaker, the degradation path, wherever — picks it up without any of
+those components knowing about tracing.
+
+Layering note: obs sits below service in the import graph, so the log
+guards itself with a plain ``threading.Lock`` (see
+:class:`repro.obs.trace.TraceBuffer` for the long-form rationale).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+_BOUND = threading.local()
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound on this thread, or None (unsampled query)."""
+    return getattr(_BOUND, "trace_id", None)
+
+
+@contextmanager
+def bind_trace(trace_id: Optional[str]):
+    """Make ``trace_id`` ambient for every event emitted in the block.
+
+    Bindings nest and restore on exit; binding ``None`` is valid and
+    means "this work is not attributed to a sampled query".
+    """
+    previous = getattr(_BOUND, "trace_id", None)
+    _BOUND.trace_id = trace_id
+    try:
+        yield
+    finally:
+        _BOUND.trace_id = previous
+
+
+class EventLog:
+    """A bounded ring of structured events.
+
+    ``capacity`` bounds memory like the trace buffer bounds traces: the
+    newest events win, and ``dropped`` counts what the ring evicted so
+    a reader knows the transcript is a suffix, not the whole history.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # Plain Lock by design: obs must not import service.concurrency.
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    def emit(self, kind: str, /, **fields: object) -> Dict[str, object]:
+        """Record one event; returns the stored record.
+
+        The record is ``{"seq": n, "kind": kind, "trace_id": ambient,
+        **fields}`` with fields stored in sorted key order so the JSONL
+        transcript is canonical.  Field values must be deterministic —
+        no wall-clock, no ports (see the module docstring).  The record
+        envelope's own keys are reserved — a field named ``kind`` would
+        silently overwrite the event kind, so it raises instead (call
+        sites use ``index_kind`` and the like).
+        """
+        reserved = {"seq", "kind", "trace_id"} & fields.keys()
+        if reserved:
+            raise ValueError(
+                f"event field(s) {sorted(reserved)} collide with the "
+                "record envelope; rename them (e.g. kind -> index_kind)"
+            )
+        trace_id = current_trace_id()
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, object] = {
+                "seq": self._seq,
+                "kind": kind,
+                "trace_id": trace_id,
+            }
+            for key in sorted(fields):
+                record[key] = fields[key]
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(record)
+            return record
+
+    # -- reading ---------------------------------------------------------------------
+
+    def events(
+        self, kind: Optional[str] = None, trace_id: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Retained events, oldest first, optionally filtered."""
+        with self._lock:
+            records = [dict(record) for record in self._events]
+        if kind is not None:
+            records = [r for r in records if r["kind"] == kind]
+        if trace_id is not None:
+            records = [r for r in records if r["trace_id"] == trace_id]
+        return records
+
+    def to_jsonl(self) -> str:
+        """Canonical JSON-lines transcript (byte-stable for seeded runs)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self.events()
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "events": len(self._events),
+                "emitted": self._seq,
+                "dropped": self._dropped,
+            }
+
+
+#: Shared default log for components without an owning service (the
+#: offline build pipeline, library users).  Services own their own
+#: :class:`EventLog` instances; this one exists so "emit an event" is
+#: never harder than the print() it replaced.
+_DEFAULT = EventLog(capacity=256)
+
+
+def default_event_log() -> EventLog:
+    """The process-wide fallback event log."""
+    return _DEFAULT

@@ -1,0 +1,326 @@
+"""Per-query cost attribution: deterministic counters, not clocks.
+
+PR 7's span tree answers *where* a query's time went; this module
+answers *why* — how many postings each evaluator scanned and decoded,
+how many Dewey comparisons and heap operations the merge paid, how many
+B+-tree probes RDIL issued, how much simulated disk the query touched.
+Every counter is a pure function of (corpus, query, seed): two runs of
+the same seeded workload produce byte-identical profiles, which is what
+lets CI diff ``repro profile --json`` output across runs the same way
+it diffs canonical traces.
+
+The one non-deterministic measurement — per-stage CPU time — is kept in
+a separate ``cpu_ns`` side-channel and stripped from the canonical
+export, mirroring :func:`repro.obs.render.to_canonical_json`'s
+wall-clock discipline: humans see timings, the byte-diff gate never
+does.
+
+Collection is thread-local.  The service activates a
+:class:`QueryProfile` for the duration of one query; evaluator hot
+loops capture the active profile *once* (at stream/heap construction or
+generator start) and afterwards pay a single ``is not None`` branch per
+event, so the disabled path stays within the service bench's overhead
+budget.  Aggregation happens in a lock-guarded
+:class:`ProfileRegistry` keyed by (evaluator kind, query shape, result
+count bucket) — the axes along which the paper's Figure 10/11 cost
+analyses slice.
+
+Layering note: ``repro.obs`` sits *below* ``repro.service`` in the
+import graph (the service reports into obs, not vice versa), so the
+registry guards itself with a plain ``threading.Lock`` rather than the
+service's instrumented ``GuardedLock`` — same rationale as
+:class:`repro.obs.trace.TraceBuffer`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Every deterministic counter a profile carries, in render order.
+#: The schema is fixed: all fields appear in every export (zeros
+#: included), so profiles from different evaluators merge field-wise.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "postings_scanned",
+    "postings_decoded",
+    "dewey_comparisons",
+    "heap_pushes",
+    "heap_evictions",
+    "merge_stack_pushes",
+    "merge_stack_pops",
+    "rdil_probes",
+    "rdil_entries_read",
+    "list_cache_hits",
+    "list_cache_misses",
+    "result_cache_hits",
+    "result_cache_misses",
+    "cache_generation_churn",
+    "page_reads",
+    "bytes_read",
+)
+
+#: Keys holding timing side-channels, stripped by the canonical export.
+TIMING_KEYS = frozenset({"cpu_ns"})
+
+#: Result-count bucket upper bounds (inclusive) and their labels; the
+#: last label catches everything above the largest bound.
+_BUCKET_BOUNDS: Tuple[Tuple[int, str], ...] = (
+    (0, "0"),
+    (3, "1-3"),
+    (10, "4-10"),
+    (30, "11-30"),
+)
+_BUCKET_OVERFLOW = "31+"
+
+
+def result_bucket(count: int) -> str:
+    """The registry's result-count bucket label for ``count`` results."""
+    for bound, label in _BUCKET_BOUNDS:
+        if count <= bound:
+            return label
+    return _BUCKET_OVERFLOW
+
+
+class QueryProfile:
+    """Deterministic cost counters for one query.
+
+    Counters are plain instance attributes (slotted) so hot loops
+    increment them with one attribute store and no dict hashing.
+    ``cpu_ns`` maps stage name -> process CPU nanoseconds and is the
+    only non-deterministic field; it never reaches the canonical form.
+    """
+
+    __slots__ = COUNTER_FIELDS + ("cpu_ns",)
+
+    def __init__(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.cpu_ns: Dict[str, int] = {}
+
+    def add_cpu(self, stage: str, ns: int) -> None:
+        """Accumulate process-CPU nanoseconds under a stage label."""
+        self.cpu_ns[stage] = self.cpu_ns.get(stage, 0) + int(ns)
+
+    def counters(self) -> Dict[str, int]:
+        """All deterministic counters, zeros included (stable schema)."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def nonzero(self) -> Dict[str, int]:
+        """Only the counters this query actually touched (span attrs)."""
+        return {
+            name: getattr(self, name)
+            for name in COUNTER_FIELDS
+            if getattr(self, name)
+        }
+
+    def total(self) -> int:
+        """Sum of every counter — the registry's ranking weight."""
+        return sum(getattr(self, name) for name in COUNTER_FIELDS)
+
+
+# -- thread-local activation ---------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def active_profile() -> Optional[QueryProfile]:
+    """The profile collecting on this thread, or None (profiling off)."""
+    return getattr(_ACTIVE, "profile", None)
+
+
+@contextmanager
+def activate(profile: Optional[QueryProfile]):
+    """Install ``profile`` as this thread's collector for the block.
+
+    ``activate(None)`` is a no-op context, so call sites can wrap
+    unconditionally without branching on whether profiling is enabled.
+    Activations nest: the previous profile is restored on exit.
+    """
+    if profile is None:
+        yield None
+        return
+    previous = getattr(_ACTIVE, "profile", None)
+    _ACTIVE.profile = profile
+    try:
+        yield profile
+    finally:
+        _ACTIVE.profile = previous
+
+
+# -- aggregation ---------------------------------------------------------------------
+
+
+class ProfileRegistry:
+    """Lock-guarded aggregation of per-query profiles.
+
+    Keys are ``(evaluator kind, query shape, result-count bucket)``.
+    The registry is bounded: once ``max_entries`` distinct keys exist,
+    profiles for *new* keys are counted in ``overflow`` and dropped —
+    deterministic for a deterministic workload, and it keeps a
+    long-running server's profile endpoint a fixed-size payload.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max_entries
+        # Plain Lock by design: obs sits below service in the import
+        # graph and must not depend on service.concurrency.
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str, str], Dict[str, object]] = {}
+        self._queries = 0
+        self._overflow = 0
+
+    def record(
+        self,
+        evaluator: str,
+        shape: str,
+        results: int,
+        profile: QueryProfile,
+    ) -> None:
+        """Fold one finished query's profile into its aggregate cell."""
+        key = (evaluator, shape, result_bucket(results))
+        with self._lock:
+            self._queries += 1
+            cell = self._entries.get(key)
+            if cell is None:
+                if len(self._entries) >= self.max_entries:
+                    self._overflow += 1
+                    return
+                cell = {
+                    "queries": 0,
+                    "counters": {name: 0 for name in COUNTER_FIELDS},
+                    "cpu_ns": {},
+                }
+                self._entries[key] = cell
+            cell["queries"] += 1
+            counters = cell["counters"]
+            for name in COUNTER_FIELDS:
+                counters[name] += getattr(profile, name)
+            cpu = cell["cpu_ns"]
+            for stage, ns in profile.cpu_ns.items():
+                cpu[stage] = cpu.get(stage, 0) + ns
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._queries = 0
+            self._overflow = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full aggregate view (timings included), sorted by key."""
+        with self._lock:
+            profiles: List[Dict[str, object]] = []
+            for key in sorted(self._entries):
+                evaluator, shape, bucket = key
+                cell = self._entries[key]
+                profiles.append(
+                    {
+                        "evaluator": evaluator,
+                        "shape": shape,
+                        "results": bucket,
+                        "queries": cell["queries"],
+                        "counters": dict(cell["counters"]),
+                        "cpu_ns": dict(sorted(cell["cpu_ns"].items())),
+                    }
+                )
+            return {
+                "enabled": True,
+                "queries": self._queries,
+                "overflow": self._overflow,
+                "profiles": profiles,
+            }
+
+
+def canonical_profile_dict(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The snapshot minus every timing side-channel.
+
+    Same discipline as :func:`repro.obs.render.to_canonical_dict`: the
+    deterministic counters stay, ``cpu_ns`` (and any future timing key)
+    goes, so the result is a pure function of (corpus, workload, seed).
+    """
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {
+                key: strip(value)
+                for key, value in node.items()
+                if key not in TIMING_KEYS
+            }
+        if isinstance(node, list):
+            return [strip(item) for item in node]
+        return node
+
+    return strip(snapshot)
+
+
+def canonical_profile_json(snapshot: Dict[str, object]) -> str:
+    """Byte-stable JSON of the canonical profile view."""
+    import json
+
+    return json.dumps(
+        canonical_profile_dict(snapshot),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, object]]
+) -> Dict[str, object]:
+    """Counter-wise merge of registry snapshots (coordinator side).
+
+    Cells with the same (evaluator, shape, results) key sum field-wise;
+    the merged view is sorted like a single registry's snapshot, so a
+    cluster-wide profile reads identically to a single node's.
+    """
+    merged: Dict[Tuple[str, str, str], Dict[str, object]] = {}
+    queries = 0
+    overflow = 0
+    enabled = False
+    for snapshot in snapshots:
+        if not snapshot or not snapshot.get("enabled"):
+            continue
+        enabled = True
+        queries += int(snapshot.get("queries", 0))
+        overflow += int(snapshot.get("overflow", 0))
+        for entry in snapshot.get("profiles", ()):
+            key = (
+                str(entry["evaluator"]),
+                str(entry["shape"]),
+                str(entry["results"]),
+            )
+            cell = merged.setdefault(
+                key,
+                {
+                    "queries": 0,
+                    "counters": {name: 0 for name in COUNTER_FIELDS},
+                    "cpu_ns": {},
+                },
+            )
+            cell["queries"] += int(entry.get("queries", 0))
+            counters = cell["counters"]
+            for name, value in entry.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            cpu = cell["cpu_ns"]
+            for stage, ns in entry.get("cpu_ns", {}).items():
+                cpu[stage] = cpu.get(stage, 0) + int(ns)
+    profiles = []
+    for key in sorted(merged):
+        evaluator, shape, bucket = key
+        cell = merged[key]
+        profiles.append(
+            {
+                "evaluator": evaluator,
+                "shape": shape,
+                "results": bucket,
+                "queries": cell["queries"],
+                "counters": dict(cell["counters"]),
+                "cpu_ns": dict(sorted(cell["cpu_ns"].items())),
+            }
+        )
+    return {
+        "enabled": enabled,
+        "queries": queries,
+        "overflow": overflow,
+        "profiles": profiles,
+    }

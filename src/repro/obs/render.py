@@ -151,3 +151,63 @@ def _format_attrs(attrs: Dict[str, object]) -> str:
         return ""
     inner = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
     return f" ({inner})"
+
+
+def render_profile(snapshot: Dict[str, object], top: int = 10, width: int = 40) -> str:
+    """A flamegraph-style text view of a profile-registry snapshot.
+
+    Entries (aggregate cells keyed by evaluator/shape/result bucket) are
+    ranked by total counter weight; the heaviest ``top`` are shown with
+    one horizontal bar per nonzero counter, scaled to the entry's
+    largest counter so the dominant cost term is visually obvious.
+    CPU timings, when present, are summarized on the entry line but get
+    no bars — they are the one non-deterministic field and bars would
+    imply comparability across runs that does not exist.
+    """
+    if not snapshot.get("enabled"):
+        return "profiling disabled (service built without profile=True)"
+    profiles = list(snapshot.get("profiles") or ())
+    queries = snapshot.get("queries", 0)
+    lines: List[str] = [
+        f"profile: {queries} queries over {len(profiles)} aggregate cells"
+    ]
+    overflow = snapshot.get("overflow", 0)
+    if overflow:
+        lines[0] += f" ({overflow} dropped at registry capacity)"
+    if not profiles:
+        return "\n".join(lines)
+
+    def weight(entry: Dict[str, object]) -> int:
+        return sum(int(v) for v in entry.get("counters", {}).values())
+
+    ranked = sorted(profiles, key=weight, reverse=True)
+    shown = ranked[:top]
+    if len(ranked) > len(shown):
+        lines[0] += f"; top {len(shown)} shown"
+    for entry in shown:
+        cpu = entry.get("cpu_ns") or {}
+        cpu_note = ""
+        if cpu:
+            total_ms = sum(int(ns) for ns in cpu.values()) / 1e6
+            cpu_note = f", cpu={total_ms:.2f}ms"
+        lines.append(
+            f"`- {entry['evaluator']} {entry['shape']} "
+            f"results={entry['results']} "
+            f"({entry['queries']} queries, {weight(entry)} ops{cpu_note})"
+        )
+        counters = {
+            name: int(value)
+            for name, value in entry.get("counters", {}).items()
+            if int(value)
+        }
+        if not counters:
+            lines.append("     (no work recorded)")
+            continue
+        peak = max(counters.values())
+        label_width = max(len(name) for name in counters)
+        for name, value in sorted(
+            counters.items(), key=lambda item: (-item[1], item[0])
+        ):
+            bar = "#" * max(1, round(width * value / peak))
+            lines.append(f"     {name.ljust(label_width)} {bar} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""SLO burn-rate monitoring over query-counted windows.
+
+Classic multi-window burn-rate alerting (a fast window that reacts
+quickly, a slow window that filters blips; both must burn hot to
+page), adapted to this repo's determinism discipline: windows are
+counted in *queries*, not seconds, so a seeded workload always produces
+the same burn rates and ``repro slo --check`` is a reproducible gate
+rather than a flaky timer.
+
+Two SLOs are tracked:
+
+* **availability** — a query is bad if it errored or was rejected at
+  admission.  Degraded-but-answered queries count as available: the
+  whole point of the hardening tier is that a partial answer is better
+  than none, and the SLO should not punish the fallback for working.
+* **latency** — an answered query is bad if it took longer than the
+  configured target; errors and rejections count as latency-bad too
+  (the user got no timely answer either way).
+
+Burn rate is ``bad_fraction / error_budget`` where the budget is
+``1 - target``: burn 1.0 means "exactly spending the budget", higher
+means the budget exhausts early.  :meth:`SLOMonitor.breached` fires
+only when *both* windows exceed their thresholds, per the multi-window
+recipe.
+
+Targets and thresholds live in :class:`repro.config.SLOParams`; the
+monitor is wired into :class:`repro.service.metrics.ServiceMetrics`
+record paths and surfaces as ``xrank_slo_*`` gauges on ``/metrics``.
+
+Layering note: plain ``threading.Lock``, same as the rest of obs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+
+class SLOMonitor:
+    """Query-counted fast/slow burn-rate windows for two SLOs."""
+
+    def __init__(self, params: Optional[object] = None):
+        if params is None:
+            from ..config import SLOParams
+
+            params = SLOParams()
+        self.params = params
+        # Plain Lock by design: obs sits below service in the import
+        # graph and must not depend on service.concurrency.
+        self._lock = threading.Lock()
+        # Each entry is (available, on_time) for one finished request.
+        self._fast: deque = deque(maxlen=params.fast_window)
+        self._slow: deque = deque(maxlen=params.slow_window)
+        self._total = 0
+        self._bad_availability = 0
+        self._bad_latency = 0
+
+    # -- recording -------------------------------------------------------------------
+
+    def record_search(self, latency_ms: float) -> None:
+        """One answered query (degraded or not — it *was* answered)."""
+        self._record(True, latency_ms <= self.params.latency_target_ms)
+
+    def record_error(self) -> None:
+        """One query that raised out of the serving path."""
+        self._record(False, False)
+
+    def record_rejection(self) -> None:
+        """One query turned away at admission."""
+        self._record(False, False)
+
+    def _record(self, available: bool, on_time: bool) -> None:
+        entry = (available, on_time)
+        with self._lock:
+            self._total += 1
+            if not available:
+                self._bad_availability += 1
+            if not on_time:
+                self._bad_latency += 1
+            self._fast.append(entry)
+            self._slow.append(entry)
+
+    # -- reading ---------------------------------------------------------------------
+
+    @staticmethod
+    def _burn(window: deque, index: int, budget: float) -> float:
+        if not window:
+            return 0.0
+        bad = sum(1 for entry in window if not entry[index])
+        return (bad / len(window)) / budget
+
+    def snapshot(self) -> Dict[str, object]:
+        """Burn rates, breach flags, and lifetime totals for /stats."""
+        params = self.params
+        availability_budget = 1.0 - params.availability_target
+        latency_budget = 1.0 - params.latency_target_fraction
+        with self._lock:
+            fast_n, slow_n = len(self._fast), len(self._slow)
+            availability = {
+                "target": params.availability_target,
+                "fast_burn": self._burn(self._fast, 0, availability_budget),
+                "slow_burn": self._burn(self._slow, 0, availability_budget),
+                "bad_total": self._bad_availability,
+            }
+            latency = {
+                "target_ms": params.latency_target_ms,
+                "target": params.latency_target_fraction,
+                "fast_burn": self._burn(self._fast, 1, latency_budget),
+                "slow_burn": self._burn(self._slow, 1, latency_budget),
+                "bad_total": self._bad_latency,
+            }
+            total = self._total
+        for slo in (availability, latency):
+            slo["breach"] = (
+                slo["fast_burn"] >= params.fast_burn_threshold
+                and slo["slow_burn"] >= params.slow_burn_threshold
+            )
+        return {
+            "availability": availability,
+            "latency": latency,
+            "windows": {"fast": fast_n, "slow": slow_n},
+            "thresholds": {
+                "fast_burn": params.fast_burn_threshold,
+                "slow_burn": params.slow_burn_threshold,
+            },
+            "samples": total,
+            "breach": availability["breach"] or latency["breach"],
+        }
+
+    def breached(self) -> bool:
+        """Whether either SLO's fast *and* slow windows both burn hot."""
+        return bool(self.snapshot()["breach"])

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 from ..config import RankingParams
 from ..index.dil import DILIndex
 from ..obs import NOOP_SPAN
+from ..obs.profile import active_profile
 from .merge import conjunctive_merge
 from .results import QueryResult, ResultHeap, validate_query
 from .streams import PostingStream
@@ -40,7 +41,8 @@ class DILEvaluator:
 
     def _stream(self, keyword: str) -> PostingStream:
         if self.list_cache is not None:
-            postings = self.list_cache.get_or_load(
+            postings = _profiled_get_or_load(
+                self.list_cache,
                 (self.index.kind, "full", keyword),
                 lambda: _drain_cursor(self.index.cursor(keyword)),
             )
@@ -128,6 +130,31 @@ class DILEvaluator:
                 )
             )
         return heap.results()
+
+
+def _profiled_get_or_load(cache, key, loader):
+    """``cache.get_or_load`` with per-query hit/miss attribution.
+
+    The generational cache's own counters are cumulative across every
+    query and thread; the active :class:`~repro.obs.profile.
+    QueryProfile` wants *this* query's share, so the miss is detected by
+    observing whether the loader actually ran.
+    """
+    profile = active_profile()
+    if profile is None:
+        return cache.get_or_load(key, loader)
+    loaded = []
+
+    def counting_loader():
+        loaded.append(True)
+        return loader()
+
+    value = cache.get_or_load(key, counting_loader)
+    if loaded:
+        profile.list_cache_misses += 1
+    else:
+        profile.list_cache_hits += 1
+    return value
 
 
 def _drain_cursor(cursor) -> List:

@@ -22,7 +22,6 @@ ranks, so only a full DIL pass can guarantee the top-m.
 
 from __future__ import annotations
 
-import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -31,13 +30,11 @@ from ..index.hdil import HDILIndex
 from ..index.postings import Posting
 from ..obs import NOOP_SPAN
 from ..xmlmodel.dewey import DeweyId
-from .dil_eval import _drain_cursor
+from .dil_eval import _drain_cursor, _profiled_get_or_load
 from .merge import conjunctive_merge
 from .rdil_eval import ProbeLoopState, RankedProbeLoop
 from .results import QueryResult, ResultHeap, validate_query
 from .streams import PostingStream
-
-logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -75,7 +72,8 @@ class HDILEvaluator:
 
     def _full_stream(self, keyword: str) -> PostingStream:
         if self.list_cache is not None:
-            postings = self.list_cache.get_or_load(
+            postings = _profiled_get_or_load(
+                self.list_cache,
                 (self.index.kind, "full", keyword),
                 lambda: _drain_cursor(self.index.full_cursor(keyword)),
             )
@@ -86,7 +84,8 @@ class HDILEvaluator:
 
     def _ranked_stream(self, keyword: str) -> PostingStream:
         if self.list_cache is not None:
-            postings = self.list_cache.get_or_load(
+            postings = _profiled_get_or_load(
+                self.list_cache,
                 (self.index.kind, "ranked", keyword),
                 lambda: _drain_cursor(self.index.ranked_cursor(keyword)),
             )
@@ -250,13 +249,10 @@ class HDILEvaluator:
         if not self.last_trace.switch_reason:
             self.last_trace.switch_reason = "ranked heads exhausted"
         self.last_trace.switched_to_dil = True
+        # The switch is reported structurally (span event here, the
+        # service's "degraded"/profile machinery above) — no module
+        # logger: the span event is the log line.
         span.event("switch_to_dil", reason=self.last_trace.switch_reason)
-        logger.debug(
-            "HDIL switching to DIL for %s after %d entries: %s",
-            list(keywords),
-            self.last_trace.rdil_entries_read,
-            self.last_trace.switch_reason,
-        )
         return None
 
     # -- DIL fallback -----------------------------------------------------------------

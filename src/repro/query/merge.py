@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional
 
 from ..config import RankingParams
 from ..errors import QueryError
+from ..obs.profile import active_profile
 from ..ranking.proximity import proximity as proximity_of
 from ..ranking.scoring import overall_rank
 from ..xmlmodel.dewey import DeweyId
@@ -91,10 +92,15 @@ def conjunctive_merge(
         # Conjunctive semantics: a keyword with no postings kills the query.
         return
 
+    # Captured once per merge (the generator body runs inside the
+    # profiled query); each loop below then pays one None check.
+    profile = active_profile()
     stack: List[_StackEntry] = []
 
     def pop_and_maybe_yield() -> Optional[QueryResult]:
         top = stack.pop()
+        if profile is not None:
+            profile.merge_stack_pops += 1
         if all(top.pos_lists):
             keyword_ranks = tuple(top.agg_ranks)
             if weights is not None:
@@ -134,7 +140,7 @@ def conjunctive_merge(
         if deadline is not None and deadline.poll():
             # Expired: report only fully-closed subtrees (partial top-k).
             return
-        source = smallest_head_index(streams)
+        source = smallest_head_index(streams, profile)
         if source is None:
             break
         posting = streams[source].next()
@@ -146,6 +152,11 @@ def conjunctive_merge(
             if entry.dewey.components[lcp] != component:
                 break
             lcp += 1
+        if profile is not None:
+            # Each zip step compared one stack component against the
+            # posting's Dewey path (the mismatching step included).
+            limit = min(len(stack), len(components))
+            profile.dewey_comparisons += lcp + (1 if lcp < limit else 0)
 
         while len(stack) > lcp:
             result = pop_and_maybe_yield()
@@ -156,6 +167,8 @@ def conjunctive_merge(
         for depth in range(lcp, len(components)):
             prefix = DeweyId(components[: depth + 1])
             stack.append(_StackEntry.fresh(prefix, n))
+            if profile is not None:
+                profile.merge_stack_pushes += 1
 
         top = stack[-1]
         top.pos_lists[source].extend(posting.positions)

@@ -28,6 +28,7 @@ from ..config import RankingParams
 from ..errors import QueryError
 from ..index.postings import Posting
 from ..index.rdil import RDILIndex
+from ..obs.profile import active_profile
 from ..storage.btree import BTree
 from ..xmlmodel.dewey import DeweyId
 from .merge import conjunctive_merge
@@ -86,6 +87,9 @@ class RankedProbeLoop:
         ]
         self.state = ProbeLoopState()
         self._processed: Set[Tuple[int, ...]] = set()
+        # Captured once: the loop is constructed inside the profiled
+        # query, so per-entry/per-probe accounting is one None check.
+        self._profile = active_profile()
 
     def run(
         self,
@@ -123,6 +127,8 @@ class RankedProbeLoop:
             robin = source + 1
             posting = self.streams[source].next()
             self.state.entries_read += 1
+            if self._profile is not None:
+                self._profile.rdil_entries_read += 1
             if not self.streams[source].eof:
                 self.current_ranks[source] = self.streams[source].peek().elemrank
             elif self.truncated_streams:
@@ -165,6 +171,8 @@ class RankedProbeLoop:
         lcp = posting.dewey
         for j in range(self.n):
             self.state.probes += 1
+            if self._profile is not None:
+                self._profile.rdil_probes += 1
             shared = self.btrees[j].longest_common_prefix(lcp)
             if shared == 0:
                 return

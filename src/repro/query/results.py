@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
+from ..obs.profile import active_profile
 from ..xmlmodel.dewey import DeweyId
 
 
@@ -101,6 +102,9 @@ class ResultHeap:
             raise QueryError("result capacity must be at least 1")
         self.capacity = capacity
         self._heap: List[_Worse] = []
+        # Captured once: heaps are built inside the profiled query, so
+        # each add() pays at most one None check for profiling-off.
+        self._profile = active_profile()
 
     def add(self, result: QueryResult) -> bool:
         """Offer a result; returns True when it enters the top-m.
@@ -108,11 +112,17 @@ class ResultHeap:
         Identifiers are not deduplicated here: no evaluator offers the
         same element twice, and the cluster merge does its own dedup."""
         entry = _Worse(result)
+        profile = self._profile
         if len(self._heap) < self.capacity:
             heapq.heappush(self._heap, entry)
+            if profile is not None:
+                profile.heap_pushes += 1
             return True
         if self._heap[0] < entry:
             heapq.heapreplace(self._heap, entry)
+            if profile is not None:
+                profile.heap_pushes += 1
+                profile.heap_evictions += 1
             return True
         return False
 

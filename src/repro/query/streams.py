@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Set
 
 from ..errors import QueryError
 from ..index.postings import Posting
+from ..obs.profile import active_profile
 from ..storage.listfile import ListCursor
 
 
@@ -30,6 +31,10 @@ class PostingStream:
         self._deleted = deleted_docs or set()
         self._head: Optional[Posting] = None
         self._eof = self._iterator is None
+        # The active profile is captured once at construction (streams
+        # are built inside the profiled query) so the per-posting cost
+        # of profiling-off is a single None check.
+        self._profile = active_profile()
         self._advance()
 
     @classmethod
@@ -67,12 +72,17 @@ class PostingStream:
         if self._iterator is None:
             self._head = None
             return
+        profile = self._profile
         for record in self._iterator:
-            posting = (
-                record
-                if isinstance(record, Posting)
-                else Posting.decode(record)
-            )
+            if isinstance(record, Posting):
+                posting = record
+                if profile is not None:
+                    profile.postings_scanned += 1
+            else:
+                posting = Posting.decode(record)
+                if profile is not None:
+                    profile.postings_scanned += 1
+                    profile.postings_decoded += 1
             if posting.dewey.doc_id in self._deleted:
                 continue
             self._head = posting
@@ -102,12 +112,27 @@ def _cursor_records(cursor: ListCursor) -> Iterator[bytes]:
         yield cursor.next()
 
 
-def smallest_head_index(streams: List[PostingStream]) -> Optional[int]:
-    """Index of the live stream whose head has the smallest Dewey ID."""
+def smallest_head_index(
+    streams: List[PostingStream], profile=None
+) -> Optional[int]:
+    """Index of the live stream whose head has the smallest Dewey ID.
+
+    ``profile`` is the caller's already-captured
+    :class:`~repro.obs.profile.QueryProfile` (or None): the merge loop
+    calls this once per output posting, so the thread-local lookup is
+    hoisted to the caller rather than paid here.
+    """
     best: Optional[int] = None
+    comparisons = 0
     for i, stream in enumerate(streams):
         if stream.eof:
             continue
-        if best is None or stream.peek().dewey < streams[best].peek().dewey:
+        if best is None:
             best = i
+            continue
+        comparisons += 1
+        if stream.peek().dewey < streams[best].peek().dewey:
+            best = i
+    if profile is not None:
+        profile.dewey_comparisons += comparisons
     return best

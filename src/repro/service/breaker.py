@@ -39,10 +39,13 @@ _HALF_OPEN = "half-open"
 class CircuitBreaker:
     """Thread-safe consecutive-failure breaker, one state per index kind."""
 
-    def __init__(self, threshold: int = 3, cooldown: int = 32):
+    def __init__(self, threshold: int = 3, cooldown: int = 32, events=None):
         """Args:
             threshold: consecutive failures on one kind that trip it open.
             cooldown: queries (on that kind) to wait before half-opening.
+            events: optional :class:`repro.obs.log.EventLog`; every state
+                transition (trip, half-open, close, re-open) is emitted
+                there, trace-correlated with the query that caused it.
         """
         if threshold < 1:
             raise ServiceError(f"threshold must be >= 1, got {threshold}")
@@ -50,11 +53,17 @@ class CircuitBreaker:
             raise ServiceError(f"cooldown must be >= 1, got {cooldown}")
         self.threshold = threshold
         self.cooldown = cooldown
+        self.events = events
         self._lock = GuardedLock("breaker")
         self._failures: Dict[str, int] = {}  # guarded by: self._lock
         self._open_remaining: Dict[str, int] = {}  # guarded by: self._lock
         self._half_open: Dict[str, bool] = {}  # guarded by: self._lock
         self.trips = 0  # guarded by: self._lock
+
+    def _emit(self, state: str, kind: str, **fields: object) -> None:
+        """Emit one transition event (called *outside* the breaker lock)."""
+        if self.events is not None:
+            self.events.emit("breaker_transition", state=state, index_kind=kind, **fields)
 
     def allow(self, kind: str) -> bool:
         """May a query be served from ``kind`` right now?
@@ -72,28 +81,39 @@ class CircuitBreaker:
                 return False
             del self._open_remaining[kind]
             self._half_open[kind] = True
-            return True
+        self._emit(_HALF_OPEN, kind)
+        return True
 
     def record_success(self, kind: str) -> None:
         """A query on ``kind`` succeeded: reset failures, close if probing."""
         with self._lock:
+            closed_probe = self._half_open.pop(kind, None)
             self._failures.pop(kind, None)
-            self._half_open.pop(kind, None)
+        if closed_probe:
+            self._emit(_CLOSED, kind)
 
     def record_failure(self, kind: str) -> None:
         """A query on ``kind`` hit a fault; trip when the streak is long
         enough (a failed half-open probe re-opens immediately)."""
+        tripped = None
         with self._lock:
             if self._half_open.pop(kind, False):
                 self._open_remaining[kind] = self.cooldown
                 self.trips += 1
-                return
-            streak = self._failures.get(kind, 0) + 1
-            self._failures[kind] = streak
-            if streak >= self.threshold and kind not in self._open_remaining:
-                self._open_remaining[kind] = self.cooldown
-                self._failures.pop(kind, None)
-                self.trips += 1
+                tripped = "probe_failed"
+            else:
+                streak = self._failures.get(kind, 0) + 1
+                self._failures[kind] = streak
+                if (
+                    streak >= self.threshold
+                    and kind not in self._open_remaining
+                ):
+                    self._open_remaining[kind] = self.cooldown
+                    self._failures.pop(kind, None)
+                    self.trips += 1
+                    tripped = "failure_streak"
+        if tripped is not None:
+            self._emit(_OPEN, kind, reason=tripped, cooldown=self.cooldown)
 
     def is_open(self, kind: Optional[str] = None) -> bool:
         """Is this kind (or, with no argument, any kind) currently open?"""

@@ -148,6 +148,14 @@ class ServiceClient:
         """The /traces payload (tracer counters + retained span trees)."""
         return self._request("GET", "/traces")
 
+    def profile(self) -> Dict[str, object]:
+        """The /profile payload (per-query cost-profile registry)."""
+        return self._request("GET", "/profile")
+
+    def events(self) -> Dict[str, object]:
+        """The /events payload (structured event log records)."""
+        return self._request("GET", "/events")
+
     # -- plumbing ------------------------------------------------------------------
 
     def _request(

@@ -28,10 +28,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..config import SLOParams
 from ..engine import SearchHit, XRankEngine
 from ..errors import FaultError
 from ..obs import NOOP_SPAN, Tracer
+from ..obs.log import EventLog, bind_trace
+from ..obs.profile import ProfileRegistry, QueryProfile, activate
 from ..obs.render import to_dict as trace_to_dict
+from ..obs.slo import SLOMonitor
 from ..obs.trace import TraceContext
 from ..storage.iostats import IOStats
 from .admission import AdmissionController, Deadline
@@ -89,6 +93,7 @@ class XRankService:
         breaker_cooldown: int = 32,
         tracer: Optional[Tracer] = None,
         snapshot_store=None,
+        profile: bool = False,
     ):
         """Args:
             engine: the engine to serve; built here if it has documents
@@ -112,13 +117,28 @@ class XRankService:
                 SnapshotStore` backing this service; its write/recovery
                 counters ride on :meth:`stats` (and therefore
                 ``/metrics`` as ``xrank_snapshots_*`` gauges).
+            profile: collect per-query cost profiles into a
+                :class:`~repro.obs.profile.ProfileRegistry` (served on
+                ``/profile``).  Off by default; it can also be enabled
+                later by assigning ``service.profiles``.
         """
         self.engine = engine
         self.lock = ReadWriteLock()
-        self.metrics = ServiceMetrics()
+        # Structured event log: operational events (admission rejects,
+        # breaker transitions, degraded answers, ...) carrying the
+        # active query's trace id.  Replaces ad-hoc prints/logging.
+        self.events = EventLog()
+        self.metrics = ServiceMetrics(
+            slo=SLOMonitor(getattr(engine.config, "slo", None) or SLOParams())
+        )
         self.tracer = tracer or Tracer()
+        self.profiles: Optional[ProfileRegistry] = (
+            ProfileRegistry() if profile else None
+        )
         self.breaker = CircuitBreaker(
-            threshold=breaker_threshold, cooldown=breaker_cooldown
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            events=self.events,
         )
         self.admission = AdmissionController(
             max_concurrent=max_concurrent,
@@ -203,108 +223,173 @@ class XRankService:
             m=m,
             mode=mode,
         )
-        try:
-            with span.child("admission") as admit_span:
-                try:
-                    self.admission.acquire()
-                except Exception:
-                    admit_span.event("rejected")
-                    self.metrics.record_rejection()
-                    raise
-            self.metrics.observe_stage(
-                "admission", (time.perf_counter() - started) * 1000.0
-            )
-            extras: Dict[str, object] = {}
-            deadline_expired = False
+        profile = QueryProfile() if self.profiles is not None else None
+        # Bind the trace id for the whole request so every structured
+        # event emitted below (admission, breaker, degradation) joins
+        # to this query's span tree; unsampled queries bind None.
+        with bind_trace(span.trace_id if span.recording else None):
             try:
-                with self.lock.read():
-                    generation = self.engine.generation
-                    serve_kind, fault_note = self._route_kind(kind, span)
-                    key = (
-                        serve_kind, mode, query, m, offset, highlight,
-                        with_context,
-                    )
-                    with span.child("cache.lookup") as cache_span:
-                        value = self.result_cache.get(key)
-                        cache_span.event(
-                            "hit" if value is not MISS else "miss"
+                with span.child("admission") as admit_span:
+                    try:
+                        self.admission.acquire()
+                    except Exception as exc:
+                        admit_span.event("rejected")
+                        self.metrics.record_rejection()
+                        self.events.emit(
+                            "admission_reject",
+                            index_kind=kind,
+                            error=type(exc).__name__,
                         )
-                    if value is not MISS:
-                        hits, degraded, cached = value, False, True
-                    else:
-                        cached = False
-                        budget = (
-                            deadline_ms
-                            if deadline_ms is not None
-                            else self.default_deadline_ms
+                        raise
+                self.metrics.observe_stage(
+                    "admission", (time.perf_counter() - started) * 1000.0
+                )
+                extras: Dict[str, object] = {}
+                deadline_expired = False
+                try:
+                    with self.lock.read():
+                        generation = self.engine.generation
+                        serve_kind, fault_note = self._route_kind(kind, span)
+                        key = (
+                            serve_kind, mode, query, m, offset, highlight,
+                            with_context,
                         )
-                        deadline = Deadline.after_ms(budget)
-                        evaluate_started = time.perf_counter()
-                        with span.child(
-                            "evaluate", kind=serve_kind, mode=mode
-                        ) as eval_span:
-                            io_before = (
-                                self._io_totals_locked().snapshot()
-                                if eval_span.recording
-                                else None
+                        with span.child("cache.lookup") as cache_span:
+                            value = self.result_cache.get(key)
+                            cache_span.event(
+                                "hit" if value is not MISS else "miss"
                             )
-                            hits, serve_kind, fault_note = (
-                                self._search_hardened(
-                                    query,
-                                    serve_kind,
-                                    fault_note,
-                                    deadline,
-                                    span=eval_span,
-                                    m=m,
-                                    mode=mode,
-                                    offset=offset,
-                                    highlight=highlight,
-                                    with_context=with_context,
+                        if value is not MISS:
+                            hits, degraded, cached = value, False, True
+                            if profile is not None:
+                                profile.result_cache_hits += 1
+                        else:
+                            cached = False
+                            if profile is not None:
+                                profile.result_cache_misses += 1
+                            budget = (
+                                deadline_ms
+                                if deadline_ms is not None
+                                else self.default_deadline_ms
+                            )
+                            deadline = Deadline.after_ms(budget)
+                            evaluate_started = time.perf_counter()
+                            with span.child(
+                                "evaluate", kind=serve_kind, mode=mode
+                            ) as eval_span:
+                                want_io = (
+                                    eval_span.recording or profile is not None
                                 )
-                            )
-                            if io_before is not None:
-                                eval_span.attach_io(
-                                    self._io_totals_locked().delta_since(
-                                        io_before
+                                io_before = (
+                                    self._io_totals_locked().snapshot()
+                                    if want_io
+                                    else None
+                                )
+                                churn_before = (
+                                    self._cache_churn_locked()
+                                    if profile is not None
+                                    else 0
+                                )
+                                cpu_before = (
+                                    time.process_time_ns()
+                                    if profile is not None
+                                    else 0
+                                )
+                                with activate(profile):
+                                    hits, serve_kind, fault_note = (
+                                        self._search_hardened(
+                                            query,
+                                            serve_kind,
+                                            fault_note,
+                                            deadline,
+                                            span=eval_span,
+                                            m=m,
+                                            mode=mode,
+                                            offset=offset,
+                                            highlight=highlight,
+                                            with_context=with_context,
+                                        )
                                     )
-                                )
-                            eval_span.set("hits", len(hits))
-                        self.metrics.observe_stage(
-                            "evaluate",
-                            (time.perf_counter() - evaluate_started) * 1000.0,
-                        )
-                        deadline_expired = deadline.expired
-                        degraded = deadline_expired or serve_kind != kind
-                        if not degraded:
-                            # Partial answers must not be replayed to clients
-                            # that did not ask for a tight deadline, and
-                            # fault-degraded answers must not be replayed at
-                            # all.
-                            self.result_cache.put(key, hits)
-                    if serve_kind != kind:
-                        extras["served_kind"] = serve_kind
-                        degraded = True
-                    if fault_note is not None:
-                        extras["fault"] = fault_note
-                    if degraded:
-                        span.event(
-                            "degraded",
-                            reason=(
+                                if io_before is not None:
+                                    io_delta = self._io_totals_locked(
+                                    ).delta_since(io_before)
+                                    if eval_span.recording:
+                                        eval_span.attach_io(io_delta)
+                                    if profile is not None:
+                                        profile.page_reads += (
+                                            io_delta.page_reads
+                                        )
+                                        profile.bytes_read += (
+                                            io_delta.page_reads
+                                            * self._page_size()
+                                        )
+                                if profile is not None:
+                                    profile.add_cpu(
+                                        "evaluate",
+                                        time.process_time_ns() - cpu_before,
+                                    )
+                                    profile.cache_generation_churn += (
+                                        self._cache_churn_locked()
+                                        - churn_before
+                                    )
+                                eval_span.set("hits", len(hits))
+                            self.metrics.observe_stage(
+                                "evaluate",
+                                (time.perf_counter() - evaluate_started)
+                                * 1000.0,
+                            )
+                            deadline_expired = deadline.expired
+                            degraded = deadline_expired or serve_kind != kind
+                            if not degraded:
+                                # Partial answers must not be replayed to
+                                # clients that did not ask for a tight
+                                # deadline, and fault-degraded answers must
+                                # not be replayed at all.
+                                self.result_cache.put(key, hits)
+                        if serve_kind != kind:
+                            extras["served_kind"] = serve_kind
+                            degraded = True
+                        if fault_note is not None:
+                            extras["fault"] = fault_note
+                        if degraded:
+                            reason = (
                                 "deadline" if deadline_expired else "fallback"
-                            ),
-                        )
-            except Exception as exc:
-                self.metrics.record_error()
-                span.event("error", type=type(exc).__name__)
-                raise
+                            )
+                            span.event("degraded", reason=reason)
+                            self.events.emit(
+                                "degraded_answer",
+                                index_kind=kind,
+                                served_kind=serve_kind,
+                                reason=reason,
+                            )
+                except Exception as exc:
+                    self.metrics.record_error()
+                    span.event("error", type=type(exc).__name__)
+                    self.events.emit(
+                        "query_error",
+                        index_kind=kind,
+                        error=type(exc).__name__,
+                    )
+                    raise
+                finally:
+                    self.admission.release()
             finally:
-                self.admission.release()
-        finally:
-            span.finish()
-            self.tracer.finish(span)
+                span.finish()
+                self.tracer.finish(span)
         latency_ms = (time.perf_counter() - started) * 1000.0
         self.metrics.record_search(latency_ms, cached=cached, degraded=degraded)
         self.metrics.observe_stage("total", latency_ms)
+        if profile is not None:
+            # Aggregate under (evaluator, query shape, result bucket) —
+            # the axes the paper's cost analyses slice along.
+            self.profiles.record(
+                serve_kind,
+                f"{mode}:{len(query.split())}kw",
+                len(hits),
+                profile,
+            )
+            if span.recording:
+                span.set("profile", profile.nonzero())
         if span.recording:
             span.set("cached", cached)
             if trace_ctx is not None:
@@ -321,6 +406,23 @@ class XRankService:
             query=query,
             m=m,
             extras=extras,
+        )
+
+    def _page_size(self) -> int:
+        """The simulated-disk page size (for byte-level I/O attribution)."""
+        # Config is frozen at engine construction; reading it needs no lock.
+        storage = getattr(self.engine.config, "storage", None)  # repro: ignore[lock-discipline]
+        return getattr(storage, "page_size", 4096)
+
+    def _cache_churn_locked(self) -> int:
+        """Stale-generation evictions both caches have performed so far.
+
+        Caller holds the read lock.  The delta across one evaluation is
+        that query's cache-generation churn — how many stale entries its
+        lookups swept out."""
+        return (
+            self.result_cache.stats()["invalidations"]
+            + self.list_cache.stats()["invalidations"]
         )
 
     def _route_kind(self, kind: str, span=NOOP_SPAN):
@@ -469,6 +571,10 @@ class XRankService:
         payload = {
             "service": self.metrics.snapshot(queue_depth=self.admission.depth()),
             "tracer": self.tracer.stats(),
+            # Top-level key on purpose: promfmt prefixes with "xrank_",
+            # so the burn rates scrape as xrank_slo_* gauges.
+            "slo": self.metrics.slo_snapshot(),
+            "events": self.events.stats(),
             "caches": {
                 "results": self.result_cache.stats(),
                 "posting_lists": self.list_cache.stats(),
@@ -485,6 +591,15 @@ class XRankService:
             # is scrapeable without a dedicated endpoint.
             payload["snapshots"] = self.snapshot_store.counters()
         return payload
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """The aggregated per-query cost profiles (``/profile`` payload).
+
+        ``{"enabled": False}`` when profiling is off, so the endpoint
+        shape is stable either way."""
+        if self.profiles is None:
+            return {"enabled": False, "queries": 0, "profiles": []}
+        return self.profiles.snapshot()
 
     def healthz(self) -> Dict[str, object]:
         """Cheap liveness probe (read-locked: counters must be coherent).

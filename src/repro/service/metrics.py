@@ -79,11 +79,18 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 class ServiceMetrics:
-    """Thread-safe counters + latency/QPS windows for one service."""
+    """Thread-safe counters + latency/QPS windows for one service.
 
-    def __init__(self, window: int = 4096, clock=time.monotonic):
+    ``slo`` (optional) is a :class:`repro.obs.slo.SLOMonitor`: every
+    recorded search/error/rejection is forwarded so burn rates track
+    the same request stream as the counters, with no second
+    accounting path for callers to forget.
+    """
+
+    def __init__(self, window: int = 4096, clock=time.monotonic, slo=None):
         self._clock = clock
         self._lock = GuardedLock("metrics")
+        self.slo = slo
         self._started = clock()
         self._latencies_ms: deque = deque(maxlen=window)  # guarded by: self._lock
         self._completions: deque = deque(maxlen=window)  # guarded by: self._lock
@@ -114,6 +121,8 @@ class ServiceMetrics:
                 self.degraded += 1
             self._latencies_ms.append(latency_ms)
             self._completions.append(self._clock())
+        if self.slo is not None:
+            self.slo.record_search(latency_ms)
 
     def record_add(self, latency_ms: float) -> None:
         """Account one completed document-add request."""
@@ -125,11 +134,15 @@ class ServiceMetrics:
         """Account one admission rejection (503)."""
         with self._lock:
             self.rejected += 1
+        if self.slo is not None:
+            self.slo.record_rejection()
 
     def record_error(self) -> None:
         """Account one failed request (500-class)."""
         with self._lock:
             self.errors += 1
+        if self.slo is not None:
+            self.slo.record_error()
 
     def record_storage_fault(self) -> None:
         """Account one storage fault observed while serving a query."""
@@ -210,3 +223,11 @@ class ServiceMetrics:
         if queue_depth is not None:
             counters["queue"] = queue_depth
         return counters
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """The attached SLO monitor's burn-rate view (empty when none)."""
+        if self.slo is None:
+            return {"enabled": False}
+        snapshot = self.slo.snapshot()
+        snapshot["enabled"] = True
+        return snapshot

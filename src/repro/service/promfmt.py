@@ -11,6 +11,21 @@ numeric leaf of the nested dict becomes one gauge named by its path
 categorical, not numeric — is special-cased into labelled gauges
 (``xrank_breaker_open{kind="hdil"} 1``).  Strings and lists otherwise
 carry no scrapeable value and are skipped.
+
+Two shapes get structure-aware treatment:
+
+* **Histograms.**  A subtree that looks like
+  :meth:`repro.service.metrics.Histogram.as_dict` (``count``/``sum_ms``/
+  ``buckets``) renders as a real Prometheus histogram — cumulative
+  ``<name>_bucket{le="..."}`` series in *numeric* bound order ending in
+  ``le="+Inf"``, plus ``<name>_count`` and ``<name>_sum`` — instead of
+  one flat gauge per bucket key (which sorted lexicographically:
+  ``le_1000ms`` before ``le_10ms``) that no PromQL ``histogram_quantile``
+  could consume.
+* **Name collisions.**  Sanitizing path segments can fold distinct keys
+  onto one metric name (``p95-ms`` and ``p95_ms`` both become
+  ``p95_ms``); the second and later occurrences get a ``_2``/``_3``
+  suffix so no sample silently shadows another.
 """
 
 from __future__ import annotations
@@ -20,16 +35,34 @@ from typing import Dict, List
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
+#: ``Histogram.as_dict`` bucket keys: ``le_<bound>ms``.
+_BUCKET_KEY = re.compile(r"^le_(\d+(?:\.\d+)?)ms$")
+
 #: Breaker state label -> the value of the ``_open`` gauge.
 _BREAKER_OPEN = {"open": 1, "half-open": 1, "closed": 0}
 
 
-def _metric_name(*parts: str) -> str:
-    """Join path segments into a legal Prometheus metric name."""
+def _metric_name(*parts: str, seen: Dict[str, int] = None) -> str:
+    """Join path segments into a legal Prometheus metric name.
+
+    ``seen`` (optional) deduplicates across one rendering pass:
+    sanitization is lossy (``a-b`` and ``a_b`` both map to ``a_b``), so
+    a name already emitted gets a ``_2``/``_3`` suffix instead of
+    producing two samples under one name — the exposition format treats
+    duplicate series as a scrape error, and the quiet alternative is
+    one metric shadowing another on the dashboard.
+    """
     joined = "_".join(_NAME_OK.sub("_", str(part)) for part in parts if part)
     if joined and joined[0].isdigit():
         joined = "_" + joined
-    return joined
+    if seen is None:
+        return joined
+    count = seen.get(joined)
+    if count is None:
+        seen[joined] = 1
+        return joined
+    seen[joined] = count + 1
+    return f"{joined}_{count + 1}"
 
 
 def _escape_label(value: str) -> str:
@@ -49,14 +82,60 @@ def _format_value(value) -> str:
     return repr(float(value))
 
 
-def _walk(payload: Dict, path: List[str], lines: List[str]) -> None:
+def _is_histogram(value) -> bool:
+    """Does this subtree look like ``Histogram.as_dict()`` output?"""
+    return (
+        isinstance(value, dict)
+        and isinstance(value.get("buckets"), dict)
+        and "count" in value
+        and any(_BUCKET_KEY.match(str(key)) for key in value["buckets"])
+    )
+
+
+def _render_histogram(value: Dict, name: str, lines: List[str]) -> None:
+    """Proper cumulative ``_bucket{le=...}`` series for one histogram.
+
+    Bounds are emitted in numeric order (the dict's own key order would
+    put ``le_1000ms`` before ``le_10ms`` lexicographically), each value
+    is the cumulative count at that bound, and the mandatory ``+Inf``
+    bucket equals ``_count`` — the shape ``histogram_quantile`` expects.
+    """
+    buckets = value["buckets"]
+    bounds = []
+    inf_count = None
+    for key, count in buckets.items():
+        match = _BUCKET_KEY.match(str(key))
+        if match:
+            bounds.append((float(match.group(1)), match.group(1), count))
+        elif str(key) == "le_inf":
+            inf_count = count
+    lines.append(f"# TYPE {name} histogram")
+    for _, text, count in sorted(bounds):
+        lines.append(f'{name}_bucket{{le="{text}"}} {_format_value(count)}')
+    if inf_count is None:
+        inf_count = value.get("count", 0)
+    lines.append(f'{name}_bucket{{le="+Inf"}} {_format_value(inf_count)}')
+    lines.append(f"{name}_count {_format_value(value.get('count', 0))}")
+    if isinstance(value.get("sum_ms"), (int, float)):
+        lines.append(f"{name}_sum {_format_value(value['sum_ms'])}")
+
+
+def _walk(
+    payload: Dict, path: List[str], lines: List[str], seen: Dict[str, int]
+) -> None:
     for key in sorted(payload, key=str):
         value = payload[key]
-        if isinstance(value, dict):
-            _walk(value, path + [str(key)], lines)
+        if _is_histogram(value):
+            _render_histogram(
+                value,
+                _metric_name("xrank", *path, str(key), seen=seen),
+                lines,
+            )
+        elif isinstance(value, dict):
+            _walk(value, path + [str(key)], lines, seen)
         elif isinstance(value, (bool, int, float)):
             lines.append(
-                f"{_metric_name('xrank', *path, str(key))} "
+                f"{_metric_name('xrank', *path, str(key), seen=seen)} "
                 f"{_format_value(value)}"
             )
         # strings/lists: no scrapeable numeric value
@@ -95,5 +174,5 @@ def render_prometheus(stats: Dict[str, object]) -> str:
     breaker = remainder.pop("breaker", None)
     if isinstance(breaker, dict):
         _render_breaker(breaker, lines)
-    _walk(remainder, [], lines)
+    _walk(remainder, [], lines, seen={})
     return "\n".join(lines) + "\n"

@@ -19,6 +19,13 @@ Endpoints:
 * ``GET /traces`` — the tracer's retained span trees as full JSON
   (ids, durations, I/O deltas); the fetch path behind
   ``repro trace --url``.  404 when the service has no tracer.
+* ``GET /profile`` — the per-query cost-profile registry (deterministic
+  counters aggregated by evaluator/query shape/result bucket); the
+  fetch path behind ``repro profile --url``.  Reports
+  ``{"enabled": false}`` when the service was built without profiling.
+* ``GET /events`` — the service's structured event log as JSON records
+  (admission rejects, breaker transitions, degraded answers), each
+  carrying the trace id of the query that caused it.
 * ``GET /healthz`` — cheap liveness probe.
 
 Error mapping: malformed requests → 400, unknown paths → 404, admission
@@ -36,7 +43,6 @@ service's reader-writer lock and admission gate, not in the HTTP layer.
 from __future__ import annotations
 
 import json
-import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -45,8 +51,6 @@ from ..errors import FaultError, ServiceOverloadedError, XRankError
 from ..obs.render import to_dict as trace_to_dict
 from ..obs.trace import TraceContext
 from .core import XRankService
-
-logger = logging.getLogger(__name__)
 
 
 class XRankHTTPServer(ThreadingHTTPServer):
@@ -69,7 +73,11 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:
-        logger.debug("%s - %s", self.address_string(), format % args)
+        # Per-request access lines go nowhere: anything worth keeping is
+        # recorded structurally (metrics, spans, the service event log),
+        # and BaseHTTPRequestHandler's default stderr chatter would race
+        # with benchmark output.
+        pass
 
     # -- request routing ---------------------------------------------------------
 
@@ -83,6 +91,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._metrics()
         elif parsed.path == "/traces":
             self._traces()
+        elif parsed.path == "/profile":
+            self._introspect(self.service.profile_snapshot)
+        elif parsed.path == "/events":
+            self._events()
         elif parsed.path == "/search":
             params = {
                 key: values[0]
@@ -195,6 +207,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, payload)
 
+    def _events(self) -> None:
+        """GET /events: the structured event log as JSON records."""
+        try:
+            events = self.service.events
+            payload = {
+                "stats": events.stats(),
+                "events": events.events(),
+            }
+        except Exception as exc:  # noqa: BLE001 — see module docstring
+            self._send_json(500, _error_payload(exc))
+            return
+        self._send_json(200, payload)
+
     def _introspect(self, probe) -> None:
         try:
             payload = probe()
@@ -251,7 +276,8 @@ def run(service: XRankService, host: str = "127.0.0.1", port: int = 8712) -> Non
     """Serve until interrupted (the ``repro serve`` entry point)."""
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
-    print(f"xrank serving on http://{bound_host}:{bound_port}")
+    # The startup banner is operator-facing CLI output, not telemetry.
+    print(f"xrank serving on http://{bound_host}:{bound_port}")  # repro: ignore[structured-log]
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -219,14 +219,24 @@ class TestHighlighting:
 
 
 class TestLogging:
-    def test_build_emits_info_logs(self, caplog):
-        import logging
+    def test_build_emits_corpus_prepared_event(self):
+        from repro.obs import default_event_log
 
+        log = default_event_log()
+        baseline = log.stats()["emitted"]
         e = XRankEngine()
         e.add_xml("<a>log me</a>")
-        with caplog.at_level(logging.INFO, logger="repro.index.builder"):
-            e.build(kinds=["dil"])
-        assert any("corpus prepared" in r.message for r in caplog.records)
+        e.build(kinds=["dil"])
+        fresh = [
+            record
+            for record in log.events(kind="corpus_prepared")
+            if record["seq"] > baseline
+        ]
+        assert fresh, "build should emit a corpus_prepared event"
+        record = fresh[-1]
+        assert record["documents"] == 1
+        assert record["keywords"] > 0
+        assert "elemrank_iterations" in record
 
     def test_incremental_merge_logs(self, caplog):
         import logging

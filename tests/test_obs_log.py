@@ -1,0 +1,173 @@
+"""The structured event log: ring semantics, trace binding, canonical
+transcripts, and end-to-end trace correlation through the service."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.engine import XRankEngine
+from repro.obs import Tracer
+from repro.obs.log import (
+    EventLog,
+    bind_trace,
+    current_trace_id,
+    default_event_log,
+)
+from repro.service.core import XRankService
+
+
+class TestBindTrace:
+    def test_no_binding_means_none(self):
+        assert current_trace_id() is None
+
+    def test_bind_and_restore(self):
+        with bind_trace("t1"):
+            assert current_trace_id() == "t1"
+        assert current_trace_id() is None
+
+    def test_bindings_nest(self):
+        with bind_trace("outer"):
+            with bind_trace("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+    def test_binding_none_masks_the_outer_binding(self):
+        with bind_trace("outer"):
+            with bind_trace(None):
+                assert current_trace_id() is None
+            assert current_trace_id() == "outer"
+
+    def test_binding_is_thread_local(self):
+        seen = []
+
+        def other_thread():
+            seen.append(current_trace_id())
+
+        with bind_trace("t1"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join(timeout=10)
+        assert seen == [None]
+
+
+class TestEventLog:
+    def test_emit_stamps_seq_kind_and_ambient_trace(self):
+        log = EventLog()
+        with bind_trace("t7"):
+            record = log.emit("breaker_transition", state="open", index_kind="hdil")
+        assert record["seq"] == 1
+        assert record["kind"] == "breaker_transition"
+        assert record["trace_id"] == "t7"
+        assert record["state"] == "open"
+
+    def test_fields_are_stored_in_sorted_order(self):
+        log = EventLog()
+        log.emit("e", zebra=1, alpha=2, mid=3)
+        (record,) = log.events()
+        assert list(record) == ["seq", "kind", "trace_id", "alpha", "mid", "zebra"]
+
+    def test_reserved_field_names_raise(self):
+        log = EventLog()
+        for field in ("seq", "kind", "trace_id"):
+            with pytest.raises(ValueError, match="envelope"):
+                log.emit("e", **{field: "x"})
+        assert log.stats()["emitted"] == 0
+
+    def test_ring_evicts_oldest_and_counts_dropped(self):
+        log = EventLog(capacity=3)
+        for n in range(5):
+            log.emit("tick", n=n)
+        records = log.events()
+        assert [r["n"] for r in records] == [2, 3, 4]
+        assert [r["seq"] for r in records] == [3, 4, 5]
+        stats = log.stats()
+        assert stats == {"capacity": 3, "events": 3, "emitted": 5, "dropped": 2}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_filtering_by_kind_and_trace(self):
+        log = EventLog()
+        with bind_trace("tA"):
+            log.emit("x")
+            log.emit("y")
+        with bind_trace("tB"):
+            log.emit("x")
+        assert len(log.events(kind="x")) == 2
+        assert len(log.events(trace_id="tA")) == 2
+        assert len(log.events(kind="x", trace_id="tA")) == 1
+
+    def test_to_jsonl_is_canonical(self):
+        log = EventLog()
+        log.emit("x", b=1, a=2)
+        line = log.to_jsonl()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert '"trace_id":null' in line
+
+    def test_clear_keeps_seq_monotone(self):
+        log = EventLog()
+        log.emit("x")
+        log.clear()
+        record = log.emit("y")
+        assert record["seq"] == 2  # seq never restarts: ordering is global
+
+    def test_default_log_is_a_shared_singleton(self):
+        assert default_event_log() is default_event_log()
+
+
+class TestServiceCorrelation:
+    """Acceptance: events emitted while serving a sampled query carry
+    that query's trace id."""
+
+    def build_service(self, **kwargs) -> XRankService:
+        engine = XRankEngine()
+        engine.add_xml(
+            "<doc><title>alpha beta</title><p>alpha gamma</p></doc>",
+            uri="doc0",
+        )
+        engine.build(kinds=["hdil", "dil"])
+        return XRankService(engine, tracer=Tracer(sample="always"), **kwargs)
+
+    def test_degraded_answer_event_joins_its_span_tree(self):
+        service = self.build_service()
+        response = service.search("alpha beta", m=5, deadline_ms=0.0)
+        assert response.degraded
+        (event,) = service.events.events(kind="degraded_answer")
+        assert event["trace_id"] is not None
+        # The trace id joins back to a retained span tree.
+        (span,) = [
+            s for s in service.tracer.buffer.traces()
+            if s.trace_id == event["trace_id"]
+        ]
+        assert span.name == "service.search"
+
+    def test_unsampled_queries_emit_events_with_null_trace(self):
+        engine = XRankEngine()
+        engine.add_xml("<doc><p>alpha beta</p></doc>", uri="doc0")
+        engine.build(kinds=["hdil", "dil"])
+        service = XRankService(engine)  # default tracer: sample="never"
+        service.search("alpha beta", m=5, deadline_ms=0.0)
+        (event,) = service.events.events(kind="degraded_answer")
+        assert event["trace_id"] is None
+
+    def test_distinct_queries_get_distinct_trace_ids(self):
+        service = self.build_service()
+        service.search("alpha beta", m=5, deadline_ms=0.0)
+        service.search("alpha gamma", m=5, deadline_ms=0.0)
+        events = service.events.events(kind="degraded_answer")
+        ids = [e["trace_id"] for e in events]
+        assert len(ids) == 2 and None not in ids
+        assert ids[0] != ids[1]
+
+    def test_stats_surface_event_log_counters(self):
+        service = self.build_service()
+        service.search("alpha", m=5)
+        stats = service.stats()
+        assert stats["events"]["capacity"] > 0
+        assert "emitted" in stats["events"]

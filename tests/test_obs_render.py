@@ -1,0 +1,215 @@
+"""Rendering edge cases: deep span trees, grafted remote segments,
+zero-duration spans, and the flamegraph-style profile view."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import ProfileRegistry, QueryProfile, Span, activate
+from repro.obs.render import (
+    render_profile,
+    render_trace,
+    to_canonical_dict,
+    to_canonical_json,
+    to_dict,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# render_trace
+# ---------------------------------------------------------------------------
+
+class TestRenderTrace:
+    def test_deep_tree_indentation_and_connectors(self):
+        root = Span("root", trace_id="t1")
+        node = root
+        for depth in range(6):
+            node = node.child(f"level{depth}")
+        text = render_trace(root)
+        lines = text.splitlines()
+        assert lines[0] == "trace t1"
+        # Each level indents three more columns than its parent.
+        for depth in range(6):
+            (line,) = [l for l in lines if f"level{depth}" in l]
+            assert line.index("`-") == 3 * (depth + 1)
+        assert "level5" in lines[-1]
+
+    def test_mixed_last_and_middle_children_use_pipe_rails(self):
+        root = Span("root", trace_id="t1")
+        first = root.child("first")
+        first.child("first.only")
+        root.child("second")
+        text = render_trace(root)
+        lines = text.splitlines()
+        (middle,) = [l for l in lines if "|- first" in l and "only" not in l]
+        assert middle  # non-last child gets the |- connector
+        (nested,) = [l for l in lines if "first.only" in l]
+        # The rail continues past "first" because "second" follows it.
+        assert nested.startswith("   |  ")
+        (last,) = [l for l in lines if "second" in l]
+        assert "`- second" in last
+
+    def test_zero_duration_span_renders_0ms_not_blank(self):
+        clock = FakeClock()
+        span = Span("instant", trace_id="t1", clock=clock)
+        span.finish()  # no clock advance: duration is exactly 0.0
+        text = render_trace(span)
+        assert "instant 0.00ms" in text
+
+    def test_unfinished_span_renders_without_duration(self):
+        span = Span("open", trace_id="t1")
+        text = render_trace(span)
+        assert "`- open" in text
+        assert "ms" not in text.splitlines()[1]
+
+    def test_grafted_remote_subtree_is_marked(self):
+        clock = FakeClock()
+        worker = Span("service.search", trace_id="t9", clock=clock)
+        inner = worker.child("evaluate")
+        inner.event("fallback", reason="breaker_open")
+        inner.finish()
+        clock.advance(4)
+        worker.finish()
+
+        coordinator = Span("cluster.search", trace_id="t9", clock=clock)
+        rpc = coordinator.child("rpc.shard0")
+        rpc.graft(to_dict(worker))
+        text = render_trace(coordinator)
+        remote_lines = [l for l in text.splitlines() if "[remote]" in l]
+        # Every node of the grafted subtree carries the marker.
+        assert len(remote_lines) == 2
+        assert any("service.search" in l for l in remote_lines)
+        assert any("evaluate" in l for l in remote_lines)
+        assert "* fallback (reason='breaker_open')" in text
+
+    def test_io_line_renders_sorted_counters(self):
+        span = Span("root", trace_id="t1")
+        span.attach_io({"page_reads": 3, "block_reads": 2})
+        text = render_trace(span)
+        assert "~ io: block_reads=2, page_reads=3" in text
+
+
+# ---------------------------------------------------------------------------
+# canonical form edge cases
+# ---------------------------------------------------------------------------
+
+class TestCanonicalForm:
+    def test_grafted_and_local_trees_canonicalize_identically(self):
+        clock = FakeClock()
+        worker = Span("service.search", trace_id="tA", clock=clock)
+        worker.child("evaluate").finish()
+        clock.advance(7)
+        worker.finish()
+
+        coordinator = Span("cluster.search", trace_id="tA", clock=clock)
+        coordinator.child("rpc").graft(to_dict(worker))
+
+        twin = Span("cluster.search", trace_id="tZZZ")
+        rpc = twin.child("rpc")
+        local = rpc.child("service.search")
+        local.child("evaluate")
+
+        # Ids, durations, and the remote marker are all stripped: the
+        # canonical structure is the same whether the subtree ran
+        # in-process or arrived over an RPC graft.
+        assert to_canonical_json(coordinator) == to_canonical_json(twin)
+
+    def test_sibling_order_is_normalized(self):
+        a = Span("root", trace_id="t1")
+        a.child("x")
+        a.child("y")
+        b = Span("root", trace_id="t2")
+        b.child("y")
+        b.child("x")
+        assert to_canonical_json(a) == to_canonical_json(b)
+
+    def test_deep_tree_round_trips_through_json(self):
+        root = Span("root", trace_id="t1")
+        node = root
+        for depth in range(20):
+            node = node.child(f"d{depth}", level=depth)
+        payload = to_canonical_dict(root)
+        # 20 levels of single children survive canonicalization.
+        depth = 0
+        while payload.get("children"):
+            assert len(payload["children"]) == 1
+            payload = payload["children"][0]
+            depth += 1
+        assert depth == 20
+        json.loads(to_canonical_json(root))  # must be valid JSON
+
+
+# ---------------------------------------------------------------------------
+# render_profile
+# ---------------------------------------------------------------------------
+
+def registry_snapshot():
+    registry = ProfileRegistry()
+    profile = QueryProfile()
+    with activate(profile):
+        profile.postings_scanned += 90
+        profile.heap_pushes += 30
+        profile.add_cpu("evaluate", 2_000_000)
+    registry.record("hdil", "ranked:2kw", 5, profile)
+    light = QueryProfile()
+    light.postings_scanned += 1
+    registry.record("dil", "ranked:1kw", 1, light)
+    return registry.snapshot()
+
+
+class TestRenderProfile:
+    def test_disabled_snapshot_short_circuits(self):
+        text = render_profile({"enabled": False})
+        assert "profiling disabled" in text
+
+    def test_bars_scale_to_the_entry_peak(self):
+        text = render_profile(registry_snapshot(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("profile: 2 queries over 2 aggregate")
+        (scan_line,) = [l for l in lines if "postings_scanned" in l and "90" in l]
+        (push_line,) = [l for l in lines if "heap_pushes" in l]
+        assert scan_line.count("#") == 40  # the peak counter fills the width
+        assert push_line.count("#") == round(40 * 30 / 90)
+
+    def test_heaviest_entry_ranks_first_and_cpu_is_summarized(self):
+        text = render_profile(registry_snapshot())
+        lines = text.splitlines()
+        entry_lines = [l for l in lines if l.startswith("`-")]
+        assert "hdil" in entry_lines[0] and "dil" in entry_lines[1]
+        assert "cpu=2.00ms" in entry_lines[0]
+        assert "cpu=" not in entry_lines[1]
+
+    def test_top_limits_entries_and_annotates_the_header(self):
+        text = render_profile(registry_snapshot(), top=1)
+        assert "top 1 shown" in text.splitlines()[0]
+        assert sum(1 for l in text.splitlines() if l.startswith("`-")) == 1
+
+    def test_zero_work_entry_renders_placeholder(self):
+        registry = ProfileRegistry()
+        registry.record("hdil", "ranked:1kw", 0, QueryProfile())
+        text = render_profile(registry.snapshot())
+        assert "(no work recorded)" in text
+
+    def test_empty_registry_renders_header_only(self):
+        text = render_profile(ProfileRegistry().snapshot())
+        assert text == "profile: 0 queries over 0 aggregate cells"
+
+    def test_overflow_is_called_out(self):
+        registry = ProfileRegistry(max_entries=1)
+        registry.record("hdil", "ranked:1kw", 1, QueryProfile())
+        registry.record("dil", "ranked:2kw", 2, QueryProfile())
+        text = render_profile(registry.snapshot())
+        assert "dropped at registry capacity" in text.splitlines()[0]

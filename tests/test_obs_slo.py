@@ -1,0 +1,149 @@
+"""SLO burn-rate monitoring: window semantics, breach logic, config
+validation, and the ServiceMetrics forwarding path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SLOParams
+from repro.errors import QueryError
+from repro.obs.slo import SLOMonitor
+from repro.service.metrics import ServiceMetrics
+
+
+def params(**overrides) -> SLOParams:
+    base = dict(
+        availability_target=0.9,      # budget 0.1
+        latency_target_ms=100.0,
+        latency_target_fraction=0.9,  # budget 0.1
+        fast_window=4,
+        slow_window=8,
+        fast_burn_threshold=2.0,
+        slow_burn_threshold=1.0,
+    )
+    base.update(overrides)
+    return SLOParams(**base)
+
+
+class TestSLOParams:
+    def test_defaults_validate(self):
+        SLOParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"availability_target": 0.0},
+            {"availability_target": 1.0},
+            {"latency_target_fraction": 1.5},
+            {"latency_target_ms": 0.0},
+            {"fast_window": 0},
+            {"fast_window": 16, "slow_window": 8},
+        ],
+    )
+    def test_invalid_params_raise_typed_errors(self, kwargs):
+        with pytest.raises(QueryError):
+            SLOParams(**kwargs)
+
+
+class TestSLOMonitor:
+    def test_empty_monitor_has_zero_burn_and_no_breach(self):
+        snapshot = SLOMonitor(params()).snapshot()
+        assert snapshot["availability"]["fast_burn"] == 0.0
+        assert snapshot["latency"]["slow_burn"] == 0.0
+        assert snapshot["breach"] is False
+        assert snapshot["samples"] == 0
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        monitor = SLOMonitor(params())
+        monitor.record_search(10.0)
+        monitor.record_error()
+        snapshot = monitor.snapshot()
+        # 1 bad of 2 in both windows; availability budget is 0.1.
+        assert snapshot["availability"]["fast_burn"] == pytest.approx(5.0)
+        assert snapshot["availability"]["slow_burn"] == pytest.approx(5.0)
+
+    def test_degraded_answers_count_as_available(self):
+        monitor = SLOMonitor(params())
+        # The service records *answered* queries via record_search no
+        # matter whether they degraded; only errors/rejections are bad.
+        for _ in range(8):
+            monitor.record_search(10.0)
+        assert monitor.snapshot()["availability"]["slow_burn"] == 0.0
+
+    def test_slow_queries_burn_latency_but_not_availability(self):
+        monitor = SLOMonitor(params())
+        monitor.record_search(500.0)  # over the 100ms target
+        snapshot = monitor.snapshot()
+        assert snapshot["availability"]["fast_burn"] == 0.0
+        assert snapshot["latency"]["fast_burn"] > 0.0
+        assert snapshot["latency"]["bad_total"] == 1
+
+    def test_rejections_are_bad_for_both_slos(self):
+        monitor = SLOMonitor(params())
+        monitor.record_rejection()
+        snapshot = monitor.snapshot()
+        assert snapshot["availability"]["bad_total"] == 1
+        assert snapshot["latency"]["bad_total"] == 1
+
+    def test_breach_requires_both_windows_over_threshold(self):
+        monitor = SLOMonitor(params())
+        # Fill the slow window with good queries, then 4 errors: the
+        # fast window (size 4) is 100% bad, the slow window (size 8) is
+        # 50% bad -> slow burn 5.0 >= 1.0 and fast burn 10.0 >= 2.0.
+        for _ in range(8):
+            monitor.record_search(10.0)
+        assert not monitor.breached()
+        for _ in range(4):
+            monitor.record_error()
+        snapshot = monitor.snapshot()
+        assert snapshot["availability"]["breach"] is True
+        assert monitor.breached()
+
+    def test_fast_spike_alone_does_not_breach(self):
+        # One error in an otherwise-good stream: the fast window burns
+        # hot briefly but the slow window stays under threshold.
+        monitor = SLOMonitor(
+            params(fast_window=1, slow_window=8, slow_burn_threshold=2.0)
+        )
+        for _ in range(7):
+            monitor.record_search(10.0)
+        monitor.record_error()
+        snapshot = monitor.snapshot()
+        assert snapshot["availability"]["fast_burn"] >= 2.0  # spiking
+        assert snapshot["availability"]["slow_burn"] < 2.0   # not confirmed
+        assert snapshot["breach"] is False
+
+    def test_windows_slide_and_recover(self):
+        monitor = SLOMonitor(params())
+        for _ in range(8):
+            monitor.record_error()
+        assert monitor.breached()
+        # Good traffic pushes the errors out of both windows.
+        for _ in range(8):
+            monitor.record_search(10.0)
+        snapshot = monitor.snapshot()
+        assert snapshot["breach"] is False
+        # Lifetime totals keep the history even after recovery.
+        assert snapshot["availability"]["bad_total"] == 8
+        assert snapshot["samples"] == 16
+
+    def test_default_params_used_when_none_given(self):
+        monitor = SLOMonitor()
+        assert monitor.params.availability_target == 0.999
+
+
+class TestMetricsForwarding:
+    def test_record_paths_feed_the_monitor(self):
+        metrics = ServiceMetrics(slo=SLOMonitor(params()))
+        metrics.record_search(10.0, cached=False, degraded=False)
+        metrics.record_search(500.0, cached=False, degraded=True)
+        metrics.record_error()
+        metrics.record_rejection()
+        snapshot = metrics.slo_snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["samples"] == 4
+        assert snapshot["availability"]["bad_total"] == 2
+        assert snapshot["latency"]["bad_total"] == 3
+
+    def test_no_monitor_reports_disabled(self):
+        assert ServiceMetrics().slo_snapshot() == {"enabled": False}

@@ -93,13 +93,57 @@ class TestMetricsEndpoint:
             if line and not line.startswith("#")
         )
         assert float(lines["xrank_service_degraded_total"]) >= 1
-        # Per-stage latency histograms flatten into cumulative le_* gauges.
+        # Per-stage latency histograms render as real Prometheus
+        # histograms: _bucket{le=...} series + _count + _sum.
         assert float(lines["xrank_service_stages_total_count"]) >= 2
         assert (
-            float(lines["xrank_service_stages_total_buckets_le_inf"])
+            float(lines['xrank_service_stages_total_bucket{le="+Inf"}'])
             == float(lines["xrank_service_stages_total_count"])
         )
         assert "xrank_service_stages_evaluate_count" in lines
+        assert "xrank_service_stages_total_sum" in lines
+
+    def test_histogram_buckets_cumulative_and_numeric_order(self, served):
+        port, service = served
+        for _ in range(5):
+            service.search("alpha", m=5)
+        _, _, body = scrape(port)
+        text = body.decode("utf-8")
+        prefix = 'xrank_service_stages_total_bucket{le="'
+        series = []
+        for line in text.splitlines():
+            if line.startswith(prefix):
+                label, value = line[len(prefix):].split('"} ')
+                series.append((label, float(value)))
+        assert series, "expected _bucket{le=...} series for the total stage"
+        # Bounds must come out in numeric order ending at +Inf, and the
+        # cumulative counts must be monotone non-decreasing.
+        bounds = [label for label, _ in series]
+        assert bounds[-1] == "+Inf"
+        numeric = [float(b) for b in bounds[:-1]]
+        assert numeric == sorted(numeric)
+        counts = [value for _, value in series]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        assert counts[-1] == float(lines["xrank_service_stages_total_count"])
+
+    def test_slo_gauges_surface(self, served):
+        port, service = served
+        service.search("alpha", m=5)
+        _, _, body = scrape(port)
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in body.decode("utf-8").splitlines()
+            if line and not line.startswith("#")
+        )
+        assert float(lines["xrank_slo_enabled"]) == 1
+        assert "xrank_slo_availability_fast_burn" in lines
+        assert "xrank_slo_latency_slow_burn" in lines
+        assert float(lines["xrank_slo_breach"]) == 0
 
     def test_every_sample_line_is_well_formed(self, served):
         port, _ = served
@@ -126,3 +170,16 @@ class TestRenderer:
         assert render_prometheus(stats) == render_prometheus(
             {"a": {"b": 3, "y": 2.5}, "z": 1}
         )
+
+    def test_colliding_sanitized_names_get_suffixed(self):
+        # "p95-ms" and "p95_ms" both sanitize to p95_ms; duplicate
+        # series are a scrape error, so the renderer must disambiguate.
+        text = render_prometheus({"p95-ms": 1, "p95_ms": 2})
+        assert "xrank_p95_ms 1" in text
+        assert "xrank_p95_ms_2 2" in text
+
+    def test_nested_collision_with_flat_leaf(self):
+        text = render_prometheus({"a": {"b": 1}, "a_b": 2})
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        names = [l.rsplit(" ", 1)[0] for l in lines]
+        assert len(names) == len(set(names)), f"duplicate series in {names}"
